@@ -1,0 +1,333 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// performs the full experiment — compile the machine descriptions at the
+// relevant representation/optimization level and drive the instrumented
+// list scheduler over the machine's synthetic workload — and reports the
+// paper's metric as a custom benchmark unit alongside time and allocations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/schedbench prints the same rows as human-readable tables.
+package mdes_test
+
+import (
+	"testing"
+
+	"mdes/internal/experiments"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+)
+
+// benchParams keeps per-iteration work bounded; metric shapes are stable
+// from a few thousand ops up.
+var benchParams = experiments.Params{NumOps: 5000, Seed: 1996}
+
+func benchBreakdown(b *testing.B, name machines.Name, keyClass int) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Breakdown(name, benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Options == keyClass {
+				pct = r.AttemptsPercent
+			}
+		}
+	}
+	b.ReportMetric(pct, "%attempts@key-class")
+}
+
+// BenchmarkTable1_SuperSPARCBreakdown regenerates Table 1 (key class: the
+// 48-option one-source IALU ops, paper 50.29% of attempts).
+func BenchmarkTable1_SuperSPARCBreakdown(b *testing.B) {
+	benchBreakdown(b, machines.SuperSPARC, 48)
+}
+
+// BenchmarkTable2_PA7100Breakdown regenerates Table 2 (key class: the
+// two-option ops, paper 81.19%).
+func BenchmarkTable2_PA7100Breakdown(b *testing.B) {
+	benchBreakdown(b, machines.PA7100, 2)
+}
+
+// BenchmarkTable3_PentiumBreakdown regenerates Table 3 (key class: the
+// two-option pairable ops, paper 54.58%).
+func BenchmarkTable3_PentiumBreakdown(b *testing.B) {
+	benchBreakdown(b, machines.Pentium, 2)
+}
+
+// BenchmarkTable4_K5Breakdown regenerates Table 4 (key class: the
+// 32-option one-Rop two-unit ops, paper 74.72%).
+func BenchmarkTable4_K5Breakdown(b *testing.B) {
+	benchBreakdown(b, machines.K5, 32)
+}
+
+// BenchmarkFigure2_OptionsCheckedDistribution regenerates Figure 2 and
+// reports the peak at one option checked (paper 38.02%).
+func BenchmarkFigure2_OptionsCheckedDistribution(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFigure2(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = f.Hist.Percent(1)
+	}
+	b.ReportMetric(peak, "%attempts@1option")
+}
+
+// BenchmarkTable5_OriginalScheduling regenerates Table 5 and reports the
+// SuperSPARC checks reduction from the AND/OR representation (paper 84.5%).
+func BenchmarkTable5_OriginalScheduling(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.SuperSPARC {
+				reduction = r.ChecksReducedPercent()
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%checks-reduced-supersparc")
+}
+
+// BenchmarkTable6_OriginalMemory regenerates Table 6 and reports the K5's
+// size reduction from the AND/OR representation (paper 98.6%).
+func BenchmarkTable6_OriginalMemory(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.K5 {
+				reduction = r.ReductionPercent()
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%size-reduced-k5")
+}
+
+// BenchmarkTable7_RedundancyElimination regenerates Table 7 and reports
+// the Pentium OR-form shrink from CSE/copy-prop/dead-code removal.
+func BenchmarkTable7_RedundancyElimination(b *testing.B) {
+	var shrink float64
+	for i := 0; i < b.N; i++ {
+		before, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		after, err := experiments.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range before {
+			if before[i].Machine == machines.Pentium {
+				shrink = 100 * float64(before[i].ORBytes-after[i].ORBytes) / float64(before[i].ORBytes)
+			}
+		}
+	}
+	b.ReportMetric(shrink, "%pentium-or-shrink")
+}
+
+// BenchmarkTable8_DominatedOptionPruning regenerates Table 8 and reports
+// the PA7100 options/attempt after pruning the duplicated memory option.
+func BenchmarkTable8_DominatedOptionPruning(b *testing.B) {
+	var after float64
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Table8(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after = row.OptionsAfter
+	}
+	b.ReportMetric(after, "options/attempt-after")
+}
+
+// BenchmarkTable9_BitVectorSize regenerates Table 9 and reports the
+// Pentium OR-form size reduction from packing.
+func BenchmarkTable9_BitVectorSize(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.Pentium {
+				reduction = 100 * (r.ORBefore - r.ORAfter) / r.ORBefore
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%pentium-size-reduced")
+}
+
+// BenchmarkTable10_BitVectorChecks regenerates Table 10 and reports the
+// Pentium checks/attempt reduction (paper 42.1%).
+func BenchmarkTable10_BitVectorChecks(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table10(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.Pentium {
+				reduction = 100 * (r.ORBefore - r.ORAfter) / r.ORBefore
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%pentium-checks-reduced")
+}
+
+// BenchmarkTable11_TimeShiftSize regenerates Table 11 and reports the
+// SuperSPARC OR-form size reduction (paper 37.1%).
+func BenchmarkTable11_TimeShiftSize(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.SuperSPARC {
+				reduction = 100 * (r.ORBefore - r.ORAfter) / r.ORBefore
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%supersparc-size-reduced")
+}
+
+// BenchmarkTable12_TimeShiftChecks regenerates Table 12 and reports the
+// K5 AND/OR checks/option after the transformation (paper 1.01).
+func BenchmarkTable12_TimeShiftChecks(b *testing.B) {
+	var cpo float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table12(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.K5 {
+				cpo = r.AOChecksPerOption
+			}
+		}
+	}
+	b.ReportMetric(cpo, "k5-checks/option")
+}
+
+// BenchmarkTable13_AndOrOrdering regenerates Table 13 and reports the
+// SuperSPARC options/attempt reduction from conflict-detection ordering
+// (paper 32.2%).
+func BenchmarkTable13_AndOrOrdering(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table13(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.SuperSPARC {
+				reduction = 100 * (r.OptionsBefore - r.OptionsAfter) / r.OptionsBefore
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%supersparc-options-reduced")
+}
+
+// BenchmarkTable14_AggregateSize regenerates Table 14 and reports the K5's
+// aggregate size reduction for the fully optimized AND/OR form (paper
+// 99.0%).
+func BenchmarkTable14_AggregateSize(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.K5 {
+				reduction = r.AOReduction()
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%k5-size-reduced")
+}
+
+// BenchmarkTable15_AggregateChecks regenerates Table 15 and reports the
+// SuperSPARC aggregate checks reduction (paper 90.1%).
+func BenchmarkTable15_AggregateChecks(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table15(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Machine == machines.SuperSPARC {
+				reduction = r.AOReduction()
+			}
+		}
+	}
+	b.ReportMetric(reduction, "%supersparc-checks-reduced")
+}
+
+// BenchmarkSchedulerThroughput measures raw scheduler speed — operations
+// scheduled per second — for each machine, comparing the unoptimized
+// traditional OR representation against the fully optimized AND/OR form.
+// This is the paper's actual payoff: resource-constraint checking is in
+// the compiler's inner loop, so fewer checks is compile-time speed.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	configs := []struct {
+		tag   string
+		form  lowlevel.Form
+		level opt.Level
+	}{
+		{"or-unoptimized", lowlevel.FormOR, opt.LevelNone},
+		{"andor-full", lowlevel.FormAndOr, opt.LevelFull},
+	}
+	for _, name := range machines.All {
+		for _, cfg := range configs {
+			b.Run(string(name)+"/"+cfg.tag, func(b *testing.B) {
+				var totalOps int
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.Run(experiments.RunConfig{
+						Machine: name,
+						Form:    cfg.form,
+						Level:   cfg.level,
+						Params:  benchParams,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalOps = res.TotalOps
+				}
+				b.ReportMetric(float64(totalOps)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkCompileAndOptimize measures MDES compilation itself (parse,
+// analyze, compile, full pipeline) for the largest description.
+func BenchmarkCompileAndOptimize(b *testing.B) {
+	for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+		b.Run(form.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, ll, err := experiments.CompileMachine(machines.K5, form, opt.LevelFull)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = ll
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+// Command mdinfo inspects a machine description: its resources, classes,
+// operations, and the option breakdown of the paper's Tables 1-4 —
+// including, with -sched, the share of scheduling attempts each
+// option-count class receives under the synthetic workload.
+//
+// Usage:
+//
+//	mdinfo -m supersparc
+//	mdinfo -m k5 -sched -ops 50000
+//	mdinfo -in mymachine.mdes
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdes/internal/tools"
+)
+
+func main() {
+	if err := tools.RunMDInfo(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdinfo:", err)
+		os.Exit(1)
+	}
+}

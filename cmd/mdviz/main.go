@@ -1,0 +1,23 @@
+// Command mdviz renders reservation tables and AND/OR-trees as ASCII art,
+// regenerating the paper's illustrative figures:
+//
+//	mdviz -m supersparc -class load -form or          # Figure 1 / 3a
+//	mdviz -m supersparc -class load -form andor       # Figure 3b
+//	mdviz -m supersparc -class load -form or -shift   # Figure 5
+//	mdviz -m supersparc -class ialu2 -form andor -sort  # Figure 6
+//	mdviz -m supersparc -share                        # Figure 4 (tree sharing)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdes/internal/tools"
+)
+
+func main() {
+	if err := tools.RunMDViz(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdviz:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,27 @@
+// Command schedbench regenerates the paper's evaluation: every table
+// (1-15) and the Figure 2 distribution, by compiling each built-in machine
+// description at the relevant representation and optimization level and
+// driving the instrumented list scheduler over that machine's synthetic
+// workload.
+//
+// Usage:
+//
+//	schedbench                      # everything
+//	schedbench -table 5            # one table
+//	schedbench -fig2               # Figure 2 only
+//	schedbench -ops 50000 -seed 7  # workload scale
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdes/internal/tools"
+)
+
+func main() {
+	if err := tools.RunSchedbench(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

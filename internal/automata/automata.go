@@ -1,0 +1,207 @@
+// Package automata implements the related-work baseline of the paper's
+// §10: finite-state-automaton hazard detection in the style of Proebsting
+// & Fraser, Müller, and Bala & Rubin. Instead of checking reservation
+// tables against an RU map, the scheduler walks a lazily-constructed DFA
+// whose states summarize the resource commitments of the current issue
+// window; asking "can class C issue now?" is a memoized transition lookup.
+//
+// The automaton is built over the same compiled MDES the reservation-table
+// checker uses, so the two approaches are directly comparable (the
+// ablation benchmark in bench_test.go and the equivalence tests here do
+// exactly that). As the paper notes, the automaton answers queries
+// quickly but does not identify *which* operations cause a conflict, so
+// unscheduling-based techniques (iterative modulo scheduling) cannot use
+// it; reservation tables keep that ability.
+//
+// Construction requires all usage times to be non-negative (run the
+// usage-time shift first — opt.ShiftUsageTimes — exactly as automata
+// papers assume issue-relative usages).
+package automata
+
+import (
+	"fmt"
+
+	"mdes/internal/lowlevel"
+)
+
+// state is the resource occupancy of the issue window: one word per
+// future cycle (cycle 0 = now), windowed to the machine's maximum usage
+// time. Machines with ≤64 resources fit one word per cycle.
+type state []uint64
+
+// key converts a state to a map key.
+func (s state) key() string {
+	b := make([]byte, 0, len(s)*8)
+	for _, w := range s {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(w>>(8*uint(i))))
+		}
+	}
+	return string(b)
+}
+
+// Automaton is a lazily-built DFA over window states.
+type Automaton struct {
+	mdes   *lowlevel.MDES
+	window int // cycles of lookahead (max usage time + 1)
+
+	states  map[string]int // state key -> id
+	byID    []state
+	issue   []map[int]issueEdge // per state id: class index -> edge
+	advance []int               // per state id: id after one-cycle advance (-1 unknown)
+
+	// Lookups counts memoized transition queries (the automaton analog of
+	// the paper's "resource checks").
+	Lookups int64
+	// Misses counts queries that had to construct a new transition.
+	Misses int64
+}
+
+type issueEdge struct {
+	ok   bool
+	next int
+}
+
+// New builds an empty automaton for the compiled MDES. It returns an
+// error if any usage time is negative (shift first) or if the machine
+// needs more than 64 resources.
+func New(m *lowlevel.MDES) (*Automaton, error) {
+	if m.NumResources > 64 {
+		return nil, fmt.Errorf("automata: %d resources exceed the single-word limit", m.NumResources)
+	}
+	window := 1
+	for _, o := range m.Options {
+		for _, u := range usagesOf(o) {
+			if u.Time < 0 {
+				return nil, fmt.Errorf("automata: negative usage time %d (apply the usage-time shift first)", u.Time)
+			}
+			if int(u.Time)+1 > window {
+				window = int(u.Time) + 1
+			}
+		}
+	}
+	a := &Automaton{mdes: m, window: window, states: map[string]int{}}
+	a.intern(make(state, window)) // state 0: empty window
+	return a, nil
+}
+
+func usagesOf(o *lowlevel.Option) []lowlevel.Usage {
+	if o.Masks == nil {
+		return o.Usages
+	}
+	// Packed options: expand masks back to usages for construction; the
+	// automaton's runtime never touches them again.
+	var out []lowlevel.Usage
+	for _, m := range o.Masks {
+		mask := m.Mask
+		for bit := 0; mask != 0; bit++ {
+			if mask&1 != 0 {
+				out = append(out, lowlevel.Usage{Time: m.Time, Res: m.Word*64 + int32(bit)})
+			}
+			mask >>= 1
+		}
+	}
+	return out
+}
+
+func (a *Automaton) intern(s state) int {
+	k := s.key()
+	if id, ok := a.states[k]; ok {
+		return id
+	}
+	id := len(a.byID)
+	a.states[k] = id
+	a.byID = append(a.byID, append(state(nil), s...))
+	a.issue = append(a.issue, map[int]issueEdge{})
+	a.advance = append(a.advance, -1)
+	return id
+}
+
+// Start returns the empty-window start state.
+func (a *Automaton) Start() int { return 0 }
+
+// States returns the number of DFA states constructed so far.
+func (a *Automaton) States() int { return len(a.byID) }
+
+// MemoryBytes estimates the automaton's memory: per state, the window
+// words plus its transition entries (16 bytes per issue edge, 4 per
+// advance edge), mirroring the explicit accounting of the MDES size model.
+func (a *Automaton) MemoryBytes() int {
+	bytes := 0
+	for id := range a.byID {
+		bytes += a.window*8 + 4
+		bytes += len(a.issue[id]) * 16
+	}
+	return bytes
+}
+
+// TryIssue asks whether an operation of the given class (constraint index)
+// can issue in the current cycle of state id; on success it returns the
+// successor state with the operation's resources committed. The transition
+// is constructed on first use and memoized thereafter.
+func (a *Automaton) TryIssue(id, class int) (int, bool) {
+	a.Lookups++
+	if e, ok := a.issue[id][class]; ok {
+		return e.next, e.ok
+	}
+	a.Misses++
+	con := a.mdes.Constraints[class]
+	cur := a.byID[id]
+	next := append(state(nil), cur...)
+	ok := a.commit(next, con)
+	e := issueEdge{ok: ok}
+	if ok {
+		e.next = a.intern(next)
+	} else {
+		e.next = id
+	}
+	a.issue[id][class] = e
+	return e.next, e.ok
+}
+
+// commit performs greedy per-tree option selection against the window,
+// identical to the reservation-table checker's semantics, mutating s on
+// success.
+func (a *Automaton) commit(s state, con *lowlevel.Constraint) bool {
+	for _, tree := range con.Trees {
+		chosen := -1
+		for oi, o := range tree.Options {
+			if a.fits(s, o) {
+				chosen = oi
+				break
+			}
+		}
+		if chosen < 0 {
+			return false
+		}
+		for _, u := range usagesOf(tree.Options[chosen]) {
+			s[u.Time] |= 1 << uint(u.Res)
+		}
+	}
+	return true
+}
+
+func (a *Automaton) fits(s state, o *lowlevel.Option) bool {
+	for _, u := range usagesOf(o) {
+		if s[u.Time]&(1<<uint(u.Res)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Advance moves the state one cycle forward (the window shifts; the
+// now-past cycle drops off).
+func (a *Automaton) Advance(id int) int {
+	a.Lookups++
+	if n := a.advance[id]; n >= 0 {
+		return n
+	}
+	a.Misses++
+	cur := a.byID[id]
+	next := make(state, a.window)
+	copy(next, cur[1:])
+	n := a.intern(next)
+	a.advance[id] = n
+	return n
+}

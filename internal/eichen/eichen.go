@@ -1,0 +1,244 @@
+// Package eichen implements the related-work comparison of the paper's
+// §10: Eichenberger & Davidson's reduced machine-description algorithm
+// (PLDI 1996), which rewrites each reservation-table option into an
+// equivalent option with fewer resource usages and merges resources whose
+// usage patterns are indistinguishable — all while preserving every
+// pairwise collision vector, the exact condition under which schedules
+// cannot change (paper §7).
+//
+// Two transformations are provided:
+//
+//   - MergeEquivalentResources: if resource s is used at exactly the same
+//     times as resource r in every option, s's usages are redundant (any
+//     conflict through s is already a conflict through r) and are removed.
+//     On the Pentium description this eliminates the PairCtl usages, which
+//     shadow the Issue slots.
+//
+//   - MinimizeUsages: greedy per-option usage removal — a usage is dropped
+//     if doing so preserves the collision vectors of every ordered option
+//     pair it participates in (the paper notes E&D use heuristics rather
+//     than exhaustive search; this greedy pass is the same spirit).
+//
+// The combination reduces checks per option like the paper's usage-time
+// transformation does, but — as §10 observes — does nothing about the
+// number of OPTION checks per scheduling attempt, which is what the
+// AND/OR representation and its ordering transformations address. The
+// ablation benchmark makes that trade visible.
+package eichen
+
+import (
+	"sort"
+
+	"mdes/internal/lowlevel"
+)
+
+// Report summarizes what the reduction removed.
+type Report struct {
+	ResourcesMerged int
+	UsagesRemoved   int
+}
+
+// Reduce runs both transformations (resource merging, then per-option
+// usage minimization) on a scalar-form, OR-form MDES, in place. Packed
+// descriptions must be reduced before packing. AND/OR descriptions are
+// left untouched: E&D's per-option equivalence criterion applies to flat
+// reservation tables, where each option is an operation's complete
+// reservation; an AND/OR option is only one fragment of it.
+func Reduce(m *lowlevel.MDES) Report {
+	rep := Report{}
+	if m.Form != lowlevel.FormOR || m.Packed {
+		return rep
+	}
+	rep.ResourcesMerged = MergeEquivalentResources(m)
+	rep.UsagesRemoved = MinimizeUsages(m)
+	return rep
+}
+
+// usageTimesByResource returns, per option, a map from resource to its
+// sorted usage times.
+func optionTimes(o *lowlevel.Option) map[int32][]int32 {
+	t := map[int32][]int32{}
+	for _, u := range o.Usages {
+		t[u.Res] = append(t[u.Res], u.Time)
+	}
+	for _, times := range t {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	return t
+}
+
+func sameTimes(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeEquivalentResources finds resource pairs (r, s) with identical
+// usage-time patterns in every option and removes s's usages, returning
+// the number of resources eliminated. Removing a shadowed resource cannot
+// change any collision vector: every latency it forbids is forbidden by
+// its twin as well.
+func MergeEquivalentResources(m *lowlevel.MDES) int {
+	// Candidate pairs must match in EVERY option; start from the full
+	// cross product of resources seen and intersect per option.
+	type pair struct{ r, s int32 }
+	candidates := map[pair]bool{}
+	seen := map[int32]bool{}
+	first := true
+	for _, o := range m.Options {
+		times := optionTimes(o)
+		if first {
+			for r := range times {
+				seen[r] = true
+			}
+			for r, rt := range times {
+				for s, st := range times {
+					if r != s && sameTimes(rt, st) {
+						candidates[pair{r, s}] = true
+					}
+				}
+			}
+			first = false
+			continue
+		}
+		for p := range candidates {
+			rt, rOK := times[p.r]
+			st, sOK := times[p.s]
+			if rOK != sOK || (rOK && !sameTimes(rt, st)) {
+				delete(candidates, p)
+			}
+		}
+		for r := range times {
+			if !seen[r] {
+				// A resource appearing for the first time after option one
+				// cannot shadow or be shadowed by anything already vetted.
+				for p := range candidates {
+					if p.r == r || p.s == r {
+						delete(candidates, p)
+					}
+				}
+				seen[r] = true
+			}
+		}
+	}
+	// Pick victims: for each mutual pair keep the lower-numbered resource.
+	victim := map[int32]bool{}
+	var ordered []pair
+	for p := range candidates {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].r != ordered[j].r {
+			return ordered[i].r < ordered[j].r
+		}
+		return ordered[i].s < ordered[j].s
+	})
+	for _, p := range ordered {
+		if p.r < p.s && !victim[p.r] {
+			victim[p.s] = true
+		}
+	}
+	if len(victim) == 0 {
+		return 0
+	}
+	for _, o := range m.Options {
+		out := o.Usages[:0]
+		for _, u := range o.Usages {
+			if !victim[u.Res] {
+				out = append(out, u)
+			}
+		}
+		o.Usages = out
+	}
+	return len(victim)
+}
+
+// MinimizeUsages greedily removes usages from options when every affected
+// pairwise collision vector is preserved, returning the number removed.
+// Only option pairs sharing the candidate usage's resource can be
+// affected, so the search is indexed by resource.
+func MinimizeUsages(m *lowlevel.MDES) int {
+	byRes := map[int32][]*lowlevel.Option{}
+	for _, o := range m.Options {
+		seen := map[int32]bool{}
+		for _, u := range o.Usages {
+			if !seen[u.Res] {
+				seen[u.Res] = true
+				byRes[u.Res] = append(byRes[u.Res], o)
+			}
+		}
+	}
+	removed := 0
+	for _, o := range m.Options {
+		for i := 0; i < len(o.Usages); {
+			u := o.Usages[i]
+			if canRemove(o, i, byRes[u.Res]) {
+				o.Usages = append(o.Usages[:i], o.Usages[i+1:]...)
+				removed++
+				continue
+			}
+			i++
+		}
+	}
+	return removed
+}
+
+// canRemove reports whether dropping o.Usages[idx] preserves the collision
+// vectors of (o, p) and (p, o) for every peer p using the same resource
+// (including the self pair (o, o)).
+func canRemove(o *lowlevel.Option, idx int, peers []*lowlevel.Option) bool {
+	reduced := make([]lowlevel.Usage, 0, len(o.Usages)-1)
+	reduced = append(reduced, o.Usages[:idx]...)
+	reduced = append(reduced, o.Usages[idx+1:]...)
+	for _, p := range peers {
+		if p == o {
+			if !sameForbidden(o.Usages, o.Usages, reduced, reduced) {
+				return false
+			}
+			continue
+		}
+		if !sameForbidden(o.Usages, p.Usages, reduced, p.Usages) ||
+			!sameForbidden(p.Usages, o.Usages, p.Usages, reduced) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameForbidden reports whether the forbidden-latency sets of (a1, b1) and
+// (a2, b2) coincide.
+func sameForbidden(a1, b1, a2, b2 []lowlevel.Usage) bool {
+	f1 := forbidden(a1, b1)
+	f2 := forbidden(a2, b2)
+	if len(f1) != len(f2) {
+		return false
+	}
+	for t := range f1 {
+		if !f2[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func forbidden(a, b []lowlevel.Usage) map[int32]bool {
+	byRes := map[int32][]int32{}
+	for _, u := range b {
+		byRes[u.Res] = append(byRes[u.Res], u.Time)
+	}
+	out := map[int32]bool{}
+	for _, ua := range a {
+		for _, j := range byRes[ua.Res] {
+			if ua.Time >= j {
+				out[ua.Time-j] = true
+			}
+		}
+	}
+	return out
+}

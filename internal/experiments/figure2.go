@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/stats"
+	"mdes/internal/textutil"
+)
+
+// Figure2 reproduces the paper's Figure 2: the distribution of options
+// checked during each scheduling attempt with the (unoptimized, OR-tree)
+// SuperSPARC MDES, plus the summary statistics quoted in §2 (peaks at one
+// option and at 48 options; share of successful first-option attempts).
+type Figure2 struct {
+	Hist          *stats.Histogram
+	AttemptsPerOp float64
+	TotalOps      int
+}
+
+// RunFigure2 schedules the SuperSPARC workload with the traditional
+// representation and collects the distribution.
+func RunFigure2(p Params) (*Figure2, error) {
+	res, err := Run(RunConfig{
+		Machine: machines.SuperSPARC,
+		Form:    lowlevel.FormOR,
+		Level:   opt.LevelNone,
+		Params:  p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2{Hist: res.Hist, AttemptsPerOp: res.AttemptsPerOp(), TotalOps: res.TotalOps}, nil
+}
+
+// Format renders the distribution as an ASCII bar chart over the observed
+// option counts (the paper's x-axis runs 0-75).
+func (f *Figure2) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: distribution of options checked per scheduling attempt (SuperSPARC, OR-tree MDES)\n")
+	fmt.Fprintf(&b, "attempts/op = %.2f over %d ops\n\n", f.AttemptsPerOp, f.TotalOps)
+
+	var xs []int
+	maxPct := 0.0
+	for x := 0; x <= f.Hist.Max(); x++ {
+		if f.Hist.Count(x) > 0 {
+			xs = append(xs, x)
+			if p := f.Hist.Percent(x); p > maxPct {
+				maxPct = p
+			}
+		}
+	}
+	sort.Ints(xs)
+	t := textutil.NewTable("Options", "% Attempts", "")
+	for _, x := range xs {
+		pct := f.Hist.Percent(x)
+		t.Row(x, pct, textutil.Bar(pct, maxPct, 40))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,161 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: it generates each machine's synthetic workload, drives the
+// multi-platform list scheduler over it at a chosen representation and
+// optimization level, and reports the paper's metrics (MDES memory, options
+// checked and resource checks per scheduling attempt, and the Figure 2
+// distribution).
+package experiments
+
+import (
+	"fmt"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/sched"
+	"mdes/internal/stats"
+	"mdes/internal/workload"
+)
+
+// Params sets the workload scale shared by all experiments.
+type Params struct {
+	// NumOps is the approximate static operation count per machine (the
+	// paper used 201011-282219 SPEC CINT92 operations per platform).
+	NumOps int
+	// Seed makes every workload deterministic.
+	Seed int64
+}
+
+// Defaults returns the parameters used by the benchmark harness: large
+// enough for stable averages, small enough to run in seconds per machine.
+func Defaults() Params {
+	return Params{NumOps: 20000, Seed: 1996}
+}
+
+// RunConfig identifies one (machine, representation, optimization) cell of
+// the paper's tables.
+type RunConfig struct {
+	Machine machines.Name
+	Form    lowlevel.Form
+	Level   opt.Level
+	// ExtraPasses run after Level's pipeline (Table 8 applies
+	// dominated-option pruning in isolation).
+	ExtraPasses []func(*lowlevel.MDES) opt.Report
+	Params      Params
+}
+
+// RunResult carries everything the tables report about one run.
+type RunResult struct {
+	Config    RunConfig
+	TotalOps  int
+	Counters  stats.Counters
+	Hist      *stats.Histogram
+	Size      lowlevel.SizeStats
+	SizeTotal int
+	// AttemptsByOptions attributes scheduling attempts to the as-authored
+	// option count of the attempted operation's class (Tables 1-4).
+	AttemptsByOptions map[int]int64
+	// ClassesByOptions lists class names per as-authored option count.
+	ClassesByOptions map[int][]string
+}
+
+// AttemptsPerOp returns average scheduling attempts per operation.
+func (r *RunResult) AttemptsPerOp() float64 {
+	if r.TotalOps == 0 {
+		return 0
+	}
+	return float64(r.Counters.Attempts) / float64(r.TotalOps)
+}
+
+// CompileMachine loads a built-in machine and compiles it at the given form
+// and level, returning both the analyzed machine and the optimized MDES.
+func CompileMachine(name machines.Name, form lowlevel.Form, level opt.Level) (*hmdes.Machine, *lowlevel.MDES, error) {
+	m, err := machines.Load(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	ll := lowlevel.Compile(m, form)
+	opt.Apply(ll, level, opt.Forward)
+	return m, ll, nil
+}
+
+// classOptionCounts maps each opcode to the as-authored expanded option
+// count of its class and (if any) cascaded class.
+func classOptionCounts(m *hmdes.Machine) (normal, cascaded map[string]int, byCount map[int][]string) {
+	classCount := map[string]int{}
+	byCount = map[int][]string{}
+	for _, cname := range m.ClassNames {
+		n := m.Classes[cname].OptionCount()
+		classCount[cname] = n
+		byCount[n] = append(byCount[n], cname)
+	}
+	normal = map[string]int{}
+	cascaded = map[string]int{}
+	for _, oname := range m.OpNames {
+		op := m.Operations[oname]
+		normal[oname] = classCount[op.Class]
+		if op.Cascaded != "" {
+			cascaded[oname] = classCount[op.Cascaded]
+		} else {
+			cascaded[oname] = classCount[op.Class]
+		}
+	}
+	return normal, cascaded, byCount
+}
+
+// Run executes one experiment cell.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Params.NumOps == 0 {
+		cfg.Params = Defaults()
+	}
+	m, err := machines.Load(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	ll := lowlevel.Compile(m, cfg.Form)
+	opt.Apply(ll, cfg.Level, opt.Forward)
+	for _, pass := range cfg.ExtraPasses {
+		pass(ll)
+	}
+	if err := ll.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", cfg.Machine, err)
+	}
+
+	prog, err := workload.Generate(workload.Config{
+		Machine: cfg.Machine,
+		NumOps:  cfg.Params.NumOps,
+		Seed:    cfg.Params.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	normalCount, cascCount, byCount := classOptionCounts(m)
+	res := &RunResult{
+		Config:            cfg,
+		TotalOps:          prog.NumOps,
+		Hist:              stats.NewHistogram(),
+		Size:              ll.Size(),
+		AttemptsByOptions: map[int]int64{},
+		ClassesByOptions:  byCount,
+	}
+	res.SizeTotal = res.Size.Total()
+
+	s := sched.New(ll)
+	s.OptionsHist = res.Hist
+	s.OnAttempt = func(op *ir.Operation, optionsChecked int64, ok bool) {
+		count := normalCount[op.Opcode]
+		if op.Cascaded {
+			count = cascCount[op.Opcode]
+		}
+		res.AttemptsByOptions[count]++
+	}
+	_, counters, err := s.ScheduleAll(prog.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters = counters
+	return res, nil
+}

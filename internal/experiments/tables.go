@@ -1,0 +1,482 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/textutil"
+)
+
+// BreakdownRow is one row of Tables 1-4: an option-count class, the share
+// of scheduling attempts it received, and the classes it contains.
+type BreakdownRow struct {
+	Options         int
+	AttemptsPercent float64
+	Classes         []string
+}
+
+// Breakdown reproduces Tables 1-4 for one machine: the distribution of
+// scheduling attempts over reservation-table option counts.
+func Breakdown(name machines.Name, p Params) ([]BreakdownRow, *RunResult, error) {
+	res, err := Run(RunConfig{Machine: name, Form: lowlevel.FormAndOr, Level: opt.LevelNone, Params: p})
+	if err != nil {
+		return nil, nil, err
+	}
+	var counts []int
+	for n := range res.AttemptsByOptions {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	var rows []BreakdownRow
+	for _, n := range counts {
+		rows = append(rows, BreakdownRow{
+			Options:         n,
+			AttemptsPercent: 100 * float64(res.AttemptsByOptions[n]) / float64(res.Counters.Attempts),
+			Classes:         res.ClassesByOptions[n],
+		})
+	}
+	return rows, res, nil
+}
+
+// FormatBreakdown renders Tables 1-4.
+func FormatBreakdown(name machines.Name, rows []BreakdownRow) string {
+	t := textutil.NewTable("Options", "% Attempts", "Classes")
+	for _, r := range rows {
+		t.Row(r.Options, r.AttemptsPercent, strings.Join(r.Classes, " "))
+	}
+	return fmt.Sprintf("Option breakdown and scheduling characteristics, %s MDES\n%s", name, t.String())
+}
+
+// Table5Row reports the original (unoptimized) scheduling characteristics
+// of one machine under both representations.
+type Table5Row struct {
+	Machine       machines.Name
+	TotalOps      int
+	AttemptsPerOp float64
+	OROptions     float64 // avg options checked / attempt, OR-tree rep
+	ORChecks      float64 // avg resource checks / attempt, OR-tree rep
+	AOOptions     float64 // same, AND/OR-tree rep
+	AOChecks      float64
+}
+
+// ChecksReducedPercent is the paper's last column: percent checks reduced
+// by the AND/OR representation.
+func (r Table5Row) ChecksReducedPercent() float64 {
+	if r.ORChecks == 0 {
+		return 0
+	}
+	return 100 * (r.ORChecks - r.AOChecks) / r.ORChecks
+}
+
+// Table5 measures original scheduling characteristics for every machine.
+func Table5(p Params) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range machines.All {
+		or, err := Run(RunConfig{Machine: name, Form: lowlevel.FormOR, Level: opt.LevelNone, Params: p})
+		if err != nil {
+			return nil, err
+		}
+		ao, err := Run(RunConfig{Machine: name, Form: lowlevel.FormAndOr, Level: opt.LevelNone, Params: p})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5Row{
+			Machine:       name,
+			TotalOps:      or.TotalOps,
+			AttemptsPerOp: or.AttemptsPerOp(),
+			OROptions:     or.Counters.OptionsPerAttempt(),
+			ORChecks:      or.Counters.ChecksPerAttempt(),
+			AOOptions:     ao.Counters.OptionsPerAttempt(),
+			AOChecks:      ao.Counters.ChecksPerAttempt(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	t := textutil.NewTable("MDES", "Ops", "Att/Op", "OR Opt/Att", "OR Chk/Att", "AO Opt/Att", "AO Chk/Att", "Chk Reduced")
+	for _, r := range rows {
+		t.Row(string(r.Machine), r.TotalOps, r.AttemptsPerOp, r.OROptions, r.ORChecks,
+			r.AOOptions, r.AOChecks, fmt.Sprintf("%.1f%%", r.ChecksReducedPercent()))
+	}
+	return "Table 5: original scheduling characteristics\n" + t.String()
+}
+
+// SizeRow compares the two representations' memory at one optimization
+// level (Tables 6 and 7) or one representation across levels (Tables 9,
+// 11, 14).
+type SizeRow struct {
+	Machine   machines.Name
+	ORTrees   int
+	OROptions int
+	ORBytes   int
+	AOTrees   int
+	AOOptions int
+	AOBytes   int
+}
+
+// ReductionPercent is the percent size reduction from OR to AND/OR.
+func (r SizeRow) ReductionPercent() float64 {
+	if r.ORBytes == 0 {
+		return 0
+	}
+	return 100 * float64(r.ORBytes-r.AOBytes) / float64(r.ORBytes)
+}
+
+// sizesAt compiles each machine at a level and returns the size rows.
+func sizesAt(level opt.Level) ([]SizeRow, error) {
+	var rows []SizeRow
+	for _, name := range machines.All {
+		_, or, err := CompileMachine(name, lowlevel.FormOR, level)
+		if err != nil {
+			return nil, err
+		}
+		_, ao, err := CompileMachine(name, lowlevel.FormAndOr, level)
+		if err != nil {
+			return nil, err
+		}
+		so, sa := or.Size(), ao.Size()
+		rows = append(rows, SizeRow{
+			Machine:   name,
+			ORTrees:   so.NumTrees,
+			OROptions: so.NumOptions,
+			ORBytes:   so.Total(),
+			AOTrees:   sa.NumTrees,
+			AOOptions: sa.NumOptions,
+			AOBytes:   sa.Total(),
+		})
+	}
+	return rows, nil
+}
+
+// Table6 reports original MDES memory requirements.
+func Table6() ([]SizeRow, error) { return sizesAt(opt.LevelNone) }
+
+// Table7 reports memory after eliminating redundant and unused information.
+func Table7() ([]SizeRow, error) { return sizesAt(opt.LevelRedundancy) }
+
+// FormatSizeRows renders Tables 6/7.
+func FormatSizeRows(title string, rows []SizeRow) string {
+	t := textutil.NewTable("MDES", "OR Trees", "OR Options", "OR Bytes", "AO Trees", "AO Options", "AO Bytes", "Reduction")
+	for _, r := range rows {
+		t.Row(string(r.Machine), r.ORTrees, r.OROptions, r.ORBytes,
+			r.AOTrees, r.AOOptions, r.AOBytes, fmt.Sprintf("%.1f%%", r.ReductionPercent()))
+	}
+	return title + "\n" + t.String()
+}
+
+// BeforeAfterRow compares one metric before and after a transformation for
+// both representations (Tables 9-13 share this shape).
+type BeforeAfterRow struct {
+	Machine  machines.Name
+	ORBefore float64
+	ORAfter  float64
+	AOBefore float64
+	AOAfter  float64
+}
+
+// Table8Row reports PA7100 scheduling characteristics before/after
+// dominated-option pruning.
+type Table8Row struct {
+	TotalOps                    int
+	AttemptsPerOp               float64
+	OptionsBefore, ChecksBefore float64
+	OptionsAfter, ChecksAfter   float64
+}
+
+// Table8 isolates dominated-option pruning on the PA7100 (the duplicated
+// memory-operation option the paper describes in §5).
+func Table8(p Params) (*Table8Row, error) {
+	before, err := Run(RunConfig{Machine: machines.PA7100, Form: lowlevel.FormAndOr, Level: opt.LevelNone, Params: p})
+	if err != nil {
+		return nil, err
+	}
+	after, err := Run(RunConfig{
+		Machine: machines.PA7100, Form: lowlevel.FormAndOr, Level: opt.LevelNone,
+		ExtraPasses: []func(*lowlevel.MDES) opt.Report{opt.PruneDominatedOptions},
+		Params:      p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table8Row{
+		TotalOps:      before.TotalOps,
+		AttemptsPerOp: before.AttemptsPerOp(),
+		OptionsBefore: before.Counters.OptionsPerAttempt(),
+		ChecksBefore:  before.Counters.ChecksPerAttempt(),
+		OptionsAfter:  after.Counters.OptionsPerAttempt(),
+		ChecksAfter:   after.Counters.ChecksPerAttempt(),
+	}, nil
+}
+
+// FormatTable8 renders Table 8.
+func FormatTable8(r *Table8Row) string {
+	t := textutil.NewTable("MDES", "Ops", "Att/Op", "Opt/Att before", "Chk/Att before", "Opt/Att after", "Chk/Att after")
+	t.Row("pa7100", r.TotalOps, r.AttemptsPerOp, r.OptionsBefore, r.ChecksBefore, r.OptionsAfter, r.ChecksAfter)
+	return "Table 8: PA7100 after removing unnecessary options for memory operations\n" + t.String()
+}
+
+// incrementalSizes measures MDES bytes for both forms at two levels.
+func incrementalSizes(before, after opt.Level) ([]BeforeAfterRow, error) {
+	var rows []BeforeAfterRow
+	for _, name := range machines.All {
+		row := BeforeAfterRow{Machine: name}
+		for _, cell := range []struct {
+			form  lowlevel.Form
+			level opt.Level
+			dst   *float64
+		}{
+			{lowlevel.FormOR, before, &row.ORBefore},
+			{lowlevel.FormOR, after, &row.ORAfter},
+			{lowlevel.FormAndOr, before, &row.AOBefore},
+			{lowlevel.FormAndOr, after, &row.AOAfter},
+		} {
+			_, ll, err := CompileMachine(name, cell.form, cell.level)
+			if err != nil {
+				return nil, err
+			}
+			*cell.dst = float64(ll.Size().Total())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// incrementalChecks measures checks/attempt for both forms at two levels.
+func incrementalChecks(before, after opt.Level, p Params) ([]BeforeAfterRow, error) {
+	var rows []BeforeAfterRow
+	for _, name := range machines.All {
+		row := BeforeAfterRow{Machine: name}
+		for _, cell := range []struct {
+			form  lowlevel.Form
+			level opt.Level
+			dst   *float64
+		}{
+			{lowlevel.FormOR, before, &row.ORBefore},
+			{lowlevel.FormOR, after, &row.ORAfter},
+			{lowlevel.FormAndOr, before, &row.AOBefore},
+			{lowlevel.FormAndOr, after, &row.AOAfter},
+		} {
+			res, err := Run(RunConfig{Machine: name, Form: cell.form, Level: cell.level, Params: p})
+			if err != nil {
+				return nil, err
+			}
+			*cell.dst = res.Counters.ChecksPerAttempt()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table9 reports MDES size before/after bit-vector packing.
+func Table9() ([]BeforeAfterRow, error) {
+	return incrementalSizes(opt.LevelRedundancy, opt.LevelBitVector)
+}
+
+// Table10 reports checks/attempt before/after bit-vector packing.
+func Table10(p Params) ([]BeforeAfterRow, error) {
+	return incrementalChecks(opt.LevelRedundancy, opt.LevelBitVector, p)
+}
+
+// Table11 reports MDES size before/after usage-time transformation.
+func Table11() ([]BeforeAfterRow, error) {
+	return incrementalSizes(opt.LevelBitVector, opt.LevelTimeShift)
+}
+
+// Table12Row extends the before/after checks with checks-per-option after
+// the transformation, the paper's "close to one check per option" result.
+type Table12Row struct {
+	BeforeAfterRow
+	ORChecksPerOption float64
+	AOChecksPerOption float64
+}
+
+// Table12 reports checks/attempt before/after the usage-time
+// transformation plus the resulting checks/option.
+func Table12(p Params) ([]Table12Row, error) {
+	base, err := incrementalChecks(opt.LevelBitVector, opt.LevelTimeShift, p)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table12Row
+	for _, b := range base {
+		row := Table12Row{BeforeAfterRow: b}
+		for _, cell := range []struct {
+			form lowlevel.Form
+			dst  *float64
+		}{
+			{lowlevel.FormOR, &row.ORChecksPerOption},
+			{lowlevel.FormAndOr, &row.AOChecksPerOption},
+		} {
+			res, err := Run(RunConfig{Machine: b.Machine, Form: cell.form, Level: opt.LevelTimeShift, Params: p})
+			if err != nil {
+				return nil, err
+			}
+			*cell.dst = res.Counters.ChecksPerOption()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table13Row reports the AND/OR representation's options and checks per
+// attempt before and after conflict-detection ordering (§8).
+type Table13Row struct {
+	Machine       machines.Name
+	OptionsBefore float64
+	OptionsAfter  float64
+	ChecksBefore  float64
+	ChecksAfter   float64
+}
+
+// Table13 measures the §8 transformations (OR-tree sorting and common-usage
+// hoisting), AND/OR representation only.
+func Table13(p Params) ([]Table13Row, error) {
+	var rows []Table13Row
+	for _, name := range machines.All {
+		before, err := Run(RunConfig{Machine: name, Form: lowlevel.FormAndOr, Level: opt.LevelTimeShift, Params: p})
+		if err != nil {
+			return nil, err
+		}
+		after, err := Run(RunConfig{Machine: name, Form: lowlevel.FormAndOr, Level: opt.LevelFull, Params: p})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table13Row{
+			Machine:       name,
+			OptionsBefore: before.Counters.OptionsPerAttempt(),
+			OptionsAfter:  after.Counters.OptionsPerAttempt(),
+			ChecksBefore:  before.Counters.ChecksPerAttempt(),
+			ChecksAfter:   after.Counters.ChecksPerAttempt(),
+		})
+	}
+	return rows, nil
+}
+
+// AggregateRow is one row of Tables 14/15: unoptimized OR versus fully
+// optimized OR and AND/OR.
+type AggregateRow struct {
+	Machine     machines.Name
+	Unoptimized float64
+	ORFull      float64
+	AOFull      float64
+}
+
+// ORReduction and AOReduction give the paper's reduction columns.
+func (r AggregateRow) ORReduction() float64 {
+	if r.Unoptimized == 0 {
+		return 0
+	}
+	return 100 * (r.Unoptimized - r.ORFull) / r.Unoptimized
+}
+
+// AOReduction gives the AND/OR column's reduction vs the unoptimized OR.
+func (r AggregateRow) AOReduction() float64 {
+	if r.Unoptimized == 0 {
+		return 0
+	}
+	return 100 * (r.Unoptimized - r.AOFull) / r.Unoptimized
+}
+
+// Table14 reports the aggregate effect of all transformations on MDES size.
+func Table14() ([]AggregateRow, error) {
+	var rows []AggregateRow
+	for _, name := range machines.All {
+		row := AggregateRow{Machine: name}
+		_, un, err := CompileMachine(name, lowlevel.FormOR, opt.LevelNone)
+		if err != nil {
+			return nil, err
+		}
+		_, orF, err := CompileMachine(name, lowlevel.FormOR, opt.LevelFull)
+		if err != nil {
+			return nil, err
+		}
+		_, aoF, err := CompileMachine(name, lowlevel.FormAndOr, opt.LevelFull)
+		if err != nil {
+			return nil, err
+		}
+		row.Unoptimized = float64(un.Size().Total())
+		row.ORFull = float64(orF.Size().Total())
+		row.AOFull = float64(aoF.Size().Total())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table15 reports the aggregate effect on checks per scheduling attempt.
+func Table15(p Params) ([]AggregateRow, error) {
+	var rows []AggregateRow
+	for _, name := range machines.All {
+		row := AggregateRow{Machine: name}
+		for _, cell := range []struct {
+			form  lowlevel.Form
+			level opt.Level
+			dst   *float64
+		}{
+			{lowlevel.FormOR, opt.LevelNone, &row.Unoptimized},
+			{lowlevel.FormOR, opt.LevelFull, &row.ORFull},
+			{lowlevel.FormAndOr, opt.LevelFull, &row.AOFull},
+		} {
+			res, err := Run(RunConfig{Machine: name, Form: cell.form, Level: cell.level, Params: p})
+			if err != nil {
+				return nil, err
+			}
+			*cell.dst = res.Counters.ChecksPerAttempt()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatBeforeAfter renders Tables 9-11 style rows.
+func FormatBeforeAfter(title, metric string, rows []BeforeAfterRow) string {
+	t := textutil.NewTable("MDES",
+		"OR before", "OR after", "OR diff",
+		"AO before", "AO after", "AO diff")
+	for _, r := range rows {
+		t.Row(string(r.Machine),
+			r.ORBefore, r.ORAfter, textutil.Percent(r.ORBefore, r.ORAfter),
+			r.AOBefore, r.AOAfter, textutil.Percent(r.AOBefore, r.AOAfter))
+	}
+	return fmt.Sprintf("%s (%s)\n%s", title, metric, t.String())
+}
+
+// FormatTable12 renders Table 12.
+func FormatTable12(rows []Table12Row) string {
+	t := textutil.NewTable("MDES",
+		"OR Chk/Att before", "after", "Chk/Opt",
+		"AO Chk/Att before", "after", "Chk/Opt")
+	for _, r := range rows {
+		t.Row(string(r.Machine),
+			r.ORBefore, r.ORAfter, r.ORChecksPerOption,
+			r.AOBefore, r.AOAfter, r.AOChecksPerOption)
+	}
+	return "Table 12: scheduling characteristics after usage-time transformation\n" + t.String()
+}
+
+// FormatTable13 renders Table 13.
+func FormatTable13(rows []Table13Row) string {
+	t := textutil.NewTable("MDES", "Opt/Att before", "after", "diff", "Chk/Att before", "after", "diff")
+	for _, r := range rows {
+		t.Row(string(r.Machine),
+			r.OptionsBefore, r.OptionsAfter, textutil.Percent(r.OptionsBefore, r.OptionsAfter),
+			r.ChecksBefore, r.ChecksAfter, textutil.Percent(r.ChecksBefore, r.ChecksAfter))
+	}
+	return "Table 13: optimizing AND/OR-trees for resource conflict detection\n" + t.String()
+}
+
+// FormatAggregate renders Tables 14/15.
+func FormatAggregate(title, metric string, rows []AggregateRow) string {
+	t := textutil.NewTable("MDES", "Unopt OR", "Full OR", "Reduction", "Full AND/OR", "Reduction")
+	for _, r := range rows {
+		t.Row(string(r.Machine), r.Unoptimized,
+			r.ORFull, fmt.Sprintf("%.1f%%", r.ORReduction()),
+			r.AOFull, fmt.Sprintf("%.1f%%", r.AOReduction()))
+	}
+	return fmt.Sprintf("%s (%s)\n%s", title, metric, t.String())
+}

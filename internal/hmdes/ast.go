@@ -1,0 +1,201 @@
+package hmdes
+
+// Abstract syntax for the MDES language. The parser builds these nodes;
+// the analyzer (analyze.go) resolves names, evaluates expressions, and
+// lowers to restable structures.
+
+// File is one parsed machine-description source.
+type File struct {
+	Machine *MachineDecl
+}
+
+// MachineDecl is the top-level machine block.
+type MachineDecl struct {
+	Name  string
+	Decls []Decl
+	Line  int
+}
+
+// Decl is any declaration inside a machine block.
+type Decl interface{ declNode() }
+
+// ResourceDecl declares `resource Name;` or `resource Name[count];`.
+type ResourceDecl struct {
+	Name  string
+	Count Expr // nil for a singleton
+	Line  int
+}
+
+// LetDecl declares an integer constant: `let N = expr;`.
+type LetDecl struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// TreeDecl declares a named, shareable OR-tree: `tree Name { body }`.
+type TreeDecl struct {
+	Name string
+	Body []TreeItem
+	Line int
+}
+
+// ClassDecl declares an operation class (an AND/OR-tree): `class Name { clauses }`.
+type ClassDecl struct {
+	Name    string
+	Clauses []Clause
+	Line    int
+}
+
+// OperationDecl binds an opcode to a class: `operation NAME class C
+// [cascaded C2] [latency N];`.
+type OperationDecl struct {
+	Name     string
+	Class    string
+	Cascaded string // empty if none
+	Latency  Expr   // nil -> latency 1
+	SrcTime  Expr   // nil -> 0; cycle at which source operands are sampled
+	Line     int
+}
+
+// BypassDecl declares a forwarding path: `bypass FROM -> TO adjust N;`
+// (N is usually negative: the consumer sees the producer's result N cycles
+// earlier than the architectural latency; paper footnote 1).
+type BypassDecl struct {
+	From, To string
+	Adjust   Expr
+	Line     int
+}
+
+func (*ResourceDecl) declNode()  {}
+func (*BypassDecl) declNode()    {}
+func (*LetDecl) declNode()       {}
+func (*TreeDecl) declNode()      {}
+func (*ClassDecl) declNode()     {}
+func (*OperationDecl) declNode() {}
+
+// TreeItem is one body item of a tree: either an explicit option or a
+// shorthand that expands to options.
+type TreeItem interface{ treeItemNode() }
+
+// OptionItem is an explicit option: `option { R @ t; S @ u; }`.
+type OptionItem struct {
+	Usages []UsageExpr
+	Line   int
+}
+
+// OneOfItem expands to one single-usage option per resource in the range:
+// `one_of R[a..b] @ t;` (or a singleton/group reference).
+type OneOfItem struct {
+	Range ResRange
+	Time  Expr
+	Line  int
+}
+
+// ChooseItem expands to one option per K-combination of the range:
+// `choose K of R[a..b] @ t;`.
+type ChooseItem struct {
+	K     Expr
+	Range ResRange
+	Time  Expr
+	Line  int
+}
+
+func (*OptionItem) treeItemNode() {}
+func (*OneOfItem) treeItemNode()  {}
+func (*ChooseItem) treeItemNode() {}
+
+// Clause is one AND-level clause of a class; each clause contributes one
+// OR-tree to the class's AND/OR-tree.
+type Clause interface{ clauseNode() }
+
+// TreeRefClause references a shared tree: `tree Name;`.
+type TreeRefClause struct {
+	Name string
+	Line int
+}
+
+// InlineTreeClause embeds an anonymous tree: `tree { body }`.
+type InlineTreeClause struct {
+	Body []TreeItem
+	Line int
+}
+
+// UseClause is an anonymous single-option tree: `use R @ t, S @ u;`.
+type UseClause struct {
+	Usages []UsageExpr
+	Line   int
+}
+
+// OneOfClause is an anonymous one_of tree.
+type OneOfClause struct {
+	Item OneOfItem
+}
+
+// ChooseClause is an anonymous choose tree.
+type ChooseClause struct {
+	Item ChooseItem
+}
+
+func (*TreeRefClause) clauseNode()    {}
+func (*InlineTreeClause) clauseNode() {}
+func (*UseClause) clauseNode()        {}
+func (*OneOfClause) clauseNode()      {}
+func (*ChooseClause) clauseNode()     {}
+
+// UsageExpr is `R @ t` or `R[i] @ t`.
+type UsageExpr struct {
+	Res  ResRef
+	Time Expr
+	Line int
+}
+
+// ResRef names a single resource instance: `M` or `Decoder[2]`.
+type ResRef struct {
+	Name  string
+	Index Expr // nil for plain name
+	Line  int
+}
+
+// ResRange names a contiguous run of instances: `Decoder[0..2]`,
+// `Decoder[1]`, or a bare group name `Decoder` (meaning all members).
+type ResRange struct {
+	Name string
+	Lo   Expr // nil means whole group
+	Hi   Expr // nil with Lo non-nil means single index
+	Line int
+}
+
+// Expr is an integer expression over literals, let-constants, + - * / and
+// unary minus.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int
+	Line int
+}
+
+// ConstRef references a let-constant.
+type ConstRef struct {
+	Name string
+	Line int
+}
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+	Line int
+}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	E    Expr
+	Line int
+}
+
+func (*IntLit) exprNode()   {}
+func (*ConstRef) exprNode() {}
+func (*BinExpr) exprNode()  {}
+func (*NegExpr) exprNode()  {}

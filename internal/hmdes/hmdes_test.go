@@ -1,0 +1,364 @@
+package hmdes
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/restable"
+)
+
+// miniSPARC is a small but representative description exercising every
+// language feature: multi-instance resources, let arithmetic, shared trees,
+// one_of/choose/use/option, inline trees, cascaded classes and latencies.
+const miniSPARC = `
+// Simplified SuperSPARC-like machine.
+machine MiniSPARC {
+    resource Decoder[3];
+    resource RP[4];
+    resource IALU[2];
+    resource M;
+    resource WrPt[2];
+
+    let EX = 0;
+    let WB = EX + 1;
+
+    tree AnyDecoder { one_of Decoder[0..2] @ -1; }
+    tree AnyWrPt    { one_of WrPt @ WB; }
+    tree TwoPorts   { choose 2 of RP[0..3] @ EX; }
+
+    class load {
+        use M @ EX;
+        tree AnyWrPt;
+        tree AnyDecoder;
+    }
+
+    class ialu2 {
+        one_of IALU[0..1] @ EX;
+        tree TwoPorts;
+        tree AnyWrPt;
+        tree AnyDecoder;
+    }
+
+    class ialu2_casc {
+        use IALU[1] @ EX;
+        tree TwoPorts;
+        tree AnyWrPt;
+        tree AnyDecoder;
+    }
+
+    class branch {
+        tree {
+            option { Decoder[2] @ -1; }
+        }
+    }
+
+    operation LD  class load latency 1;
+    operation ADD class ialu2 cascaded ialu2_casc latency 1;
+    operation BR  class branch latency 0;
+}
+`
+
+func loadMini(t *testing.T) *Machine {
+	t.Helper()
+	m, err := Load("mini.mdes", miniSPARC)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return m
+}
+
+func TestLoadMiniSPARC(t *testing.T) {
+	m := loadMini(t)
+	if m.Name != "MiniSPARC" {
+		t.Fatalf("Name = %q", m.Name)
+	}
+	if got := m.Resources.Len(); got != 3+4+2+1+2 {
+		t.Fatalf("resources = %d", got)
+	}
+	if len(m.TreeNames) != 3 || m.TreeNames[0] != "AnyDecoder" {
+		t.Fatalf("TreeNames = %v", m.TreeNames)
+	}
+	if len(m.ClassNames) != 4 {
+		t.Fatalf("ClassNames = %v", m.ClassNames)
+	}
+	if len(m.OpNames) != 3 {
+		t.Fatalf("OpNames = %v", m.OpNames)
+	}
+}
+
+func TestOptionCountsMatchCombinatorics(t *testing.T) {
+	m := loadMini(t)
+	load, _ := m.Class("load")
+	if got := load.OptionCount(); got != 1*2*3 {
+		t.Fatalf("load options = %d, want 6 (paper Figure 1)", got)
+	}
+	ialu2, _ := m.Class("ialu2")
+	if got := ialu2.OptionCount(); got != 2*6*2*3 {
+		t.Fatalf("ialu2 options = %d, want 72 (paper Table 1)", got)
+	}
+	casc, _ := m.Class("ialu2_casc")
+	if got := casc.OptionCount(); got != 1*6*2*3 {
+		t.Fatalf("ialu2_casc options = %d, want 36 (paper Table 1)", got)
+	}
+	branch, _ := m.Class("branch")
+	if got := branch.OptionCount(); got != 1 {
+		t.Fatalf("branch options = %d, want 1", got)
+	}
+}
+
+func TestSharedTreesAreIdentical(t *testing.T) {
+	m := loadMini(t)
+	load, _ := m.Class("load")
+	ialu2, _ := m.Class("ialu2")
+	// Both classes reference tree AnyDecoder; the pointers must be equal
+	// (this sharing is what Figure 4 illustrates).
+	if load.Trees[2] != ialu2.Trees[3] {
+		t.Fatalf("AnyDecoder not shared between classes")
+	}
+	if load.Trees[2] != m.Trees["AnyDecoder"] {
+		t.Fatalf("class tree is not the named tree")
+	}
+}
+
+func TestLetArithmetic(t *testing.T) {
+	m := loadMini(t)
+	wr := m.Trees["AnyWrPt"]
+	for _, o := range wr.Options {
+		if o.Usages[0].Time != 1 {
+			t.Fatalf("WB should evaluate to 1, usage = %v", o.Usages[0])
+		}
+	}
+}
+
+func TestOperations(t *testing.T) {
+	m := loadMini(t)
+	add := m.Operations["ADD"]
+	if add.Class != "ialu2" || add.Cascaded != "ialu2_casc" || add.Latency != 1 {
+		t.Fatalf("ADD = %+v", add)
+	}
+	br := m.Operations["BR"]
+	if br.Cascaded != "" || br.Latency != 0 {
+		t.Fatalf("BR = %+v", br)
+	}
+}
+
+func TestDefaultLatency(t *testing.T) {
+	src := `machine M { resource R; class c { use R @ 0; } operation X class c; }`
+	m, err := Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Operations["X"].Latency != 1 {
+		t.Fatalf("default latency = %d, want 1", m.Operations["X"].Latency)
+	}
+}
+
+func TestChooseGeneratesCombinations(t *testing.T) {
+	m := loadMini(t)
+	two := m.Trees["TwoPorts"]
+	if len(two.Options) != 6 {
+		t.Fatalf("choose 2 of 4 gave %d options", len(two.Options))
+	}
+	for _, o := range two.Options {
+		if len(o.Usages) != 2 {
+			t.Fatalf("combination with %d usages: %v", len(o.Usages), o.Usages)
+		}
+	}
+	// First combination must be the lexicographically first: RP[0], RP[1].
+	rp0, _ := m.Resources.Lookup("RP[0]")
+	rp1, _ := m.Resources.Lookup("RP[1]")
+	first := two.Options[0]
+	if first.Usages[0].Res != rp0 || first.Usages[1].Res != rp1 {
+		t.Fatalf("first combination = %v", first.Usages)
+	}
+}
+
+func TestExpandedLoadMatchesPaperFigure(t *testing.T) {
+	m := loadMini(t)
+	load, _ := m.Class("load")
+	or := load.Expand()
+	if len(or.Options) != 6 {
+		t.Fatalf("expanded load = %d options", len(or.Options))
+	}
+	// Each option: M@0, one WrPt@1, one Decoder@-1.
+	for _, o := range or.Options {
+		if len(o.Usages) != 3 {
+			t.Fatalf("option usages = %v", o.Usages)
+		}
+		if o.Usages[0].Time != -1 || o.Usages[2].Time != 1 {
+			t.Fatalf("times wrong: %v", o.Usages)
+		}
+	}
+}
+
+// Semantic error cases: each source must fail with a message containing frag.
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"undefined resource", `machine M { class c { use R @ 0; } operation X class c; }`, "undefined resource"},
+		{"undefined tree", `machine M { resource R; class c { tree T; } operation X class c; }`, "undefined tree"},
+		{"undefined class", `machine M { resource R; class c { use R @ 0; } operation X class d; }`, "undefined class"},
+		{"undefined cascaded", `machine M { resource R; class c { use R @ 0; } operation X class c cascaded d; }`, "cascaded class"},
+		{"undefined constant", `machine M { resource R[N]; class c { use R[0] @ 0; } operation X class c; }`, "undefined constant"},
+		{"dup resource", `machine M { resource R; resource R; class c { use R @ 0; } operation X class c; }`, "duplicate resource"},
+		{"dup tree", `machine M { resource R; tree T { one_of R @ 0; } tree T { one_of R @ 0; } class c { tree T; } operation X class c; }`, "duplicate tree"},
+		{"dup class", `machine M { resource R; class c { use R @ 0; } class c { use R @ 0; } operation X class c; }`, "duplicate class"},
+		{"dup op", `machine M { resource R; class c { use R @ 0; } operation X class c; operation X class c; }`, "duplicate operation"},
+		{"dup const", `machine M { let N = 1; let N = 2; resource R; class c { use R @ 0; } operation X class c; }`, "duplicate constant"},
+		{"bad count", `machine M { resource R[0]; class c { use R[0] @ 0; } operation X class c; }`, "must be >= 1"},
+		{"index range", `machine M { resource R[2]; class c { use R[2] @ 0; } operation X class c; }`, "out of range"},
+		{"range bounds", `machine M { resource R[2]; class c { one_of R[0..2] @ 0; } operation X class c; }`, "out of bounds"},
+		{"needs index", `machine M { resource R[2]; class c { use R @ 0; } operation X class c; }`, "index is required"},
+		{"choose too many", `machine M { resource R[2]; class c { choose 3 of R @ 0; } operation X class c; }`, "invalid"},
+		{"overlap", `machine M { resource R; class c { use R @ 0; use R @ 0; } operation X class c; }`, "used by OR-trees"},
+		{"neg latency", `machine M { resource R; class c { use R @ 0; } operation X class c latency -1; }`, "latency"},
+		{"div zero", `machine M { let N = 1/0; resource R; class c { use R @ 0; } operation X class c; }`, "division by zero"},
+		{"no operations", `machine M { resource R; class c { use R @ 0; } }`, "no operations"},
+		{"empty class", `machine M { resource R; class c { } operation X class c; }`, "no clauses"},
+		{"empty tree", `machine M { resource R; tree T { } class c { tree T; } operation X class c; }`, "no options"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load("t.mdes", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+// Parse error cases.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"no machine", `resource R;`, `expected "machine"`},
+		{"unterminated machine", `machine M {`, "unterminated machine"},
+		{"bad decl", `machine M { banana; }`, "expected declaration"},
+		{"missing semi", `machine M { resource R }`, `expected ";"`},
+		{"bad clause", `machine M { class c { banana; } }`, "expected clause"},
+		{"bad tree item", `machine M { tree T { banana; } }`, "expected option/one_of/choose"},
+		{"unterminated option", `machine M { tree T { option { R @ 0;`, "unterminated option"},
+		{"unterminated class", `machine M { class c {`, "unterminated class"},
+		{"unterminated tree", `machine M { tree T {`, "unterminated tree"},
+		{"missing at", `machine M { class c { use R 0; } }`, `expected "@"`},
+		{"bad expr", `machine M { let N = ;`, "expected expression"},
+		{"unclosed paren", `machine M { let N = (1+2;`, `expected ")"`},
+		{"trailing", `machine M { resource R; class c { use R @ 0; } operation X class c; } extra`, "unexpected"},
+		{"missing of", `machine M { tree T { choose 2 R[0..1] @ 0; } }`, `expected "of"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t.mdes", c.src)
+			if err == nil {
+				t.Fatalf("expected parse error containing %q", c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	src := `machine M {
+	  let A = 2 + 3 * 4;        // 14
+	  let B = (2 + 3) * 4;      // 20
+	  let C = -A + B;           // 6
+	  let D = B / A;            // 1
+	  resource R[A - 13];       // 1 instance
+	  class c { use R @ C - 6; }
+	  operation X class c latency D;
+	}`
+	m, err := Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := m.Class("c")
+	u := cls.Trees[0].Options[0].Usages[0]
+	if u.Time != 0 {
+		t.Fatalf("C-6 = %d, want 0", u.Time)
+	}
+	if m.Operations["X"].Latency != 1 {
+		t.Fatalf("latency D = %d, want 1", m.Operations["X"].Latency)
+	}
+}
+
+func TestInlineTreeAndMixedItems(t *testing.T) {
+	src := `machine M {
+	  resource A[2];
+	  resource B;
+	  class c {
+	    tree {
+	      option { A[0] @ 0; }
+	      one_of A[1..1] @ 0;
+	    }
+	    use B @ 1;
+	  }
+	  operation X class c;
+	}`
+	m, err := Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := m.Class("c")
+	if len(cls.Trees) != 2 {
+		t.Fatalf("trees = %d", len(cls.Trees))
+	}
+	if len(cls.Trees[0].Options) != 2 {
+		t.Fatalf("inline tree options = %d", len(cls.Trees[0].Options))
+	}
+}
+
+func TestValidateDisjointAcrossTimesAllowed(t *testing.T) {
+	// Same resource group at different times from different clauses is OK.
+	src := `machine M {
+	  resource Slot[2];
+	  class c {
+	    one_of Slot[0..1] @ 0;
+	    one_of Slot[0..1] @ 1;
+	  }
+	  operation X class c;
+	}`
+	if _, err := Load("t", src); err != nil {
+		t.Fatalf("slot reuse across cycles rejected: %v", err)
+	}
+}
+
+func TestUsageMultiResourceUse(t *testing.T) {
+	src := `machine M {
+	  resource A; resource B;
+	  class c { use A @ 0, B @ 2; }
+	  operation X class c;
+	}`
+	m, err := Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := m.Class("c")
+	o := cls.Trees[0].Options[0]
+	want := []restable.Usage{{Res: 0, Time: 0}, {Res: 1, Time: 2}}
+	if len(o.Usages) != 2 || o.Usages[0] != want[0] || o.Usages[1] != want[1] {
+		t.Fatalf("usages = %v", o.Usages)
+	}
+}
+
+func TestCombinationsHelper(t *testing.T) {
+	got := combinations([]int{1, 2, 3}, 2)
+	want := [][]int{{1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("combinations = %v", got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("combinations = %v", got)
+		}
+	}
+	if n := len(combinations([]int{1, 2, 3, 4}, 4)); n != 1 {
+		t.Fatalf("C(4,4) = %d", n)
+	}
+}

@@ -1,0 +1,182 @@
+// Package hmdes implements the high-level machine-description language: a
+// small, readable notation in which compiler writers author execution
+// constraints, lowered by this package into the mid-level reservation-table
+// model of internal/restable.
+//
+// The language (one machine per source) looks like:
+//
+//	machine SuperSPARC {
+//	    resource Decoder[3];
+//	    resource M;
+//	    let WB = 1;
+//
+//	    tree AnyDecoder { one_of Decoder[0..2] @ -1; }
+//	    tree TwoPorts   { choose 2 of RP[0..3] @ 0; }
+//
+//	    class load {
+//	        use M @ 0;
+//	        one_of WrPt[0..1] @ WB;
+//	        tree AnyDecoder;          // shared OR-tree reference
+//	    }
+//
+//	    operation LD class load latency 1;
+//	}
+//
+// Each clause of a class contributes one OR-tree to the class's
+// AND/OR-tree; `tree NAME;` references a shared tree (enabling the sharing
+// the paper's Figure 4 shows), and shorthands (`use`, `one_of`, `choose N
+// of`) build anonymous trees in place. Explicit prioritized options are
+// written `option { R @ t; ... }` inside a tree body.
+package hmdes
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // one of { } [ ] ( ) ; , @ = + - * / and ".."
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a source-positioned language error.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// lexer tokenizes MDES source. It is a straightforward hand-rolled scanner;
+// comments run from "//" or "#" to end of line.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return &Error{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.peekByte() != '\n' {
+		l.advance()
+	}
+}
+
+// next returns the next token, or an error for an illegal character.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+		// Reject an identifier glued to a number (e.g. "3x").
+		if l.pos < len(l.src) && isIdentStart(l.peekByte()) {
+			return token{}, l.errorf(line, col, "malformed number %q", l.src[start:l.pos+1])
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c == '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: "..", line: line, col: col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected character %q", c)
+	case strings.ContainsRune("{}[]();,@=+-*/", rune(c)):
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,99 @@
+package hmdes
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer("test.mdes", src)
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex error: %v", err)
+		}
+		if tok.kind == tokEOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, "machine M { resource D[3]; one_of D[0..2] @ -1; }")
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"machine", "M", "{", "resource", "D", "[", "3", "]", ";",
+		"one_of", "D", "[", "0", "..", "2", "]", "@", "-", "1", ";", "}"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, texts[i], want[i], texts)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "a // line comment\nb # hash comment\nc")
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" || toks[2].text != "c" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].line != 2 || toks[2].line != 3 {
+		t.Fatalf("line numbers wrong: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "ab\n  cd")
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Fatalf("first token pos = %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Fatalf("second token pos = %d:%d", toks[1].line, toks[1].col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "3x", "a . b", "!"} {
+		l := newLexer("t", src)
+		var err error
+		for i := 0; i < 10; i++ {
+			var tok token
+			tok, err = l.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("source %q lexed without error", src)
+		}
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	e := &Error{File: "m.mdes", Line: 4, Col: 7, Msg: "boom"}
+	if got := e.Error(); got != "m.mdes:4:7: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	l := newLexer("f.mdes", "ok\n  $")
+	_, err := l.next() // "ok"
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.next()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "f.mdes:2:3") {
+		t.Fatalf("error position wrong: %v", err)
+	}
+}

@@ -1,0 +1,604 @@
+package hmdes
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser with one token of lookahead.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+// Parse parses one machine-description source file.
+func Parse(file, src string) (*File, error) {
+	p := &parser{lex: newLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m, err := p.parseMachine()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after machine block", p.tok)
+	}
+	return &File{Machine: m}, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{File: p.lex.file, Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectIdent consumes and returns an identifier token's text.
+func (p *parser) expectIdent(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected %s, found %s", what, p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// expectKeyword consumes a specific identifier.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+// expectPunct consumes a specific punctuation token.
+func (p *parser) expectPunct(text string) error {
+	if p.tok.kind != tokPunct || p.tok.text != text {
+		return p.errf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) atPunct(text string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == text
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+func (p *parser) parseMachine() (*MachineDecl, error) {
+	line := p.tok.line
+	if err := p.expectKeyword("machine"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("machine name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	m := &MachineDecl{Name: name, Line: line}
+	for !p.atPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated machine block")
+		}
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		m.Decls = append(m.Decls, d)
+	}
+	return m, p.advance() // consume '}'
+}
+
+func (p *parser) parseDecl() (Decl, error) {
+	switch {
+	case p.atKeyword("resource"):
+		return p.parseResource()
+	case p.atKeyword("let"):
+		return p.parseLet()
+	case p.atKeyword("tree"):
+		return p.parseTreeDecl()
+	case p.atKeyword("class"):
+		return p.parseClass()
+	case p.atKeyword("operation"):
+		return p.parseOperation()
+	case p.atKeyword("bypass"):
+		return p.parseBypass()
+	default:
+		return nil, p.errf("expected declaration (resource/let/tree/class/operation), found %s", p.tok)
+	}
+}
+
+func (p *parser) parseResource() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'resource'
+		return nil, err
+	}
+	name, err := p.expectIdent("resource name")
+	if err != nil {
+		return nil, err
+	}
+	d := &ResourceDecl{Name: name, Line: line}
+	if p.atPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		d.Count, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parseLet() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'let'
+		return nil, err
+	}
+	name, err := p.expectIdent("constant name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &LetDecl{Name: name, Val: val, Line: line}, p.expectPunct(";")
+}
+
+func (p *parser) parseTreeDecl() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'tree'
+		return nil, err
+	}
+	name, err := p.expectIdent("tree name")
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseTreeBody()
+	if err != nil {
+		return nil, err
+	}
+	return &TreeDecl{Name: name, Body: body, Line: line}, nil
+}
+
+func (p *parser) parseTreeBody() ([]TreeItem, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var items []TreeItem
+	for !p.atPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated tree body")
+		}
+		item, err := p.parseTreeItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	return items, p.advance() // consume '}'
+}
+
+func (p *parser) parseTreeItem() (TreeItem, error) {
+	switch {
+	case p.atKeyword("option"):
+		return p.parseOptionItem()
+	case p.atKeyword("one_of"):
+		item, err := p.parseOneOf()
+		if err != nil {
+			return nil, err
+		}
+		return item, nil
+	case p.atKeyword("choose"):
+		item, err := p.parseChoose()
+		if err != nil {
+			return nil, err
+		}
+		return item, nil
+	default:
+		return nil, p.errf("expected option/one_of/choose, found %s", p.tok)
+	}
+}
+
+func (p *parser) parseOptionItem() (*OptionItem, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'option'
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	item := &OptionItem{Line: line}
+	for !p.atPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated option block")
+		}
+		u, err := p.parseUsage()
+		if err != nil {
+			return nil, err
+		}
+		item.Usages = append(item.Usages, u)
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	return item, p.advance() // consume '}'
+}
+
+// parseUsage parses `R @ t` or `R[i] @ t`.
+func (p *parser) parseUsage() (UsageExpr, error) {
+	line := p.tok.line
+	ref, err := p.parseResRef()
+	if err != nil {
+		return UsageExpr{}, err
+	}
+	if err := p.expectPunct("@"); err != nil {
+		return UsageExpr{}, err
+	}
+	t, err := p.parseExpr()
+	if err != nil {
+		return UsageExpr{}, err
+	}
+	return UsageExpr{Res: ref, Time: t, Line: line}, nil
+}
+
+func (p *parser) parseResRef() (ResRef, error) {
+	line := p.tok.line
+	name, err := p.expectIdent("resource name")
+	if err != nil {
+		return ResRef{}, err
+	}
+	ref := ResRef{Name: name, Line: line}
+	if p.atPunct("[") {
+		if err := p.advance(); err != nil {
+			return ResRef{}, err
+		}
+		ref.Index, err = p.parseExpr()
+		if err != nil {
+			return ResRef{}, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return ResRef{}, err
+		}
+	}
+	return ref, nil
+}
+
+// parseResRange parses `R`, `R[i]`, or `R[a..b]`.
+func (p *parser) parseResRange() (ResRange, error) {
+	line := p.tok.line
+	name, err := p.expectIdent("resource name")
+	if err != nil {
+		return ResRange{}, err
+	}
+	r := ResRange{Name: name, Line: line}
+	if !p.atPunct("[") {
+		return r, nil
+	}
+	if err := p.advance(); err != nil {
+		return ResRange{}, err
+	}
+	r.Lo, err = p.parseExpr()
+	if err != nil {
+		return ResRange{}, err
+	}
+	if p.atPunct("..") {
+		if err := p.advance(); err != nil {
+			return ResRange{}, err
+		}
+		r.Hi, err = p.parseExpr()
+		if err != nil {
+			return ResRange{}, err
+		}
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return ResRange{}, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseOneOf() (*OneOfItem, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'one_of'
+		return nil, err
+	}
+	rng, err := p.parseResRange()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("@"); err != nil {
+		return nil, err
+	}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &OneOfItem{Range: rng, Time: t, Line: line}, p.expectPunct(";")
+}
+
+func (p *parser) parseChoose() (*ChooseItem, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'choose'
+		return nil, err
+	}
+	k, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("of"); err != nil {
+		return nil, err
+	}
+	rng, err := p.parseResRange()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("@"); err != nil {
+		return nil, err
+	}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ChooseItem{K: k, Range: rng, Time: t, Line: line}, p.expectPunct(";")
+}
+
+func (p *parser) parseClass() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'class'
+		return nil, err
+	}
+	name, err := p.expectIdent("class name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{Name: name, Line: line}
+	for !p.atPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated class block")
+		}
+		cl, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		c.Clauses = append(c.Clauses, cl)
+	}
+	return c, p.advance() // consume '}'
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	switch {
+	case p.atKeyword("tree"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atPunct("{") { // anonymous inline tree
+			body, err := p.parseTreeBody()
+			if err != nil {
+				return nil, err
+			}
+			return &InlineTreeClause{Body: body, Line: line}, nil
+		}
+		name, err := p.expectIdent("tree name")
+		if err != nil {
+			return nil, err
+		}
+		return &TreeRefClause{Name: name, Line: line}, p.expectPunct(";")
+	case p.atKeyword("use"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cl := &UseClause{Line: line}
+		for {
+			u, err := p.parseUsage()
+			if err != nil {
+				return nil, err
+			}
+			cl.Usages = append(cl.Usages, u)
+			if !p.atPunct(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return cl, p.expectPunct(";")
+	case p.atKeyword("one_of"):
+		item, err := p.parseOneOf()
+		if err != nil {
+			return nil, err
+		}
+		return &OneOfClause{Item: *item}, nil
+	case p.atKeyword("choose"):
+		item, err := p.parseChoose()
+		if err != nil {
+			return nil, err
+		}
+		return &ChooseClause{Item: *item}, nil
+	default:
+		return nil, p.errf("expected clause (tree/use/one_of/choose), found %s", p.tok)
+	}
+}
+
+func (p *parser) parseOperation() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'operation'
+		return nil, err
+	}
+	name, err := p.expectIdent("operation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("class"); err != nil {
+		return nil, err
+	}
+	class, err := p.expectIdent("class name")
+	if err != nil {
+		return nil, err
+	}
+	op := &OperationDecl{Name: name, Class: class, Line: line}
+	if p.atKeyword("cascaded") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		op.Cascaded, err = p.expectIdent("cascaded class name")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("latency") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		op.Latency, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("src") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		op.SrcTime, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return op, p.expectPunct(";")
+}
+
+// parseBypass parses `bypass FROM to TO adjust N;`.
+func (p *parser) parseBypass() (Decl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // 'bypass'
+		return nil, err
+	}
+	from, err := p.expectIdent("producer operation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("to"); err != nil {
+		return nil, err
+	}
+	to, err := p.expectIdent("consumer operation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("adjust"); err != nil {
+		return nil, err
+	}
+	adj, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &BypassDecl{From: from, To: to, Adjust: adj, Line: line}, p.expectPunct(";")
+}
+
+// Expression parsing: precedence climbing with two levels (+- then */) and
+// unary minus.
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseAdditive()
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.tok.text[0]
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") {
+		op := p.tok.text[0]
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atPunct("-") {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e, Line: line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokInt:
+		v, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, p.errf("invalid integer %q", p.tok.text)
+		}
+		e := &IntLit{Val: v, Line: p.tok.line}
+		return e, p.advance()
+	case p.tok.kind == tokIdent:
+		e := &ConstRef{Name: p.tok.text, Line: p.tok.line}
+		return e, p.advance()
+	case p.atPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, p.errf("expected expression, found %s", p.tok)
+	}
+}

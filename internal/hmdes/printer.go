@@ -1,0 +1,126 @@
+package hmdes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdes/internal/restable"
+)
+
+// Format renders an analyzed Machine back into high-level MDES source, in
+// canonical form: shorthands and constants were expanded by analysis, so
+// every tree is emitted as explicit prioritized options. The output parses
+// back (Load) into a structurally equivalent machine — the round-trip
+// property test in printer_test.go checks resources, sharing, expanded
+// constraints, and the operation table. mdc -emit uses this to export
+// canonicalized descriptions.
+func Format(m *Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s {\n", m.Name)
+
+	// Resources, grouped, in ID order.
+	emitted := map[string]bool{}
+	for id := 0; id < m.Resources.Len(); id++ {
+		g := m.Resources.Group(id)
+		if emitted[g] {
+			continue
+		}
+		emitted[g] = true
+		n := len(m.Resources.GroupMembers(g))
+		if n == 1 && m.Resources.Name(id) == g {
+			fmt.Fprintf(&b, "    resource %s;\n", g)
+		} else {
+			fmt.Fprintf(&b, "    resource %s[%d];\n", g, n)
+		}
+	}
+	b.WriteByte('\n')
+
+	// Shared named trees.
+	for _, tname := range m.TreeNames {
+		fmt.Fprintf(&b, "    tree %s {\n", tname)
+		writeOptions(&b, m, m.Trees[tname], "        ")
+		fmt.Fprintf(&b, "    }\n")
+	}
+	if len(m.TreeNames) > 0 {
+		b.WriteByte('\n')
+	}
+
+	// Classes: reference shared trees by name, inline everything else.
+	shared := map[*restable.ORTree]string{}
+	for _, tname := range m.TreeNames {
+		shared[m.Trees[tname]] = tname
+	}
+	for _, cname := range m.ClassNames {
+		fmt.Fprintf(&b, "    class %s {\n", cname)
+		for _, tree := range m.Classes[cname].Trees {
+			if name, ok := shared[tree]; ok {
+				fmt.Fprintf(&b, "        tree %s;\n", name)
+				continue
+			}
+			fmt.Fprintf(&b, "        tree {\n")
+			writeOptions(&b, m, tree, "            ")
+			fmt.Fprintf(&b, "        }\n")
+		}
+		fmt.Fprintf(&b, "    }\n")
+	}
+	b.WriteByte('\n')
+
+	// Operations.
+	for _, oname := range m.OpNames {
+		op := m.Operations[oname]
+		fmt.Fprintf(&b, "    operation %s class %s", oname, op.Class)
+		if op.Cascaded != "" {
+			fmt.Fprintf(&b, " cascaded %s", op.Cascaded)
+		}
+		fmt.Fprintf(&b, " latency %d", op.Latency)
+		if op.SrcTime != 0 {
+			fmt.Fprintf(&b, " src %d", op.SrcTime)
+		}
+		fmt.Fprintf(&b, ";\n")
+	}
+
+	// Bypasses, in deterministic order.
+	var keys [][2]string
+	for k := range m.Bypasses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "    bypass %s to %s adjust %d;\n", k[0], k[1], m.Bypasses[k])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeOptions(b *strings.Builder, m *Machine, tree *restable.ORTree, indent string) {
+	for _, o := range tree.Options {
+		fmt.Fprintf(b, "%soption {", indent)
+		for _, u := range o.Usages {
+			fmt.Fprintf(b, " %s @ %d;", resRefName(m, u.Res), u.Time)
+		}
+		fmt.Fprintf(b, " }\n")
+	}
+}
+
+// resRefName renders a resource ID as a source-level reference: the plain
+// name for singletons, Name[i] for group members.
+func resRefName(m *Machine, id int) string {
+	g := m.Resources.Group(id)
+	members := m.Resources.GroupMembers(g)
+	if len(members) == 1 && m.Resources.Name(id) == g {
+		return g
+	}
+	sort.Ints(members)
+	for i, mid := range members {
+		if mid == id {
+			return fmt.Sprintf("%s[%d]", g, i)
+		}
+	}
+	return m.Resources.Name(id) // unreachable for well-formed machines
+}

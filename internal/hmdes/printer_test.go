@@ -1,0 +1,103 @@
+package hmdes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// expandKey canonicalizes a class's expanded constraint for comparison.
+func expandKey(m *Machine, class string) string {
+	tree := m.Classes[class].Expand()
+	var parts []string
+	for _, o := range tree.Options {
+		var us []string
+		for _, u := range o.Usages {
+			us = append(us, fmt.Sprintf("%s@%d", m.Resources.Name(u.Res), u.Time))
+		}
+		parts = append(parts, strings.Join(us, ","))
+	}
+	return strings.Join(parts, "|")
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := loadMini(t)
+	src := Format(orig)
+	back, err := Load("roundtrip.mdes", src)
+	if err != nil {
+		t.Fatalf("formatted source failed to parse: %v\n%s", err, src)
+	}
+	if back.Name != orig.Name {
+		t.Fatalf("name %q != %q", back.Name, orig.Name)
+	}
+	if back.Resources.Len() != orig.Resources.Len() {
+		t.Fatalf("resources %d != %d", back.Resources.Len(), orig.Resources.Len())
+	}
+	for i := 0; i < orig.Resources.Len(); i++ {
+		if back.Resources.Name(i) != orig.Resources.Name(i) {
+			t.Fatalf("resource %d: %q != %q", i, back.Resources.Name(i), orig.Resources.Name(i))
+		}
+	}
+	if len(back.ClassNames) != len(orig.ClassNames) {
+		t.Fatalf("classes %v != %v", back.ClassNames, orig.ClassNames)
+	}
+	for _, c := range orig.ClassNames {
+		if expandKey(back, c) != expandKey(orig, c) {
+			t.Fatalf("class %s constraint changed:\n%s\nvs\n%s", c, expandKey(back, c), expandKey(orig, c))
+		}
+	}
+	for _, o := range orig.OpNames {
+		a, b := orig.Operations[o], back.Operations[o]
+		if b == nil || a.Class != b.Class || a.Cascaded != b.Cascaded || a.Latency != b.Latency {
+			t.Fatalf("operation %s changed: %+v vs %+v", o, a, b)
+		}
+	}
+}
+
+func TestFormatPreservesSharing(t *testing.T) {
+	orig := loadMini(t)
+	back, err := Load("roundtrip.mdes", Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AnyDecoder must still be one shared tree referenced by load and ialu2.
+	load := back.Classes["load"]
+	ialu2 := back.Classes["ialu2"]
+	sharedFound := false
+	for _, t1 := range load.Trees {
+		for _, t2 := range ialu2.Trees {
+			if t1 == t2 {
+				sharedFound = true
+			}
+		}
+	}
+	if !sharedFound {
+		t.Fatalf("sharing lost in round trip")
+	}
+}
+
+func TestFormatSingletonResource(t *testing.T) {
+	src := `machine S {
+	  resource M;
+	  resource D[2];
+	  class c { use M @ 0; one_of D[0..1] @ 1; }
+	  operation X class c latency 2;
+	}`
+	m, err := Load("s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(m)
+	if !strings.Contains(out, "resource M;") {
+		t.Fatalf("singleton not plain:\n%s", out)
+	}
+	if !strings.Contains(out, "resource D[2];") {
+		t.Fatalf("group not sized:\n%s", out)
+	}
+	if !strings.Contains(out, "latency 2;") {
+		t.Fatalf("latency lost:\n%s", out)
+	}
+	if _, err := Load("s2", out); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package hmdes
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Fuzz-style robustness: random mutations of a valid source must never
+// panic — every outcome is either a parsed machine or a positioned error.
+func TestParserRobustToMutations(t *testing.T) {
+	base := miniSPARC
+	r := rand.New(rand.NewSource(1234))
+	mutants := 0
+	for i := 0; i < 500; i++ {
+		b := []byte(base)
+		// Apply 1-3 random byte mutations.
+		for k := 0; k < 1+r.Intn(3); k++ {
+			pos := r.Intn(len(b))
+			switch r.Intn(3) {
+			case 0:
+				b[pos] = byte(32 + r.Intn(95)) // replace with printable
+			case 1:
+				b = append(b[:pos], b[pos+1:]...) // delete
+			case 2:
+				b = append(b[:pos], append([]byte{byte(32 + r.Intn(95))}, b[pos:]...)...) // insert
+			}
+		}
+		mutants++
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutant %d: %v\n%s", i, p, b)
+				}
+			}()
+			m, err := Load("mutant.mdes", string(b))
+			if err != nil {
+				var perr *Error
+				if !errorsAs(err, &perr) {
+					t.Fatalf("mutant %d: error without position: %v", i, err)
+				}
+				if perr.Line < 1 || perr.Col < 1 {
+					t.Fatalf("mutant %d: bad position %d:%d", i, perr.Line, perr.Col)
+				}
+				return
+			}
+			// Parsed mutants must still be internally consistent.
+			if m.Name == "" || len(m.Operations) == 0 {
+				t.Fatalf("mutant %d: malformed machine accepted", i)
+			}
+		}()
+	}
+	if mutants != 500 {
+		t.Fatalf("ran %d mutants", mutants)
+	}
+}
+
+// errorsAs is a minimal errors.As for *Error without importing errors'
+// reflective machinery into the hot path.
+func errorsAs(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Truncations at every byte boundary must error cleanly, never hang or
+// panic.
+func TestParserRobustToTruncation(t *testing.T) {
+	src := miniSPARC
+	step := len(src)/200 + 1
+	for cut := 0; cut < len(src); cut += step {
+		if _, err := Load("trunc.mdes", src[:cut]); err == nil && cut < len(src)-2 {
+			// Only a fully-formed prefix could legitimately parse; the
+			// miniSPARC source has no complete machine until its final
+			// brace.
+			if strings.TrimSpace(src[cut:]) != "" {
+				t.Fatalf("truncation at %d parsed successfully", cut)
+			}
+		}
+	}
+}

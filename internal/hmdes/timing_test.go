@@ -1,0 +1,126 @@
+package hmdes
+
+import (
+	"strings"
+	"testing"
+)
+
+const timingSrc = `
+machine T {
+    resource U;
+    class c { use U @ 0; }
+    operation MUL class c latency 3;
+    operation MAC class c latency 3 src 1;
+    operation ADD class c latency 1;
+    bypass MUL to MAC adjust -1;
+}
+`
+
+func TestSrcTimeAndBypassParsed(t *testing.T) {
+	m, err := Load("t", timingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Operations["MAC"].SrcTime != 1 {
+		t.Fatalf("MAC SrcTime = %d", m.Operations["MAC"].SrcTime)
+	}
+	if m.Operations["MUL"].SrcTime != 0 {
+		t.Fatalf("MUL SrcTime = %d", m.Operations["MUL"].SrcTime)
+	}
+	if got := m.Bypasses[[2]string{"MUL", "MAC"}]; got != -1 {
+		t.Fatalf("bypass adjust = %d", got)
+	}
+}
+
+func TestFlowDistance(t *testing.T) {
+	m, err := Load("t", timingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MUL -> ADD: plain latency 3.
+	if got := m.FlowDistance("MUL", "ADD"); got != 3 {
+		t.Fatalf("MUL->ADD = %d", got)
+	}
+	// MUL -> MAC: latency 3, MAC samples at 1, bypass -1 => 1.
+	if got := m.FlowDistance("MUL", "MAC"); got != 1 {
+		t.Fatalf("MUL->MAC = %d", got)
+	}
+	// ADD -> MAC: latency 1, src 1, no bypass => 0 (same cycle legal).
+	if got := m.FlowDistance("ADD", "MAC"); got != 0 {
+		t.Fatalf("ADD->MAC = %d", got)
+	}
+	// Unknown producer defaults to 1.
+	if got := m.FlowDistance("NOPE", "ADD"); got != 1 {
+		t.Fatalf("unknown producer = %d", got)
+	}
+	// Never negative.
+	src := `machine N { resource U; class c { use U @ 0; }
+	  operation A class c latency 1;
+	  operation B class c latency 1 src 1;
+	  bypass A to B adjust -5;
+	}`
+	n, err := Load("n", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.FlowDistance("A", "B"); got != 0 {
+		t.Fatalf("clamped distance = %d", got)
+	}
+}
+
+func TestTimingErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"neg src", `machine M { resource U; class c { use U @ 0; } operation X class c latency 1 src -1; }`, "src time"},
+		{"src > latency", `machine M { resource U; class c { use U @ 0; } operation X class c latency 1 src 2; }`, "exceeds latency"},
+		{"bypass unknown from", `machine M { resource U; class c { use U @ 0; } operation X class c; bypass Y to X adjust -1; }`, "undefined operation"},
+		{"bypass unknown to", `machine M { resource U; class c { use U @ 0; } operation X class c; bypass X to Y adjust -1; }`, "undefined operation"},
+		{"dup bypass", `machine M { resource U; class c { use U @ 0; } operation X class c; bypass X to X adjust -1; bypass X to X adjust -2; }`, "duplicate bypass"},
+		{"bypass missing to", `machine M { resource U; class c { use U @ 0; } operation X class c; bypass X X adjust -1; }`, `expected "to"`},
+		{"bypass missing adjust", `machine M { resource U; class c { use U @ 0; } operation X class c; bypass X to X -1; }`, `expected "adjust"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load("t", c.src)
+			if err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %v does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestBypassBeforeOperationsAllowed(t *testing.T) {
+	src := `machine M {
+	  resource U;
+	  class c { use U @ 0; }
+	  bypass X to X adjust -1;
+	  operation X class c latency 2;
+	}`
+	m, err := Load("t", src)
+	if err != nil {
+		t.Fatalf("forward bypass reference rejected: %v", err)
+	}
+	if m.FlowDistance("X", "X") != 1 {
+		t.Fatalf("self bypass distance = %d", m.FlowDistance("X", "X"))
+	}
+}
+
+func TestTimingRoundTrip(t *testing.T) {
+	m, err := Load("t", timingSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(m)
+	if !strings.Contains(out, "src 1") || !strings.Contains(out, "bypass MUL to MAC adjust -1;") {
+		t.Fatalf("format lost timing:\n%s", out)
+	}
+	back, err := Load("rt", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Operations["MAC"].SrcTime != 1 {
+		t.Fatalf("round trip lost SrcTime")
+	}
+	if back.Bypasses[[2]string{"MUL", "MAC"}] != -1 {
+		t.Fatalf("round trip lost bypass")
+	}
+}

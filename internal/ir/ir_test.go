@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"testing"
+)
+
+func lat1(string) int { return 1 }
+
+func op(opcode string, dests, srcs []int) *Operation {
+	return &Operation{Opcode: opcode, Dests: dests, Srcs: srcs}
+}
+
+func TestFlowDependence(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{1}),
+	}}
+	g := BuildGraph(b, func(string) int { return 3 })
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Succs[0]) != 1 {
+		t.Fatalf("edges from op0 = %v", g.Succs[0])
+	}
+	e := g.Succs[0][0]
+	if e.Kind != DepFlow || e.MinDist != 3 || e.To != 1 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if len(g.Preds[1]) != 1 {
+		t.Fatalf("preds of op1 = %v", g.Preds[1])
+	}
+}
+
+func TestCascadedFlowDistanceZero(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}),
+		{Opcode: "ADD", Dests: []int{2}, Srcs: []int{1}, Cascaded: true},
+	}}
+	g := BuildGraph(b, lat1)
+	if g.Succs[0][0].MinDist != 0 {
+		t.Fatalf("cascaded consumer distance = %d, want 0", g.Succs[0][0].MinDist)
+	}
+}
+
+func TestAntiAndOutputDependences(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}), // writes r1
+		op("ADD", []int{2}, []int{1}), // reads r1
+		op("ADD", []int{1}, []int{3}), // rewrites r1: anti from op1, output from op0
+	}}
+	g := BuildGraph(b, lat1)
+	var anti, output bool
+	for _, e := range g.Preds[2] {
+		if e.Kind == DepAnti && e.From == 1 && e.MinDist == 0 {
+			anti = true
+		}
+		if e.Kind == DepOutput && e.From == 0 && e.MinDist == 1 {
+			output = true
+		}
+	}
+	if !anti || !output {
+		t.Fatalf("preds of op2 = %v", g.Preds[2])
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		{Opcode: "LD", Dests: []int{1}, Srcs: []int{0}, Mem: MemLoad},
+		{Opcode: "ST", Srcs: []int{1, 2}, Mem: MemStore},
+		{Opcode: "LD", Dests: []int{3}, Srcs: []int{0}, Mem: MemLoad},
+		{Opcode: "ST", Srcs: []int{3, 4}, Mem: MemStore},
+	}}
+	g := BuildGraph(b, lat1)
+	find := func(from, to int, kind DepKind) *Edge {
+		for _, e := range g.Succs[from] {
+			if e.To == to && e.Kind == kind {
+				return &e
+			}
+		}
+		return nil
+	}
+	if e := find(0, 1, DepMem); e == nil || e.MinDist != 0 {
+		t.Fatalf("load->store edge missing/wrong: %v", g.Succs[0])
+	}
+	if e := find(1, 2, DepMem); e == nil || e.MinDist != 1 {
+		t.Fatalf("store->load edge missing/wrong: %v", g.Succs[1])
+	}
+	if e := find(1, 3, DepMem); e == nil || e.MinDist != 1 {
+		t.Fatalf("store->store edge missing: %v", g.Succs[1])
+	}
+}
+
+func TestBranchControlEdges(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{0}),
+		{Opcode: "BR", Branch: true},
+	}}
+	g := BuildGraph(b, lat1)
+	if len(g.Preds[2]) != 2 {
+		t.Fatalf("branch preds = %v", g.Preds[2])
+	}
+	for _, e := range g.Preds[2] {
+		if e.Kind != DepControl || e.MinDist != 0 {
+			t.Fatalf("control edge = %+v", e)
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	// Chain: op0 -(2)-> op1 -(1)-> op2, latencies 2,1,1.
+	latency := func(opc string) int {
+		if opc == "MUL" {
+			return 2
+		}
+		return 1
+	}
+	b := &Block{Ops: []*Operation{
+		op("MUL", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{1}),
+		op("ADD", []int{3}, []int{2}),
+	}}
+	g := BuildGraph(b, latency)
+	h := g.Height(latency)
+	// h[2]=1, h[1]=1+1=2, h[0]=2+2=4.
+	if h[0] != 4 || h[1] != 2 || h[2] != 1 {
+		t.Fatalf("heights = %v", h)
+	}
+}
+
+func TestHeightIndependentOps(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{0}),
+	}}
+	g := BuildGraph(b, lat1)
+	h := g.Height(lat1)
+	if h[0] != 1 || h[1] != 1 {
+		t.Fatalf("heights = %v", h)
+	}
+	if len(g.Succs[0]) != 0 {
+		t.Fatalf("independent readers got edges: %v", g.Succs[0])
+	}
+}
+
+func TestCheckSchedule(t *testing.T) {
+	b := &Block{Ops: []*Operation{
+		op("ADD", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{1}),
+	}}
+	g := BuildGraph(b, lat1)
+	if err := g.CheckSchedule([]int{0, 1}); err != nil {
+		t.Fatalf("legal schedule rejected: %v", err)
+	}
+	if err := g.CheckSchedule([]int{0, 0}); err == nil {
+		t.Fatalf("illegal schedule accepted")
+	}
+	if err := g.CheckSchedule([]int{0}); err == nil {
+		t.Fatalf("short schedule accepted")
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	b := &Block{Ops: []*Operation{op("A", nil, nil), op("B", nil, nil)}}
+	b.Ops[0].ID = 99
+	b.Renumber()
+	if b.Ops[0].ID != 0 || b.Ops[1].ID != 1 {
+		t.Fatalf("IDs = %d, %d", b.Ops[0].ID, b.Ops[1].ID)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	o := op("ADD", []int{1}, []int{2, 3})
+	if o.String() == "" {
+		t.Fatalf("empty op string")
+	}
+	kinds := []DepKind{DepFlow, DepAnti, DepOutput, DepMem, DepControl, DepKind(9)}
+	want := []string{"flow", "anti", "output", "mem", "control", "?"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Fatalf("DepKind(%d).String() = %q", k, k.String())
+		}
+	}
+}

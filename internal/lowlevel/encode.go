@@ -1,0 +1,329 @@
+package lowlevel
+
+// Binary serialization of the compiled MDES. The paper's low-level
+// representation is designed so "the common information to be shared is
+// entirely specified by the external MDES representation, in order to
+// minimize the time required to load the MDES into memory" (§4): this
+// format preserves pooling exactly — shared options and trees are written
+// once and referenced by index — so loading rebuilds the same object graph
+// without re-running any sharing analysis.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// encodeMagic identifies the format; the version byte guards layout
+// changes.
+var encodeMagic = [4]byte{'M', 'D', 'E', 'S'}
+
+const encodeVersion = 2
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *writer) bool(b bool) {
+	v := uint64(0)
+	if b {
+		v = 1
+	}
+	w.uvarint(v)
+}
+
+// Encode serializes the MDES in the compact binary format.
+func (m *MDES) Encode(dst io.Writer) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	if _, err := w.w.Write(encodeMagic[:]); err != nil {
+		return err
+	}
+	w.uvarint(encodeVersion)
+	w.str(m.MachineName)
+	w.uvarint(uint64(m.Form))
+	w.bool(m.Packed)
+	w.uvarint(uint64(m.NumResources))
+	w.uvarint(uint64(len(m.ResourceNames)))
+	for _, n := range m.ResourceNames {
+		w.str(n)
+	}
+
+	// Options, pool order; IDs are implicit.
+	w.uvarint(uint64(len(m.Options)))
+	for _, o := range m.Options {
+		w.uvarint(uint64(len(o.Usages)))
+		for _, u := range o.Usages {
+			w.varint(int64(u.Time))
+			w.varint(int64(u.Res))
+		}
+		if o.Masks == nil {
+			w.bool(false)
+		} else {
+			w.bool(true)
+			w.uvarint(uint64(len(o.Masks)))
+			for _, cm := range o.Masks {
+				w.varint(int64(cm.Time))
+				w.varint(int64(cm.Word))
+				w.uvarint(cm.Mask)
+			}
+		}
+	}
+
+	// Trees reference options by pool index.
+	optIdx := map[*Option]int{}
+	for i, o := range m.Options {
+		optIdx[o] = i
+	}
+	w.uvarint(uint64(len(m.Trees)))
+	for _, t := range m.Trees {
+		w.str(t.Name)
+		w.uvarint(uint64(t.SharedBy))
+		w.uvarint(uint64(len(t.Options)))
+		for _, o := range t.Options {
+			idx, ok := optIdx[o]
+			if !ok {
+				return fmt.Errorf("lowlevel: encode: tree %q references unpooled option", t.Name)
+			}
+			w.uvarint(uint64(idx))
+		}
+	}
+
+	// Constraints reference trees by pool index.
+	treeIdx := map[*Tree]int{}
+	for i, t := range m.Trees {
+		treeIdx[t] = i
+	}
+	w.uvarint(uint64(len(m.Constraints)))
+	for _, c := range m.Constraints {
+		w.str(c.Name)
+		w.uvarint(uint64(len(c.Trees)))
+		for _, t := range c.Trees {
+			idx, ok := treeIdx[t]
+			if !ok {
+				return fmt.Errorf("lowlevel: encode: constraint %q references unpooled tree", c.Name)
+			}
+			w.uvarint(uint64(idx))
+		}
+	}
+
+	// Operations.
+	w.uvarint(uint64(len(m.Operations)))
+	for _, op := range m.Operations {
+		w.str(op.Name)
+		w.varint(int64(op.Constraint))
+		w.varint(int64(op.Cascaded))
+		w.varint(int64(op.Latency))
+		w.varint(int64(op.SrcTime))
+	}
+
+	// Bypass table.
+	w.uvarint(uint64(len(m.Bypasses)))
+	keys := make([][2]int, 0, len(m.Bypasses))
+	for k := range m.Bypasses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		w.varint(int64(k[0]))
+		w.varint(int64(k[1]))
+		w.varint(int64(m.Bypasses[k]))
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	r.err = err
+	return v
+}
+
+func (r *reader) count(what string, limit uint64) int {
+	v := r.uvarint()
+	if r.err == nil && v > limit {
+		r.err = fmt.Errorf("lowlevel: decode: implausible %s count %d", what, v)
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.count("string", 1<<20)
+	if r.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, buf)
+	return string(buf)
+}
+
+func (r *reader) bool() bool {
+	return r.uvarint() != 0
+}
+
+// Decode deserializes a compiled MDES written by Encode.
+func Decode(src io.Reader) (*MDES, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	var magic [4]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != encodeMagic {
+		return nil, fmt.Errorf("lowlevel: decode: bad magic %q", magic)
+	}
+	if v := r.uvarint(); r.err == nil && v != encodeVersion {
+		return nil, fmt.Errorf("lowlevel: decode: unsupported version %d", v)
+	}
+	m := &MDES{
+		MachineName: r.str(),
+		Form:        Form(r.uvarint()),
+		ClassIndex:  map[string]int{},
+		OpIndex:     map[string]int{},
+	}
+	m.Packed = r.bool()
+	m.NumResources = int(r.uvarint())
+	nNames := r.count("resource-name", 1<<16)
+	for i := 0; i < nNames && r.err == nil; i++ {
+		m.ResourceNames = append(m.ResourceNames, r.str())
+	}
+
+	nOpts := r.count("option", 1<<24)
+	for i := 0; i < nOpts && r.err == nil; i++ {
+		o := &Option{ID: i}
+		nU := r.count("usage", 1<<16)
+		for j := 0; j < nU && r.err == nil; j++ {
+			o.Usages = append(o.Usages, Usage{Time: int32(r.varint()), Res: int32(r.varint())})
+		}
+		if r.bool() {
+			nM := r.count("mask", 1<<16)
+			o.Masks = []CycleMask{}
+			for j := 0; j < nM && r.err == nil; j++ {
+				o.Masks = append(o.Masks, CycleMask{
+					Time: int32(r.varint()), Word: int32(r.varint()), Mask: r.uvarint(),
+				})
+			}
+		}
+		m.Options = append(m.Options, o)
+	}
+
+	nTrees := r.count("tree", 1<<24)
+	for i := 0; i < nTrees && r.err == nil; i++ {
+		t := &Tree{ID: i, Name: r.str(), SharedBy: int(r.uvarint())}
+		nO := r.count("tree-option", 1<<24)
+		for j := 0; j < nO && r.err == nil; j++ {
+			idx := int(r.uvarint())
+			if r.err == nil && (idx < 0 || idx >= len(m.Options)) {
+				return nil, fmt.Errorf("lowlevel: decode: option index %d out of range", idx)
+			}
+			if r.err == nil {
+				t.Options = append(t.Options, m.Options[idx])
+			}
+		}
+		m.Trees = append(m.Trees, t)
+	}
+
+	nCons := r.count("constraint", 1<<20)
+	for i := 0; i < nCons && r.err == nil; i++ {
+		c := &Constraint{Name: r.str()}
+		nT := r.count("constraint-tree", 1<<16)
+		for j := 0; j < nT && r.err == nil; j++ {
+			idx := int(r.uvarint())
+			if r.err == nil && (idx < 0 || idx >= len(m.Trees)) {
+				return nil, fmt.Errorf("lowlevel: decode: tree index %d out of range", idx)
+			}
+			if r.err == nil {
+				c.Trees = append(c.Trees, m.Trees[idx])
+			}
+		}
+		if r.err == nil {
+			m.ClassIndex[c.Name] = len(m.Constraints)
+			m.Constraints = append(m.Constraints, c)
+		}
+	}
+
+	nOps := r.count("operation", 1<<20)
+	for i := 0; i < nOps && r.err == nil; i++ {
+		op := &Operation{
+			Name:       r.str(),
+			Constraint: int(r.varint()),
+			Cascaded:   int(r.varint()),
+			Latency:    int(r.varint()),
+			SrcTime:    int(r.varint()),
+		}
+		if r.err == nil {
+			m.OpIndex[op.Name] = len(m.Operations)
+			m.Operations = append(m.Operations, op)
+		}
+	}
+	nByp := r.count("bypass", 1<<20)
+	m.Bypasses = map[[2]int]int{}
+	for i := 0; i < nByp && r.err == nil; i++ {
+		from := int(r.varint())
+		to := int(r.varint())
+		adj := int(r.varint())
+		if r.err == nil {
+			if from < 0 || from >= len(m.Operations) || to < 0 || to >= len(m.Operations) {
+				return nil, fmt.Errorf("lowlevel: decode: bypass index out of range")
+			}
+			m.Bypasses[[2]int{from, to}] = adj
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("lowlevel: decode: %w", err)
+	}
+	return m, nil
+}

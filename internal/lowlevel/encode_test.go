@@ -1,0 +1,195 @@
+package lowlevel
+
+import (
+	"bytes"
+	"testing"
+
+	"mdes/internal/hmdes"
+)
+
+func roundTrip(t *testing.T, m *MDES) *MDES {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestEncodeRoundTripBasics(t *testing.T) {
+	m := Compile(loadMini(t), FormAndOr)
+	back := roundTrip(t, m)
+	if back.MachineName != m.MachineName || back.Form != m.Form || back.Packed != m.Packed {
+		t.Fatalf("header changed: %+v", back)
+	}
+	if back.NumResources != m.NumResources || len(back.ResourceNames) != len(m.ResourceNames) {
+		t.Fatalf("resources changed")
+	}
+	if len(back.Options) != len(m.Options) || len(back.Trees) != len(m.Trees) {
+		t.Fatalf("pool sizes changed: %d/%d vs %d/%d",
+			len(back.Options), len(back.Trees), len(m.Options), len(m.Trees))
+	}
+	if back.Size() != m.Size() {
+		t.Fatalf("Size changed: %+v vs %+v", back.Size(), m.Size())
+	}
+}
+
+func TestEncodePreservesSharing(t *testing.T) {
+	m := Compile(loadMini(t), FormAndOr)
+	back := roundTrip(t, m)
+	load := back.Constraints[back.ClassIndex["load"]]
+	ialu := back.Constraints[back.ClassIndex["ialu1"]]
+	if load.Trees[2] != ialu.Trees[3] {
+		t.Fatalf("tree sharing lost in serialization")
+	}
+	if load.Trees[2].SharedBy != 2 {
+		t.Fatalf("SharedBy lost: %d", load.Trees[2].SharedBy)
+	}
+}
+
+func TestEncodePreservesUsagesAndOperations(t *testing.T) {
+	m := Compile(loadMini(t), FormOR)
+	back := roundTrip(t, m)
+	for i, o := range m.Options {
+		bo := back.Options[i]
+		if len(bo.Usages) != len(o.Usages) {
+			t.Fatalf("option %d usages changed", i)
+		}
+		for j := range o.Usages {
+			if bo.Usages[j] != o.Usages[j] {
+				t.Fatalf("option %d usage %d changed", i, j)
+			}
+		}
+	}
+	for i, op := range m.Operations {
+		if *back.Operations[i] != *op {
+			t.Fatalf("operation %d changed: %+v vs %+v", i, back.Operations[i], op)
+		}
+	}
+}
+
+func TestEncodePackedMasks(t *testing.T) {
+	m := Compile(loadMini(t), FormAndOr)
+	// Pack by hand to avoid an import cycle with opt.
+	for _, o := range m.Options {
+		for _, u := range o.Usages {
+			o.Masks = append(o.Masks, CycleMask{Time: u.Time, Word: u.Res / 64, Mask: 1 << uint(u.Res%64)})
+		}
+	}
+	m.Packed = true
+	back := roundTrip(t, m)
+	if !back.Packed {
+		t.Fatalf("Packed flag lost")
+	}
+	for i, o := range m.Options {
+		bo := back.Options[i]
+		if len(bo.Masks) != len(o.Masks) {
+			t.Fatalf("option %d masks changed", i)
+		}
+		for j := range o.Masks {
+			if bo.Masks[j] != o.Masks[j] {
+				t.Fatalf("option %d mask %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not an mdes file"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	// Right magic, wrong version.
+	if _, err := Decode(bytes.NewReader([]byte{'M', 'D', 'E', 'S', 99})); err == nil {
+		t.Fatalf("bad version accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := Compile(loadMini(t), FormAndOr)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeValidates(t *testing.T) {
+	// Corrupt an option index inside a valid stream: flip bytes near the
+	// end and require an error (either decode or validation).
+	m := Compile(loadMini(t), FormAndOr)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	corrupted := 0
+	for i := len(data) / 2; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := Decode(bytes.NewReader(mut)); err != nil {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatalf("no corruption detected across mutations")
+	}
+}
+
+func TestEncodeCustomSource(t *testing.T) {
+	src := `machine Z {
+	  resource A[3];
+	  class c { one_of A[0..2] @ -1; }
+	  operation X class c latency 4;
+	}`
+	mach, err := hmdes.Load("z", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(mach, FormOR)
+	back := roundTrip(t, m)
+	if back.Operations[0].Latency != 4 {
+		t.Fatalf("latency lost")
+	}
+	if back.Options[0].Usages[0].Time != -1 {
+		t.Fatalf("negative time lost: %+v", back.Options[0].Usages[0])
+	}
+}
+
+func TestEncodeBypassesAndSrcTime(t *testing.T) {
+	src := `machine T {
+	  resource U;
+	  class c { use U @ 0; }
+	  operation MUL class c latency 3;
+	  operation MAC class c latency 3 src 1;
+	  bypass MUL to MAC adjust -1;
+	}`
+	mach, err := hmdes.Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(mach, FormAndOr)
+	back := roundTrip(t, m)
+	mac := back.Operations[back.OpIndex["MAC"]]
+	if mac.SrcTime != 1 {
+		t.Fatalf("SrcTime lost: %+v", mac)
+	}
+	mul := back.OpIndex["MUL"]
+	if got := back.FlowDistance(mul, back.OpIndex["MAC"]); got != 1 {
+		t.Fatalf("decoded FlowDistance = %d, want 1", got)
+	}
+	if got := back.FlowDistance(mul, mul); got != 3 {
+		t.Fatalf("decoded MUL->MUL = %d, want 3", got)
+	}
+}

@@ -1,0 +1,250 @@
+package lowlevel
+
+import (
+	"testing"
+
+	"mdes/internal/hmdes"
+)
+
+const miniSrc = `
+machine Mini {
+    resource Decoder[3];
+    resource M;
+    resource WrPt[2];
+    resource IALU[2];
+    resource RP[4];
+
+    tree AnyDecoder { one_of Decoder[0..2] @ -1; }
+    tree AnyWrPt    { one_of WrPt @ 1; }
+
+    class load {
+        use M @ 0;
+        tree AnyWrPt;
+        tree AnyDecoder;
+    }
+    class ialu1 {
+        one_of IALU[0..1] @ 0;
+        one_of RP[0..3] @ 0;
+        tree AnyWrPt;
+        tree AnyDecoder;
+    }
+    operation LD  class load latency 1;
+    operation ADD class ialu1 latency 1;
+}
+`
+
+func loadMini(t *testing.T) *hmdes.Machine {
+	t.Helper()
+	m, err := hmdes.Load("mini", miniSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompileAndOrPreservesSharing(t *testing.T) {
+	m := loadMini(t)
+	ll := Compile(m, FormAndOr)
+	if err := ll.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Named trees AnyDecoder and AnyWrPt are each compiled once and shared.
+	load := ll.Constraints[ll.ClassIndex["load"]]
+	ialu := ll.Constraints[ll.ClassIndex["ialu1"]]
+	if load.Trees[2] != ialu.Trees[3] {
+		t.Fatalf("AnyDecoder not shared in low-level form")
+	}
+	if load.Trees[1] != ialu.Trees[2] {
+		t.Fatalf("AnyWrPt not shared in low-level form")
+	}
+	if load.Trees[2].SharedBy != 2 {
+		t.Fatalf("SharedBy = %d, want 2", load.Trees[2].SharedBy)
+	}
+	// Pool: AnyDecoder, AnyWrPt, load's M tree, ialu's IALU and RP trees.
+	if len(ll.Trees) != 5 {
+		t.Fatalf("trees pooled = %d, want 5", len(ll.Trees))
+	}
+	// Options: 3 + 2 + 1 + 2 + 4 = 12 (no interning at compile time).
+	if len(ll.Options) != 12 {
+		t.Fatalf("options pooled = %d, want 12", len(ll.Options))
+	}
+}
+
+func TestCompileORExpands(t *testing.T) {
+	m := loadMini(t)
+	ll := Compile(m, FormOR)
+	if err := ll.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	load := ll.Constraints[ll.ClassIndex["load"]]
+	if len(load.Trees) != 1 {
+		t.Fatalf("OR-form constraint has %d trees", len(load.Trees))
+	}
+	if got := len(load.Trees[0].Options); got != 6 {
+		t.Fatalf("expanded load options = %d, want 6", got)
+	}
+	ialu := ll.Constraints[ll.ClassIndex["ialu1"]]
+	if got := len(ialu.Trees[0].Options); got != 2*4*2*3 {
+		t.Fatalf("expanded ialu1 options = %d, want 48", got)
+	}
+	if got := ialu.OptionCount(); got != 48 {
+		t.Fatalf("OptionCount = %d", got)
+	}
+}
+
+func TestOperationTable(t *testing.T) {
+	ll := Compile(loadMini(t), FormAndOr)
+	add := ll.Operations[ll.OpIndex["ADD"]]
+	if add.Name != "ADD" || add.Latency != 1 || add.Cascaded != -1 {
+		t.Fatalf("ADD = %+v", add)
+	}
+	c := ll.ConstraintFor(ll.OpIndex["ADD"], false)
+	if c.Name != "ialu1" {
+		t.Fatalf("constraint = %s", c.Name)
+	}
+	// Without a cascaded class, cascaded selection falls back.
+	if ll.ConstraintFor(ll.OpIndex["ADD"], true) != c {
+		t.Fatalf("cascaded fallback broken")
+	}
+}
+
+func TestCascadedSelection(t *testing.T) {
+	src := `machine M {
+	  resource A[2];
+	  class full { one_of A[0..1] @ 0; }
+	  class casc { use A[1] @ 0; }
+	  operation X class full cascaded casc;
+	}`
+	m, err := hmdes.Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := Compile(m, FormAndOr)
+	if got := ll.ConstraintFor(0, true).Name; got != "casc" {
+		t.Fatalf("cascaded constraint = %s", got)
+	}
+	if got := ll.ConstraintFor(0, false).Name; got != "full" {
+		t.Fatalf("normal constraint = %s", got)
+	}
+}
+
+func TestSizeModel(t *testing.T) {
+	ll := Compile(loadMini(t), FormAndOr)
+	s := ll.Size()
+	// 12 options, each header 8 + 1 usage * 8 = 16 bytes.
+	if s.OptionBytes != 12*16 {
+		t.Fatalf("OptionBytes = %d, want %d", s.OptionBytes, 12*16)
+	}
+	// 5 trees: headers 5*8 + option pointers (3+2+1+2+4)*4.
+	if s.TreeBytes != 5*8+12*4 {
+		t.Fatalf("TreeBytes = %d", s.TreeBytes)
+	}
+	// AND headers: 2 constraints, 3 and 4 trees.
+	if s.AndBytes != (8+3*4)+(8+4*4) {
+		t.Fatalf("AndBytes = %d", s.AndBytes)
+	}
+	if s.BindingBytes != 2*8 {
+		t.Fatalf("BindingBytes = %d", s.BindingBytes)
+	}
+	if s.Total() != s.OptionBytes+s.TreeBytes+s.AndBytes+s.BindingBytes {
+		t.Fatalf("Total inconsistent")
+	}
+	if s.NumTrees != 5 || s.NumOptions != 12 {
+		t.Fatalf("counts = %+v", s)
+	}
+}
+
+func TestSizeORSmallerPerOptionNoAndHeaders(t *testing.T) {
+	ll := Compile(loadMini(t), FormOR)
+	s := ll.Size()
+	if s.AndBytes != 0 {
+		t.Fatalf("OR form charged AND bytes: %d", s.AndBytes)
+	}
+	// Expanded: 6 + 48 = 54 options, load options have 3 usages each,
+	// ialu 4 usages each.
+	wantOpts := 6*(8+3*8) + 48*(8+4*8)
+	if s.OptionBytes != wantOpts {
+		t.Fatalf("OptionBytes = %d, want %d", s.OptionBytes, wantOpts)
+	}
+}
+
+// The headline memory claim (Table 6): for combinatorial machines the
+// AND/OR form is far smaller than the expanded OR form.
+func TestAndOrFormMuchSmaller(t *testing.T) {
+	m := loadMini(t)
+	orSize := Compile(m, FormOR).Size().Total()
+	aoSize := Compile(m, FormAndOr).Size().Total()
+	if aoSize*3 > orSize {
+		t.Fatalf("AND/OR %d bytes not ≪ OR %d bytes", aoSize, orSize)
+	}
+}
+
+func TestOptionHelpers(t *testing.T) {
+	o := &Option{Usages: []Usage{{Time: 2, Res: 1}, {Time: -1, Res: 0}}}
+	if o.NumChecks() != 2 {
+		t.Fatalf("NumChecks = %d", o.NumChecks())
+	}
+	if o.EarliestTime() != -1 {
+		t.Fatalf("EarliestTime = %d", o.EarliestTime())
+	}
+	o.Masks = []CycleMask{{Time: 3, Mask: 1}}
+	if o.NumChecks() != 1 || o.EarliestTime() != 3 {
+		t.Fatalf("packed helpers wrong: %d %d", o.NumChecks(), o.EarliestTime())
+	}
+	empty := &Option{}
+	if empty.EarliestTime() != 0 || empty.NumChecks() != 0 {
+		t.Fatalf("empty option helpers")
+	}
+}
+
+func TestTreeEarliestTime(t *testing.T) {
+	tr := &Tree{Options: []*Option{
+		{Usages: []Usage{{Time: 1, Res: 0}}},
+		{Usages: []Usage{{Time: -2, Res: 1}}},
+	}}
+	if tr.EarliestTime() != -2 {
+		t.Fatalf("EarliestTime = %d", tr.EarliestTime())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ll := Compile(loadMini(t), FormAndOr)
+	// Unpooled option.
+	bad := &Tree{ID: 99, Options: []*Option{{ID: 999}}}
+	ll.Trees[0].Options[0] = bad.Options[0]
+	if err := ll.Validate(); err == nil {
+		t.Fatalf("Validate accepted unpooled option")
+	}
+}
+
+func TestFormString(t *testing.T) {
+	if FormOR.String() != "OR" || FormAndOr.String() != "AND/OR" {
+		t.Fatalf("Form.String wrong")
+	}
+}
+
+func TestFlowDistanceLowLevel(t *testing.T) {
+	src := `machine T {
+	  resource U;
+	  class c { use U @ 0; }
+	  operation A class c latency 2;
+	  operation B class c latency 2 src 2;
+	  bypass A to B adjust -3;
+	}`
+	mach, err := hmdes.Load("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(mach, FormAndOr)
+	a, b := m.OpIndex["A"], m.OpIndex["B"]
+	if got := m.FlowDistance(a, a); got != 2 {
+		t.Fatalf("A->A = %d", got)
+	}
+	// 2 - 2 - 3 = -3, clamped to 0.
+	if got := m.FlowDistance(a, b); got != 0 {
+		t.Fatalf("A->B = %d, want 0", got)
+	}
+	if got := m.FlowDistance(b, a); got != 2 {
+		t.Fatalf("B->A = %d", got)
+	}
+}

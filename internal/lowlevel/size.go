@@ -1,0 +1,62 @@
+package lowlevel
+
+// This file implements the byte-accounting model behind the paper's MDES
+// size tables (Tables 6, 7, 9, 11, 14). Absolute bytes are a property of
+// our layout, not IMPACT's, but the model is applied identically to every
+// representation and optimization level, so the ratios the paper's tables
+// demonstrate are meaningful.
+//
+// Model (documented in DESIGN.md §5):
+//
+//	scalar usage pair  (time, resource):        8 bytes
+//	packed usage pair  (time, mask word):       8 bytes per (cycle, word)
+//	option header (usage count + flags):        8 bytes (+ its usage array)
+//	OR-tree header:                             8 bytes + 4 bytes/option ptr
+//	AND/OR header (only in FormAndOr):          8 bytes + 4 bytes/tree ptr
+//	per-operation binding:                      8 bytes
+//
+// Pooled (shared) options and trees are counted once — exactly the memory
+// effect that sharing buys in the paper.
+
+// SizeStats breaks an MDES's memory requirement into its components.
+type SizeStats struct {
+	NumTrees   int
+	NumOptions int
+
+	OptionBytes  int
+	TreeBytes    int
+	AndBytes     int
+	BindingBytes int
+}
+
+// Total returns the total resource-constraint representation size in bytes.
+func (s SizeStats) Total() int {
+	return s.OptionBytes + s.TreeBytes + s.AndBytes + s.BindingBytes
+}
+
+const (
+	bytesPerUsagePair = 8
+	bytesPerHeader    = 8
+	bytesPerPointer   = 4
+	bytesPerBinding   = 8
+)
+
+// Size computes the memory footprint of the MDES under the accounting model.
+func (m *MDES) Size() SizeStats {
+	var s SizeStats
+	s.NumTrees = len(m.Trees)
+	s.NumOptions = len(m.Options)
+	for _, o := range m.Options {
+		s.OptionBytes += bytesPerHeader + o.NumChecks()*bytesPerUsagePair
+	}
+	for _, t := range m.Trees {
+		s.TreeBytes += bytesPerHeader + len(t.Options)*bytesPerPointer
+	}
+	if m.Form == FormAndOr {
+		for _, c := range m.Constraints {
+			s.AndBytes += bytesPerHeader + len(c.Trees)*bytesPerPointer
+		}
+	}
+	s.BindingBytes = len(m.Operations) * bytesPerBinding
+	return s
+}

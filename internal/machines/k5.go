@@ -1,0 +1,188 @@
+package machines
+
+// k5Src models the AMD-K5 (paper §4, Table 4): a four-issue out-of-order
+// superscalar X86 that the MDES models as an in-order machine with
+// buffering between decode and execution. Each X86 operation converts into
+// one or more Rops (internal RISC operations); up to four X86 operations
+// decode per cycle and up to four Rops dispatch per cycle, with up to two
+// execution units available per Rop type. Multi-Rop operations may
+// dispatch over multiple cycles; modeling that dispatch flexibility is
+// what drives the option counts to 768.
+//
+// Structure of each class:
+//
+//   - one decode position (Dec, at decode time -1) for the X86 op;
+//   - per Rop, a dispatch slot (Disp) in its dispatch cycle — the same four
+//     slots are reused across cycles, which is legal for AND/OR-trees at
+//     (resource, time) granularity;
+//   - per Rop, an execution unit of its type (ALU / LS / SHU, two each;
+//     BRU and FPU are single).
+//
+// Option counts (Table 4): 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768.
+// Bundled cmp+branch operations model the resources of both operations and
+// are split back after scheduling (§4).
+const k5Src = `
+// AMD-K5 machine description.
+machine K5 {
+    resource Dec[4];       // X86 decode positions
+    resource Disp[4];      // Rop dispatch slots (reused every cycle)
+    resource ALU[2];       // integer ALUs
+    resource LS[2];        // load/store units
+    resource SHU[2];       // shift units
+    resource BRU;          // branch unit
+    resource FPU;          // floating-point unit
+
+    let DEC = -1;
+    let D0  = 0;           // first dispatch cycle
+    let D1  = 1;           // second dispatch cycle
+
+    tree AnyDec   { one_of Dec[0..3] @ DEC; }
+    tree AnyDisp0 { one_of Disp[0..3] @ D0; }
+    tree AnyDisp1 { one_of Disp[0..3] @ D1; }
+    tree TwoDisp0 { choose 2 of Disp[0..3] @ D0; }
+    tree ThreeDisp0 { choose 3 of Disp[0..3] @ D0; }
+    tree AnyALU   { one_of ALU[0..1] @ D0; }
+    tree AnyLS    { one_of LS[0..1] @ D0; }
+    tree AnySHU   { one_of SHU[0..1] @ D0; }
+
+    // 16 options: one-Rop ops with one unit choice (e.g. FP).
+    class rop1_fixed {
+        tree AnyDec;
+        tree AnyDisp0;
+        use FPU @ D0;
+    }
+
+    // 32 options: one-Rop ops with two unit choices (common IALU ops).
+    class rop1_alu {
+        tree AnyDec;
+        tree AnyDisp0;
+        tree AnyALU;
+    }
+
+    // 32 options: one-Rop memory ops on either load/store unit.
+    class rop1_mem {
+        tree AnyDec;
+        tree AnyDisp0;
+        tree AnyLS;
+    }
+
+    // 24 options: two Rops dispatched together, units fixed. This class
+    // evolved unfactored: the writer copied the LS[0] usage into every
+    // dispatch-pair option instead of factoring it out (the paper's §5
+    // observation about local copies). Common-usage hoisting (§8, rule 1)
+    // moves LS[0] into the one-option ALU[0] tree.
+    class rop2_fixed {
+        tree AnyDec;
+        tree {
+            option { Disp[0] @ D0; Disp[1] @ D0; LS[0] @ D0; }
+            option { Disp[0] @ D0; Disp[2] @ D0; LS[0] @ D0; }
+            option { Disp[0] @ D0; Disp[3] @ D0; LS[0] @ D0; }
+            option { Disp[1] @ D0; Disp[2] @ D0; LS[0] @ D0; }
+            option { Disp[1] @ D0; Disp[3] @ D0; LS[0] @ D0; }
+            option { Disp[2] @ D0; Disp[3] @ D0; LS[0] @ D0; }
+        }
+        use ALU[0] @ D0;
+    }
+
+    // 48 options: bundled cmp+br dispatched in one cycle (cmp on either
+    // ALU, branch on the branch unit).
+    class cmpbr_1cyc {
+        tree AnyDec;
+        tree TwoDisp0;
+        tree AnyALU;
+        use BRU @ D0;
+    }
+
+    // 64 options: three-Rop bundled cmp+br in one cycle (op + cmp + br).
+    class cmpbr3_1cyc {
+        tree AnyDec;
+        tree ThreeDisp0;
+        tree AnyALU;
+        tree AnyLS;
+        use BRU @ D0;
+    }
+
+    // 96 options: two-Rop ops in one cycle, two unit choices each.
+    class rop2_2unit {
+        tree AnyDec;
+        tree TwoDisp0;
+        tree AnyALU;
+        tree AnyLS;
+    }
+
+    // 128 options: bundled cmp+br dispatched over two cycles.
+    class cmpbr_2cyc {
+        tree AnyDec;
+        tree AnyDisp0;
+        tree AnyDisp1;
+        tree AnyALU;
+        use BRU @ D1;
+    }
+
+    // 192 options: two-Rop ops over two cycles whose first Rop cannot use
+    // dispatch slot 0 (a subset of rop2_2cyc's combinations).
+    class rop2_2cyc_sub {
+        tree AnyDec;
+        one_of Disp[1..3] @ D0;
+        tree AnyDisp1;
+        tree AnyALU;
+        tree {
+            option { LS[0] @ D1; }
+            option { LS[1] @ D1; }
+        }
+    }
+
+    // 256 options: two-Rop ops dispatched over two cycles, two unit
+    // choices each.
+    class rop2_2cyc {
+        tree AnyDec;
+        tree AnyDisp0;
+        tree AnyDisp1;
+        tree AnyALU;
+        tree {
+            option { LS[0] @ D1; }
+            option { LS[1] @ D1; }
+        }
+    }
+
+    // 384 options: three-Rop bundled cmp+br over two cycles (two Rops in
+    // the first dispatch cycle, the branch in the second).
+    class cmpbr3_2cyc {
+        tree AnyDec;
+        tree TwoDisp0;
+        tree AnyDisp1;
+        tree AnyALU;
+        tree AnyLS;
+        use BRU @ D1;
+    }
+
+    // 768 options: three-Rop ops over two cycles, two unit choices per Rop.
+    class rop3_2cyc {
+        tree AnyDec;
+        tree TwoDisp0;
+        tree AnyDisp1;
+        tree AnyALU;
+        tree AnyLS;
+        tree {
+            option { SHU[0] @ D1; }
+            option { SHU[1] @ D1; }
+        }
+    }
+
+    operation FOP    class rop1_fixed latency 3;
+    operation ADD    class rop1_alu latency 1;
+    operation SUB    class rop1_alu latency 1;
+    operation MOV    class rop1_alu latency 1;
+    operation LD     class rop1_mem latency 2;
+    operation ST     class rop1_mem latency 1;
+    operation PUSH   class rop2_fixed latency 1;
+    operation CMPBR  class cmpbr_1cyc latency 1;
+    operation TESTBR class cmpbr3_1cyc latency 1;
+    operation ADDM   class rop2_2unit latency 2;
+    operation CMPBRL class cmpbr_2cyc latency 1;
+    operation LEAL   class rop2_2cyc_sub latency 2;
+    operation ADDML  class rop2_2cyc latency 2;
+    operation TESTBRL class cmpbr3_2cyc latency 1;
+    operation RMW    class rop3_2cyc latency 3;
+}
+`

@@ -1,0 +1,91 @@
+// Package machines contains the four detailed machine descriptions the
+// paper evaluates — HP PA7100, Intel Pentium, Sun SuperSPARC, and AMD-K5 —
+// written in the high-level MDES language and reconstructed from the
+// paper's §2 and §4 descriptions so that every class's reservation-table
+// option count matches Tables 1-4 exactly.
+//
+// The resources are abstractions of each processor's scheduling rules, as
+// the paper emphasizes; names exist for readability only.
+package machines
+
+import (
+	"fmt"
+	"sort"
+
+	"mdes/internal/hmdes"
+)
+
+// Name identifies one of the built-in machine descriptions.
+type Name string
+
+const (
+	PA7100     Name = "pa7100"
+	Pentium    Name = "pentium"
+	SuperSPARC Name = "supersparc"
+	K5         Name = "k5"
+	// P6 is a Pentium Pro-class extension machine (the "latest
+	// generation" the paper's conclusion predicts); it is not part of the
+	// paper's evaluation set.
+	P6 Name = "p6"
+)
+
+// All lists the paper's evaluated machines in its table order.
+var All = []Name{PA7100, Pentium, SuperSPARC, K5}
+
+// AllExtended adds the post-paper extension machines.
+var AllExtended = []Name{PA7100, Pentium, SuperSPARC, K5, P6}
+
+// sources maps machine names to their high-level MDES source text.
+var sources = map[Name]string{
+	PA7100:     pa7100Src,
+	Pentium:    pentiumSrc,
+	SuperSPARC: superSPARCSrc,
+	K5:         k5Src,
+	P6:         p6Src,
+}
+
+// Source returns the high-level MDES source for a built-in machine.
+func Source(n Name) (string, error) {
+	src, ok := sources[n]
+	if !ok {
+		return "", fmt.Errorf("machines: unknown machine %q (have %v)", n, All)
+	}
+	return src, nil
+}
+
+// Load parses and analyzes a built-in machine description.
+func Load(n Name) (*hmdes.Machine, error) {
+	src, err := Source(n)
+	if err != nil {
+		return nil, err
+	}
+	m, err := hmdes.Load(string(n)+".mdes", src)
+	if err != nil {
+		return nil, fmt.Errorf("machines: built-in %s failed to load: %w", n, err)
+	}
+	return m, nil
+}
+
+// MustLoad is Load for program initialization paths where a built-in
+// description failing to parse is a programming error.
+func MustLoad(n Name) *hmdes.Machine {
+	m, err := Load(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OptionBreakdown returns, per distinct option count, the classes having
+// that many reservation-table options — the structure of Tables 1-4.
+func OptionBreakdown(m *hmdes.Machine) map[int][]string {
+	out := map[int][]string{}
+	for _, cname := range m.ClassNames {
+		n := m.Classes[cname].OptionCount()
+		out[n] = append(out[n], cname)
+	}
+	for _, classes := range out {
+		sort.Strings(classes)
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package machines
+
+import (
+	"fmt"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/opt"
+	"mdes/internal/restable"
+)
+
+func TestAllMachinesLoad(t *testing.T) {
+	for _, n := range All {
+		if _, err := Load(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	if _, err := Load("vax"); err == nil {
+		t.Fatalf("unknown machine loaded")
+	}
+	if _, err := Source("vax"); err == nil {
+		t.Fatalf("unknown source returned")
+	}
+}
+
+func TestMustLoadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustLoad did not panic")
+		}
+	}()
+	MustLoad("vax")
+}
+
+// classOptions returns class name -> expanded option count.
+func classOptions(t *testing.T, n Name) map[string]int {
+	t.Helper()
+	m, err := Load(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, c := range m.ClassNames {
+		out[c] = m.Classes[c].OptionCount()
+	}
+	return out
+}
+
+// Table 1: SuperSPARC option counts per class.
+func TestSuperSPARCOptionCounts(t *testing.T) {
+	want := map[string]int{
+		"load":       6,
+		"store":      12,
+		"ialu1":      48,
+		"ialu2":      72,
+		"ialu1_casc": 24,
+		"ialu2_casc": 36,
+		"shift1":     24,
+		"shift2":     36,
+		"fp":         3,
+		"branch":     1,
+		"serial":     1,
+	}
+	got := classOptions(t, SuperSPARC)
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("SuperSPARC %s = %d options, want %d (Table 1)", class, got[class], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("classes = %d, want %d: %v", len(got), len(want), got)
+	}
+}
+
+// Table 2: PA7100 — 1 option for branches, 2 for everything else (3 for
+// the evolved memory class before pruning).
+func TestPA7100OptionCounts(t *testing.T) {
+	got := classOptions(t, PA7100)
+	want := map[string]int{"ialu": 2, "mem": 3, "fp": 2, "branch": 1}
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("PA7100 %s = %d options, want %d (Table 2)", class, got[class], n)
+		}
+	}
+}
+
+// The PA7100 mem class's duplicate option must vanish under pruning,
+// reproducing Table 8's cleanup.
+func TestPA7100DuplicateOptionPrunes(t *testing.T) {
+	m := MustLoad(PA7100)
+	ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+	rep := opt.PruneDominatedOptions(ll)
+	if rep.OptionsPruned != 1 {
+		t.Fatalf("OptionsPruned = %d, want 1 (the duplicated memory option)", rep.OptionsPruned)
+	}
+	mem := ll.Constraints[ll.ClassIndex["mem"]]
+	if mem.OptionCount() != 2 {
+		t.Fatalf("mem options after pruning = %d, want 2", mem.OptionCount())
+	}
+}
+
+// Table 3: Pentium — one or two options per class.
+func TestPentiumOptionCounts(t *testing.T) {
+	got := classOptions(t, Pentium)
+	want := map[string]int{
+		"alu_add": 2, "alu_sub": 2, "alu_mov": 2,
+		"mem_ld": 2, "mem_st": 2,
+		"uonly_shl": 1, "uonly_ror": 1,
+		"nopair_mul": 1, "nopair_string": 1,
+		"cmpbr": 2, "legacy_v_only": 1,
+	}
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("Pentium %s = %d options, want %d (Table 3)", class, got[class], n)
+		}
+	}
+}
+
+// Table 4: K5 option counts per class.
+func TestK5OptionCounts(t *testing.T) {
+	want := map[string]int{
+		"rop1_fixed":    16,
+		"rop2_fixed":    24,
+		"rop1_alu":      32,
+		"rop1_mem":      32,
+		"cmpbr_1cyc":    48,
+		"cmpbr3_1cyc":   64,
+		"rop2_2unit":    96,
+		"cmpbr_2cyc":    128,
+		"rop2_2cyc_sub": 192,
+		"rop2_2cyc":     256,
+		"cmpbr3_2cyc":   384,
+		"rop3_2cyc":     768,
+	}
+	got := classOptions(t, K5)
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("K5 %s = %d options, want %d (Table 4)", class, got[class], n)
+		}
+	}
+}
+
+// The K5's 192-option class must truly be a subset of the 256-option
+// class's combinations, as the paper's "(subset of)" annotation states.
+func TestK5SubsetRelation(t *testing.T) {
+	m := MustLoad(K5)
+	optKey := func(usages []restable.Usage) string {
+		s := ""
+		for _, u := range usages {
+			s += fmt.Sprintf("(%d@%d)", u.Res, u.Time)
+		}
+		return s
+	}
+	sub := m.Classes["rop2_2cyc_sub"].Expand()
+	full := m.Classes["rop2_2cyc"].Expand()
+	fullSet := map[string]bool{}
+	for _, o := range full.Options {
+		fullSet[optKey(o.Usages)] = true
+	}
+	for _, o := range sub.Options {
+		if !fullSet[optKey(o.Usages)] {
+			t.Fatalf("subset option %v not in rop2_2cyc", o.Usages)
+		}
+	}
+}
+
+func TestOptionBreakdown(t *testing.T) {
+	m := MustLoad(PA7100)
+	bd := OptionBreakdown(m)
+	if len(bd[2]) != 2 || bd[2][0] != "fp" || bd[2][1] != "ialu" {
+		t.Fatalf("breakdown[2] = %v", bd[2])
+	}
+	if len(bd[1]) != 1 || bd[1][0] != "branch" {
+		t.Fatalf("breakdown[1] = %v", bd[1])
+	}
+}
+
+// Every machine must compile to both forms, validate, and survive the full
+// optimization pipeline in both directions.
+func TestAllMachinesCompileAndOptimize(t *testing.T) {
+	for _, n := range All {
+		m := MustLoad(n)
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			for _, dir := range []opt.Direction{opt.Forward, opt.Backward} {
+				ll := lowlevel.Compile(m, form)
+				opt.Apply(ll, opt.LevelFull, dir)
+				if err := ll.Validate(); err != nil {
+					t.Errorf("%s %v %v: %v", n, form, dir, err)
+				}
+			}
+		}
+	}
+}
+
+// Every built-in description must survive a format/parse round trip with
+// identical expanded constraints and operation tables.
+func TestBuiltinsFormatRoundTrip(t *testing.T) {
+	for _, n := range All {
+		orig := MustLoad(n)
+		back, err := hmdes.Load(string(n)+".rt", hmdes.Format(orig))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", n, err)
+		}
+		if back.Resources.Len() != orig.Resources.Len() {
+			t.Fatalf("%s: resources changed", n)
+		}
+		for _, c := range orig.ClassNames {
+			a := orig.Classes[c].Expand()
+			b, ok := back.Classes[c]
+			if !ok {
+				t.Fatalf("%s: class %s lost", n, c)
+			}
+			be := b.Expand()
+			if len(a.Options) != len(be.Options) {
+				t.Fatalf("%s: class %s options %d != %d", n, c, len(be.Options), len(a.Options))
+			}
+			for i := range a.Options {
+				if !a.Options[i].Equal(be.Options[i]) {
+					t.Fatalf("%s: class %s option %d changed", n, c, i)
+				}
+			}
+		}
+		for _, o := range orig.OpNames {
+			x, y := orig.Operations[o], back.Operations[o]
+			if y == nil || *x != *y {
+				t.Fatalf("%s: operation %s changed", n, o)
+			}
+		}
+	}
+}
+
+// Expanded OR-form sizes must dwarf AND/OR sizes for the combinatorial
+// machines (Table 6's shape: 98.6%% reduction for the K5).
+func TestK5AndOrDramaticallySmaller(t *testing.T) {
+	m := MustLoad(K5)
+	or := lowlevel.Compile(m, lowlevel.FormOR).Size().Total()
+	ao := lowlevel.Compile(m, lowlevel.FormAndOr).Size().Total()
+	if ao*20 > or {
+		t.Fatalf("K5 AND/OR %d bytes vs OR %d bytes: expected ≥95%% reduction", ao, or)
+	}
+}
+
+func TestPentiumAndOrSlightlyLarger(t *testing.T) {
+	// Table 6: the Pentium's AND/OR form is slightly LARGER (AND headers,
+	// no combinatorial win).
+	m := MustLoad(Pentium)
+	or := lowlevel.Compile(m, lowlevel.FormOR).Size().Total()
+	ao := lowlevel.Compile(m, lowlevel.FormAndOr).Size().Total()
+	if ao <= or {
+		t.Fatalf("Pentium AND/OR %d should exceed OR %d slightly", ao, or)
+	}
+	if float64(ao) > 1.25*float64(or) {
+		t.Fatalf("Pentium AND/OR %d exceeds OR %d by more than 'slightly'", ao, or)
+	}
+}
+
+// The P6 extension machine: option counts per its documented structure.
+func TestP6OptionCounts(t *testing.T) {
+	want := map[string]int{
+		"alu":    18,
+		"load":   9,
+		"store":  3,
+		"branch": 3,
+		"fp":     9,
+		"rmw":    6,
+	}
+	got := classOptions(t, P6)
+	for class, n := range want {
+		if got[class] != n {
+			t.Errorf("P6 %s = %d options, want %d", class, got[class], n)
+		}
+	}
+}
+
+func TestAllExtendedLoadsAndOptimizes(t *testing.T) {
+	if len(AllExtended) != len(All)+1 {
+		t.Fatalf("AllExtended = %v", AllExtended)
+	}
+	for _, n := range AllExtended {
+		m := MustLoad(n)
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			ll := lowlevel.Compile(m, form)
+			opt.Apply(ll, opt.LevelFull, opt.Forward)
+			if err := ll.Validate(); err != nil {
+				t.Errorf("%s %v: %v", n, form, err)
+			}
+		}
+	}
+}
+
+// The paper's trend claim: the further the generation, the more the AND/OR
+// representation matters. The P6's option-per-class profile sits between
+// the SuperSPARC's and the K5's, and its AND/OR form must be dramatically
+// smaller than its expanded OR form.
+func TestP6AndOrAdvantage(t *testing.T) {
+	m := MustLoad(P6)
+	or := lowlevel.Compile(m, lowlevel.FormOR).Size().Total()
+	ao := lowlevel.Compile(m, lowlevel.FormAndOr).Size().Total()
+	if ao*2 > or {
+		t.Fatalf("P6 AND/OR %d not ≪ OR %d", ao, or)
+	}
+}

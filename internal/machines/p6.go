@@ -1,0 +1,114 @@
+package machines
+
+// p6Src models a Pentium Pro-class machine — the paper's conclusion
+// expects "the latest generation of microprocessors, such as the Intel
+// Pentium Pro and the HP PA-8000" to look like the K5's MDES, only more
+// so. This description is an EXTENSION: it is not part of the paper's
+// evaluation (machines.All), but ships as a fifth built-in
+// (machines.AllExtended) to show the representation scaling past the
+// paper's data points.
+//
+// The model follows the P6's documented front end and issue structure,
+// abstracted to scheduling rules:
+//
+//   - a 4-1-1 decode template: decoder D[0] handles any operation; D[1]
+//     and D[2] handle single-micro-op operations only;
+//   - five issue ports: P0 (ALU+FP), P1 (ALU+branch), P2 (load),
+//     P3 (store address), P4 (store data);
+//   - three retirement slots per cycle, RET[0..2], used at the
+//     operation's latency.
+//
+// Multi-micro-op operations decode on D[0] and spread their micro-ops
+// over ports, retiring together — the same dispatch flexibility that
+// drove the K5's option counts, one generation further.
+const p6Src = `
+// Intel Pentium Pro class machine description (extension).
+machine P6 {
+    resource D[3];         // 4-1-1 decode template positions
+    resource P0;           // ALU / FP port
+    resource P1;           // ALU / branch port
+    resource P2;           // load port
+    resource P3;           // store-address port
+    resource P4;           // store-data port
+    resource RET[3];       // retirement slots
+
+    let DEC = -1;
+
+    tree AnyDec  { one_of D[0..2] @ DEC; }
+    tree AnyALU {
+        option { P0 @ 0; }
+        option { P1 @ 0; }
+    }
+    tree Ret1 { one_of RET[0..2] @ 1; }
+    tree Ret2 { one_of RET[0..2] @ 2; }
+    tree TwoRet { choose 2 of RET[0..2] @ 1; }
+
+    // Single-micro-op ALU: any decoder, either ALU port, one retire slot:
+    // 3 * 2 * 3 = 18 options.
+    class alu {
+        tree AnyDec;
+        tree AnyALU;
+        tree Ret1;
+    }
+
+    // Load: any decoder, the load port, one retire slot (latency 2):
+    // 3 * 1 * 3 = 9 options.
+    class load {
+        tree AnyDec;
+        use P2 @ 0;
+        tree Ret2;
+    }
+
+    // Store: two micro-ops (address + data) on the complex decoder,
+    // retiring together: 1 * 1 * 1 * 3 = 3 options.
+    class store {
+        use D[0] @ DEC;
+        use P3 @ 0, P4 @ 0;
+        tree TwoRet;
+    }
+
+    // Branch: either simple decoder... branches resolve on P1 and retire
+    // last: 3 * 1 * 1 = 3 options.
+    class branch {
+        tree AnyDec;
+        use P1 @ 0, RET[2] @ 1;
+    }
+
+    // FP: any decoder, P0 only, long latency: 3 * 3 = 9 options.
+    class fp {
+        tree AnyDec;
+        use P0 @ 0;
+        tree {
+            option { RET[0] @ 3; }
+            option { RET[1] @ 3; }
+            option { RET[2] @ 3; }
+        }
+    }
+
+    // Read-modify-write: three micro-ops (load + alu + store-addr/data
+    // fused) on the complex decoder, load then dependent work a cycle
+    // later: 1 * 2 * 3 = 6 options.
+    class rmw {
+        use D[0] @ DEC;
+        use P2 @ 0, P3 @ 1, P4 @ 1;
+        tree {
+            option { P0 @ 1; }
+            option { P1 @ 1; }
+        }
+        tree {
+            option { RET[0] @ 2; RET[1] @ 2; }
+            option { RET[0] @ 2; RET[2] @ 2; }
+            option { RET[1] @ 2; RET[2] @ 2; }
+        }
+    }
+
+    operation ADD  class alu latency 1;
+    operation SUB  class alu latency 1;
+    operation MOV  class alu latency 1;
+    operation LD   class load latency 2;
+    operation ST   class store latency 1;
+    operation FOP  class fp latency 3;
+    operation RMW  class rmw latency 3;
+    operation CMPBR class branch latency 1;
+}
+`

@@ -1,0 +1,72 @@
+package machines
+
+// pa7100Src models the HP PA7100 (paper §4, Tables 2 and 8): an in-order
+// two-way superscalar that pairs one integer-or-memory operation with one
+// floating-point operation per cycle, in either order, so most operations
+// have two reservation-table options. Branches use the last decoder slot.
+//
+// The memory class deliberately carries a third option identical to its
+// second: the paper reports that during the retarget from an earlier HP PA
+// description "two of the reservation table options for the PA7100's
+// memory operations became identical, but the MDES author never realized
+// this since correct output was still generated" (§5). Dominated-option
+// pruning removes it (Table 8).
+const pa7100Src = `
+// HP PA7100 machine description.
+machine PA7100 {
+    resource Slot[2];      // the two issue slots of a decode pair
+    resource IPipe;        // integer/memory pipeline
+    resource FPipe;        // floating-point pipeline
+    resource M;            // data-cache port
+    resource BrU;          // branch unit
+
+    let DEC = -1;
+    let EX  = 0;
+
+    // An integer op may occupy either slot of the pair.
+    class ialu {
+        tree {
+            option { Slot[0] @ DEC; IPipe @ EX; }
+            option { Slot[1] @ DEC; IPipe @ EX; }
+        }
+    }
+
+    // Memory ops: the evolved description with a duplicated low-priority
+    // option (see package comment).
+    class mem {
+        tree {
+            option { Slot[0] @ DEC; IPipe @ EX; M @ EX; }
+            option { Slot[1] @ DEC; IPipe @ EX; M @ EX; }
+            option { Slot[1] @ DEC; IPipe @ EX; M @ EX; }
+        }
+    }
+
+    // FP ops may also occupy either slot, flowing down the FP pipeline.
+    class fp {
+        tree {
+            option { Slot[0] @ DEC; FPipe @ EX; }
+            option { Slot[1] @ DEC; FPipe @ EX; }
+        }
+    }
+
+    // Branches are modeled on the last slot only (paper §2: nothing may
+    // issue after a branch on this machine).
+    class branch {
+        use Slot[1] @ DEC, IPipe @ EX, BrU @ EX;
+    }
+
+    operation ADD  class ialu latency 1;
+    operation SUB  class ialu latency 1;
+    operation AND  class ialu latency 1;
+    operation SH   class ialu latency 1;
+    operation LD   class mem latency 2;
+    operation ST   class mem latency 1;
+    operation FADD class fp latency 2;
+    operation FMUL class fp latency 2;
+    operation BR   class branch latency 1;
+
+    // The FMAC forwarding path: an FADD consuming an FMUL result sees it
+    // one cycle early (modeling of bypassing effects; paper footnote 1).
+    bypass FMUL to FADD adjust -1;
+}
+`

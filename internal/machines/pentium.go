@@ -1,0 +1,117 @@
+package machines
+
+// pentiumSrc models the Intel Pentium (paper §4, Table 3): an in-order
+// two-pipe (U/V) superscalar X86 whose detailed pairing rules determine
+// which operations may execute together. Operations have one or two
+// reservation-table options; each option reserves several resources in the
+// same cycle (issue slot, pipe, pairing controls), which is why this
+// description benefits most from bit-vector packing (Tables 9-10) and why
+// AND/OR-trees buy it nothing (its execution constraints lack the
+// flexibility that benefits from them — paper §4).
+//
+// The compiler bundles each branch with its condition-code-setting
+// operation; the bundle's reservation table models the resources of both
+// operations, and the bundle is split back after scheduling (§4).
+const pentiumSrc = `
+// Intel Pentium machine description.
+machine Pentium {
+    resource Issue[2];     // the two issue positions of a decode pair
+    resource PairCtl[2];   // pairing-rule controls, one per position
+    resource U;            // U pipe (full-featured)
+    resource V;            // V pipe (restricted)
+    resource Shift;        // barrel shifter lives in U only
+    resource M;            // data-cache port
+    resource BrU;          // branch resolution
+
+    let EX = 0;
+
+    // Simple pairable ALU ops issue down either pipe. Every option
+    // reserves its issue position, its pairing control, and its pipe — all
+    // in the same cycle, the pattern that makes bit-vector packing pay off
+    // on this machine (paper §6).
+    //
+    // The per-opcode duplication below is deliberate: the paper observes
+    // that as an MDES evolves "it is typically easier to just make a local
+    // copy of the information to be changed than to do the careful
+    // analysis required to safely modify or delete existing information"
+    // (§5), and the X86 descriptions enumerated per-opcode copies of the
+    // same pairing tables. Redundancy elimination merges all of these.
+    class alu_add {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; }
+            option { Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; }
+        }
+    }
+    class alu_sub {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; }
+            option { Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; }
+        }
+    }
+    class alu_mov {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; }
+            option { Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; }
+        }
+    }
+
+    // Pairable memory ops: either pipe, plus the cache port.
+    class mem_ld {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; M @ EX; }
+            option { Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; M @ EX; }
+        }
+    }
+    class mem_st {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; M @ EX; }
+            option { Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; M @ EX; }
+        }
+    }
+
+    // Shifts and rotates execute only in U: one option, but they still
+    // pair (a V-capable op may accompany them).
+    class uonly_shl {
+        use Issue[0] @ EX, PairCtl[0] @ EX, U @ EX, Shift @ EX;
+    }
+    class uonly_ror {
+        use Issue[0] @ EX, PairCtl[0] @ EX, U @ EX, Shift @ EX;
+    }
+
+    // Non-pairable operations own the whole issue cycle: both issue
+    // positions, both pairing controls, and both pipes.
+    class nopair_mul {
+        use Issue[0] @ EX, Issue[1] @ EX, PairCtl[0] @ EX, PairCtl[1] @ EX, U @ EX, V @ EX;
+    }
+    class nopair_string {
+        use Issue[0] @ EX, Issue[1] @ EX, PairCtl[0] @ EX, PairCtl[1] @ EX, U @ EX, V @ EX;
+    }
+
+    // Bundled cmp+branch: the pair issues together, cmp in U and the
+    // branch in V (the common pairing), or serially in U when V is not
+    // permitted by the pairing rules.
+    class cmpbr {
+        tree {
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; Issue[1] @ EX; PairCtl[1] @ EX; V @ EX; BrU @ EX; }
+            option { Issue[0] @ EX; PairCtl[0] @ EX; U @ EX; BrU @ EX; }
+        }
+    }
+
+    // A leftover from an earlier stepping that no operation references any
+    // more; dead-code removal drops it.
+    class legacy_v_only {
+        use Issue[1] @ EX, PairCtl[1] @ EX, V @ EX;
+    }
+
+    operation ADD    class alu_add latency 1;
+    operation SUB    class alu_sub latency 1;
+    operation MOV    class alu_mov latency 1;
+    operation LD     class mem_ld latency 1;
+    operation ST     class mem_st latency 1;
+    operation SHL    class uonly_shl latency 1;
+    operation ROR    class uonly_ror latency 1;
+    operation MUL    class nopair_mul latency 3;
+    operation STRING class nopair_string latency 3;
+    operation CMPBR  class cmpbr latency 1;
+}
+`

@@ -1,0 +1,132 @@
+package machines
+
+// superSPARCSrc models the Sun SuperSPARC (paper §2, Table 1): an in-order
+// superscalar with three decoders, four integer register read ports, two
+// integer write ports, two IALUs, one barrel shifter, one memory unit with
+// a dedicated address-generation unit, one branch unit, and one
+// floating-point issue per cycle. The AGU and FP register ports are
+// dedicated and not modeled. Branches are modeled as always using the last
+// decoder to maximize scheduling freedom (nothing may issue after a
+// branch). The second IALU executes cascaded (same-cycle flow-dependent)
+// IALU operations, so cascaded classes fix IALU[1] and have half the
+// options.
+//
+// Option counts (Table 1):
+//
+//	branch/serial 1; FP 3; load 6; store 12;
+//	shift & cascaded-IALU one read port 24, two read ports 36;
+//	IALU one read port 48, two read ports 72.
+const superSPARCSrc = `
+// Sun SuperSPARC machine description.
+machine SuperSPARC {
+    resource Decoder[3];   // three-wide in-order decode
+    resource RP[4];        // integer register read ports
+    resource WrPt[2];      // integer register write ports
+    resource IALU[2];      // integer ALUs; IALU[1] also serves cascades
+    resource Shifter;      // single barrel shifter
+    resource M;            // memory unit (AGU ports are dedicated)
+    resource FPU;          // one FP issue per cycle
+    resource BrU;          // branch unit
+
+    let DEC = -1;          // decode stage
+    let EX  = 0;           // first execution stage (paper's time zero)
+    let WB  = 1;           // write-back for one-cycle latencies
+
+    tree AnyDecoder { one_of Decoder[0..2] @ DEC; }
+    tree AnyRP      { one_of RP[0..3] @ EX; }
+    tree TwoRP      { choose 2 of RP[0..3] @ EX; }
+    tree AnyIALU    { one_of IALU[0..1] @ EX; }
+    tree AnyWrPt    { one_of WrPt @ WB; }
+
+    // Clause order within classes follows the pipeline (decode, operand
+    // read, execute, write-back), the order an MDES writer naturally uses;
+    // the conflict-detection sort (paper §8, Figure 6) reorders it.
+
+    // Integer load: any decoder, memory unit, any write port (Figure 1).
+    class load {
+        tree AnyDecoder;
+        use M @ EX;
+        tree AnyWrPt;
+    }
+
+    // Store: memory unit, any decoder, one read port for the stored value.
+    class store {
+        tree AnyDecoder;
+        tree AnyRP;
+        use M @ EX;
+    }
+
+    // IALU operations, by register-source count.
+    class ialu1 {
+        tree AnyDecoder;
+        tree AnyRP;
+        tree AnyIALU;
+        tree AnyWrPt;
+    }
+    class ialu2 {
+        tree AnyDecoder;
+        tree TwoRP;
+        tree AnyIALU;
+        tree AnyWrPt;
+    }
+
+    // Cascaded IALU operations execute on the dedicated second IALU.
+    class ialu1_casc {
+        tree AnyDecoder;
+        tree AnyRP;
+        use IALU[1] @ EX;
+        tree AnyWrPt;
+    }
+    class ialu2_casc {
+        tree AnyDecoder;
+        tree TwoRP;
+        use IALU[1] @ EX;
+        tree AnyWrPt;
+    }
+
+    // Shifts go through the single barrel shifter.
+    class shift1 {
+        tree AnyDecoder;
+        tree AnyRP;
+        use Shifter @ EX;
+        tree AnyWrPt;
+    }
+    class shift2 {
+        tree AnyDecoder;
+        tree TwoRP;
+        use Shifter @ EX;
+        tree AnyWrPt;
+    }
+
+    // Floating point: one per cycle, dedicated register ports.
+    class fp {
+        tree AnyDecoder;
+        use FPU @ EX;
+    }
+
+    // Branches use the last decoder only; serial ops consume the whole
+    // decode group.
+    class branch {
+        use BrU @ EX, Decoder[2] @ DEC;
+    }
+    class serial {
+        use Decoder[0] @ DEC, Decoder[1] @ DEC, Decoder[2] @ DEC;
+    }
+
+    // Integer loads and common integer operations have one-cycle latency
+    // (paper §2); FP operations are longer.
+    operation LD    class load latency 1;
+    operation ST    class store latency 1;
+    operation ADD1  class ialu1 cascaded ialu1_casc latency 1;
+    operation SUB1  class ialu1 cascaded ialu1_casc latency 1;
+    operation ADD2  class ialu2 cascaded ialu2_casc latency 1;
+    operation SUB2  class ialu2 cascaded ialu2_casc latency 1;
+    operation AND2  class ialu2 cascaded ialu2_casc latency 1;
+    operation SLL1  class shift1 latency 1;
+    operation SLL2  class shift2 latency 1;
+    operation FADD  class fp latency 3;
+    operation FMUL  class fp latency 3;
+    operation BR    class branch latency 1;
+    operation CALL  class serial latency 1;
+}
+`

@@ -1,0 +1,582 @@
+// Package modsched implements iterative modulo scheduling (Rau, MICRO-27,
+// 1994 — the paper's reference [12]) on top of the compiled MDES: software
+// pipelining of a loop body at initiation interval II, with a modulo
+// resource-usage map and the unscheduling (eviction) step that the paper
+// highlights as "straightforward with reservation tables ... but unclear
+// ... with finite-state automata" (§10).
+//
+// The paper also notes that "the number of scheduling attempts required
+// per operation can increase significantly with the use of more advanced
+// scheduling techniques such as iterative modulo scheduling", making the
+// MDES transformations more valuable; the modulo benchmarks measure
+// exactly that.
+package modsched
+
+import (
+	"fmt"
+	"sort"
+
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/stats"
+)
+
+// Dep is a dependence within or across loop iterations:
+//
+//	issue(To) >= issue(From) + MinDist - Omega*II
+//
+// Omega is the iteration distance (0 = same iteration).
+type Dep struct {
+	From, To int
+	MinDist  int
+	Omega    int
+}
+
+// mdesTiming adapts the compiled MDES's operand-level distances.
+type mdesTiming struct{ m *lowlevel.MDES }
+
+func (t mdesTiming) FlowDist(producer, consumer *ir.Operation) int {
+	pi, pok := t.m.OpIndex[producer.Opcode]
+	ci, cok := t.m.OpIndex[consumer.Opcode]
+	if !pok || !cok {
+		return 1
+	}
+	return t.m.FlowDistance(pi, ci)
+}
+
+func (t mdesTiming) Latency(opcode string) int {
+	if idx, ok := t.m.OpIndex[opcode]; ok {
+		return t.m.Operations[idx].Latency
+	}
+	return 1
+}
+
+// Loop is a candidate for software pipelining: a branch-free body plus its
+// loop-carried dependences. Intra-iteration dependences are derived from
+// the body's registers and memory references exactly as for list
+// scheduling.
+type Loop struct {
+	Body *ir.Block
+	// Carried holds the loop-carried (Omega >= 1) dependences.
+	Carried []Dep
+}
+
+// Schedule is a modulo schedule: issue times within the flat schedule and
+// the achieved initiation interval.
+type Schedule struct {
+	II    int
+	Issue []int
+	// Counters accumulates the attempts/options/checks of the search,
+	// including work discarded by evictions.
+	Counters stats.Counters
+	// Evictions counts unscheduled operations (the capability reservation
+	// tables retain and automata lose).
+	Evictions int
+	// TriedIIs records how many candidate IIs were attempted.
+	TriedIIs int
+}
+
+// Scheduler runs iterative modulo scheduling against one compiled MDES.
+type Scheduler struct {
+	mdes *lowlevel.MDES
+	// Budget bounds total placements per candidate II as a multiple of the
+	// operation count (Rau's budget_ratio); default 6.
+	Budget int
+	// MaxII bounds the search; default 4 * (MII + count).
+	MaxII int
+}
+
+// New returns a modulo scheduler for the compiled description.
+func New(m *lowlevel.MDES) *Scheduler {
+	return &Scheduler{mdes: m, Budget: 6}
+}
+
+// deps builds the full dependence set: intra-iteration from the IR graph
+// plus the loop's carried edges.
+func (s *Scheduler) deps(l *Loop) ([]Dep, error) {
+	g := ir.BuildGraphTiming(l.Body, mdesTiming{m: s.mdes})
+	var deps []Dep
+	for _, edges := range g.Succs {
+		for _, e := range edges {
+			deps = append(deps, Dep{From: e.From, To: e.To, MinDist: e.MinDist})
+		}
+	}
+	n := len(l.Body.Ops)
+	for _, d := range l.Carried {
+		if d.Omega < 1 {
+			return nil, fmt.Errorf("modsched: carried dependence %d->%d has omega %d < 1", d.From, d.To, d.Omega)
+		}
+		if d.From < 0 || d.From >= n || d.To < 0 || d.To >= n {
+			return nil, fmt.Errorf("modsched: carried dependence %d->%d out of range", d.From, d.To)
+		}
+		deps = append(deps, d)
+	}
+	return deps, nil
+}
+
+// ResMII computes the resource-constrained lower bound on II: for each
+// resource, the number of times the body's highest-priority options use it
+// (every resource provides one slot per cycle).
+func (s *Scheduler) ResMII(l *Loop) int {
+	usage := map[int32]int{}
+	for _, op := range l.Body.Ops {
+		idx, ok := s.mdes.OpIndex[op.Opcode]
+		if !ok {
+			continue
+		}
+		con := s.mdes.ConstraintFor(idx, op.Cascaded)
+		for _, tree := range con.Trees {
+			// The first option is what an uncontended schedule would pick;
+			// alternatives only relax the bound, so this is a valid
+			// heuristic lower bound when it is the unique choice and an
+			// approximation otherwise (as in Rau's formulation).
+			best := tree.Options[0]
+			if len(tree.Options) > 1 {
+				// With alternatives, charge 1/len to each... integral
+				// bound: charge the least-used resource only when unique.
+				continue
+			}
+			for _, u := range optionUsages(best) {
+				usage[u.Res]++
+			}
+		}
+	}
+	mii := 1
+	for _, n := range usage {
+		if n > mii {
+			mii = n
+		}
+	}
+	return mii
+}
+
+func optionUsages(o *lowlevel.Option) []lowlevel.Usage {
+	if o.Masks == nil {
+		return o.Usages
+	}
+	var out []lowlevel.Usage
+	for _, m := range o.Masks {
+		mask := m.Mask
+		for bit := int32(0); mask != 0; bit++ {
+			if mask&1 != 0 {
+				out = append(out, lowlevel.Usage{Time: m.Time, Res: m.Word*64 + bit})
+			}
+			mask >>= 1
+		}
+	}
+	return out
+}
+
+// RecMII computes the recurrence-constrained lower bound: the smallest II
+// for which no dependence cycle has positive weight under edge weights
+// MinDist - II*Omega (checked with Bellman-Ford on the negated graph).
+func RecMII(n int, deps []Dep, maxII int) int {
+	for ii := 1; ii <= maxII; ii++ {
+		if !hasPositiveCycle(n, deps, ii) {
+			return ii
+		}
+	}
+	return maxII
+}
+
+func hasPositiveCycle(n int, deps []Dep, ii int) bool {
+	// Longest-path relaxation; a positive cycle keeps relaxing after n
+	// rounds.
+	dist := make([]int64, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, d := range deps {
+			w := int64(d.MinDist - ii*d.Omega)
+			if dist[d.From]+w > dist[d.To] {
+				dist[d.To] = dist[d.From] + w
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	// One more round: any further relaxation proves a positive cycle.
+	for _, d := range deps {
+		if dist[d.From]+int64(d.MinDist-ii*d.Omega) > dist[d.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// MII returns the initiation-interval lower bound max(ResMII, RecMII).
+func (s *Scheduler) MII(l *Loop) (int, error) {
+	deps, err := s.deps(l)
+	if err != nil {
+		return 0, err
+	}
+	res := s.ResMII(l)
+	rec := RecMII(len(l.Body.Ops), deps, res+len(l.Body.Ops)*8+64)
+	if rec > res {
+		return rec, nil
+	}
+	return res, nil
+}
+
+// Schedule software-pipelines the loop, searching IIs upward from MII.
+func (s *Scheduler) Schedule(l *Loop) (*Schedule, error) {
+	if len(l.Body.Ops) == 0 {
+		return &Schedule{II: 1}, nil
+	}
+	for _, op := range l.Body.Ops {
+		if op.Branch {
+			return nil, fmt.Errorf("modsched: loop body must be branch-free (op %d)", op.ID)
+		}
+		if _, ok := s.mdes.OpIndex[op.Opcode]; !ok {
+			return nil, fmt.Errorf("modsched: opcode %q not in MDES %s", op.Opcode, s.mdes.MachineName)
+		}
+	}
+	deps, err := s.deps(l)
+	if err != nil {
+		return nil, err
+	}
+	mii, err := s.MII(l)
+	if err != nil {
+		return nil, err
+	}
+	maxII := s.MaxII
+	if maxII == 0 {
+		maxII = 4 * (mii + len(l.Body.Ops))
+	}
+	result := &Schedule{}
+	for ii := mii; ii <= maxII; ii++ {
+		result.TriedIIs++
+		if s.tryII(l, deps, ii, result) {
+			result.II = ii
+			return result, nil
+		}
+	}
+	return nil, fmt.Errorf("modsched: no schedule found up to II=%d", maxII)
+}
+
+// tryII is one iteration of Rau's algorithm at a fixed II.
+func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
+	n := len(l.Body.Ops)
+	budget := s.Budget * n
+
+	// Height-based priority from the dependence set (acyclic part).
+	height := heights(n, deps, ii)
+
+	mm := newModMap(s.mdes.NumResources, ii)
+	issue := make([]int, n)
+	placed := make([]bool, n)
+	sel := make([]selection, n)
+	neverScheduled := make([]bool, n)
+	for i := range neverScheduled {
+		neverScheduled[i] = true
+	}
+
+	preds := make([][]Dep, n)
+	succs := make([][]Dep, n)
+	for _, d := range deps {
+		preds[d.To] = append(preds[d.To], d)
+		succs[d.From] = append(succs[d.From], d)
+	}
+
+	// Worklist ordered by (height desc, index asc).
+	inList := make([]bool, n)
+	var list []int
+	push := func(i int) {
+		if !inList[i] {
+			inList[i] = true
+			list = append(list, i)
+		}
+	}
+	pop := func() int {
+		best := -1
+		for _, i := range list {
+			if best < 0 || height[i] > height[best] || (height[i] == height[best] && i < best) {
+				best = i
+			}
+		}
+		// Remove best.
+		for k, i := range list {
+			if i == best {
+				list = append(list[:k], list[k+1:]...)
+				break
+			}
+		}
+		inList[best] = false
+		return best
+	}
+	for i := 0; i < n; i++ {
+		push(i)
+	}
+
+	lastTried := make([]int, n)
+	for budget > 0 && len(list) > 0 {
+		opIdx := pop()
+		budget--
+
+		// Earliest start from PLACED predecessors.
+		estart := 0
+		for _, d := range preds[opIdx] {
+			if d.From == opIdx || !placed[d.From] {
+				continue
+			}
+			if v := issue[d.From] + d.MinDist - d.Omega*ii; v > estart {
+				estart = v
+			}
+		}
+
+		op := l.Body.Ops[opIdx]
+		mdIdx := s.mdes.OpIndex[op.Opcode]
+		con := s.mdes.ConstraintFor(mdIdx, op.Cascaded)
+
+		// Try II consecutive slots; each try is a scheduling attempt.
+		chosen := -1
+		var chosenSel selection
+		for t := estart; t < estart+ii; t++ {
+			se, ok := mm.check(con, t, &out.Counters)
+			if ok {
+				chosen = t
+				chosenSel = se
+				break
+			}
+		}
+		if chosen < 0 {
+			// Forced placement with eviction (the unscheduling step).
+			chosen = estart
+			if !neverScheduled[opIdx] && chosen <= lastTried[opIdx] {
+				chosen = lastTried[opIdx] + 1
+			}
+			evicted := mm.evictConflicts(con, chosen)
+			for _, v := range evicted {
+				if v != opIdx && placed[v] {
+					placed[v] = false
+					out.Evictions++
+					push(v)
+				}
+			}
+			se, ok := mm.check(con, chosen, &out.Counters)
+			if !ok {
+				// The constraint conflicts with itself at this II (modulo
+				// self-collision); this II is infeasible for this op.
+				mm.restore(evicted, sel, issue)
+				return false
+			}
+			chosenSel = se
+		}
+		mm.reserve(chosenSel, opIdx)
+		issue[opIdx] = chosen
+		sel[opIdx] = chosenSel
+		placed[opIdx] = true
+		neverScheduled[opIdx] = false
+		lastTried[opIdx] = chosen
+
+		// Unschedule placed ops whose dependences the new placement breaks.
+		for _, d := range succs[opIdx] {
+			if d.To == opIdx || !placed[d.To] {
+				continue
+			}
+			if issue[d.To] < chosen+d.MinDist-d.Omega*ii {
+				mm.release(sel[d.To], d.To)
+				placed[d.To] = false
+				out.Evictions++
+				push(d.To)
+			}
+		}
+		for _, d := range preds[opIdx] {
+			if d.From == opIdx || !placed[d.From] {
+				continue
+			}
+			if chosen < issue[d.From]+d.MinDist-d.Omega*ii {
+				mm.release(sel[d.From], d.From)
+				placed[d.From] = false
+				out.Evictions++
+				push(d.From)
+			}
+		}
+	}
+	if len(list) > 0 {
+		mm.reset()
+		return false
+	}
+	out.Issue = issue
+	return true
+}
+
+// heights computes a priority from the acyclic subgraph (edges with
+// positive slack direction), approximating Rau's height-based priority.
+func heights(n int, deps []Dep, ii int) []int {
+	h := make([]int, n)
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, d := range deps {
+			if d.Omega > 0 {
+				continue // carried edges do not feed the acyclic height
+			}
+			if v := h[d.To] + d.MinDist; v > h[d.From] {
+				h[d.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return h
+}
+
+// selection mirrors rumap.Selection for the modulo map.
+type selection struct {
+	con    *lowlevel.Constraint
+	issue  int
+	chosen []int
+	valid  bool
+}
+
+// modMap is the modulo resource-usage map: II rows of slot owners; slot
+// (res, cycle) maps to row cycle mod II. Owners enable eviction.
+type modMap struct {
+	ii    int
+	nres  int
+	owner [][]int // [row][res] -> op index or -1
+}
+
+func newModMap(nres, ii int) *modMap {
+	m := &modMap{ii: ii, nres: nres}
+	m.owner = make([][]int, ii)
+	for i := range m.owner {
+		row := make([]int, nres)
+		for j := range row {
+			row[j] = -1
+		}
+		m.owner[i] = row
+	}
+	return m
+}
+
+func (m *modMap) reset() {
+	for _, row := range m.owner {
+		for j := range row {
+			row[j] = -1
+		}
+	}
+}
+
+func (m *modMap) row(t int32, issue int) []int {
+	r := (issue + int(t)) % m.ii
+	if r < 0 {
+		r += m.ii
+	}
+	return m.owner[r]
+}
+
+// check performs the same greedy AND-of-OR-trees algorithm as rumap.Check,
+// against the modulo map, also rejecting options that fold onto the same
+// slot twice (a modulo self-collision at this II).
+func (m *modMap) check(con *lowlevel.Constraint, issue int, c *stats.Counters) (selection, bool) {
+	c.Attempts++
+	sel := selection{con: con, issue: issue, chosen: make([]int, len(con.Trees)), valid: true}
+	// Track slots taken by earlier trees of this same selection so the
+	// AND-combination cannot double-book a folded slot.
+	taken := map[[2]int]bool{}
+	for ti, tree := range con.Trees {
+		found := -1
+		for oi, o := range tree.Options {
+			c.OptionsChecked++
+			if m.optionFree(o, issue, taken, c) {
+				found = oi
+				break
+			}
+		}
+		if found < 0 {
+			return selection{}, false
+		}
+		sel.chosen[ti] = found
+		for _, u := range optionUsages(tree.Options[found]) {
+			r := (issue + int(u.Time)) % m.ii
+			if r < 0 {
+				r += m.ii
+			}
+			taken[[2]int{r, int(u.Res)}] = true
+		}
+	}
+	return sel, true
+}
+
+func (m *modMap) optionFree(o *lowlevel.Option, issue int, taken map[[2]int]bool, c *stats.Counters) bool {
+	seen := map[[2]int]bool{}
+	for _, u := range optionUsages(o) {
+		c.ResourceChecks++
+		r := (issue + int(u.Time)) % m.ii
+		if r < 0 {
+			r += m.ii
+		}
+		key := [2]int{r, int(u.Res)}
+		if m.owner[r][u.Res] >= 0 || taken[key] || seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+func (m *modMap) reserve(sel selection, op int) {
+	for ti, tree := range sel.con.Trees {
+		for _, u := range optionUsages(tree.Options[sel.chosen[ti]]) {
+			m.row(u.Time, sel.issue)[u.Res] = op
+		}
+	}
+}
+
+func (m *modMap) release(sel selection, op int) {
+	if !sel.valid {
+		return
+	}
+	for ti, tree := range sel.con.Trees {
+		for _, u := range optionUsages(tree.Options[sel.chosen[ti]]) {
+			row := m.row(u.Time, sel.issue)
+			if row[u.Res] == op {
+				row[u.Res] = -1
+			}
+		}
+	}
+}
+
+// evictConflicts frees every slot any option combination of con could need
+// at the forced issue time, returning the owners removed. Following Rau,
+// the forced placement displaces the current holders of the
+// highest-priority option's slots.
+func (m *modMap) evictConflicts(con *lowlevel.Constraint, issue int) []int {
+	victims := map[int]bool{}
+	for _, tree := range con.Trees {
+		o := tree.Options[0]
+		for _, u := range optionUsages(o) {
+			row := m.row(u.Time, issue)
+			if owner := row[u.Res]; owner >= 0 {
+				victims[owner] = true
+			}
+		}
+	}
+	var out []int
+	for v := range victims {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	for _, v := range out {
+		m.evictOp(v)
+	}
+	return out
+}
+
+func (m *modMap) evictOp(op int) {
+	for _, row := range m.owner {
+		for j, owner := range row {
+			if owner == op {
+				row[j] = -1
+			}
+		}
+	}
+}
+
+// restore is a no-op placeholder kept for symmetry: a failed II attempt
+// discards the whole map rather than repairing it.
+func (m *modMap) restore([]int, []selection, []int) {}

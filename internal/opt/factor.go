@@ -1,0 +1,208 @@
+package opt
+
+import (
+	"sort"
+
+	"mdes/internal/lowlevel"
+)
+
+// FactorORTrees discovers AND/OR structure hidden in flat OR-trees: when a
+// constraint's single OR-tree is exactly the cross product of smaller
+// independent option sets, it is split into an AND of those OR-trees and
+// the MDES's form becomes FormAndOr. The paper's §8 observes that its
+// transformations "can also be used to create some simple AND/OR-trees
+// from OR-tree descriptions"; this pass is the full version of that idea,
+// able to recover the complete AND/OR structure of a machine description
+// that was delivered pre-expanded (Table 6's 98.6% size reduction then
+// applies to descriptions whose authors never wrote AND/OR-trees at all).
+//
+// Soundness: a factorization is accepted only if re-expanding the factored
+// trees reproduces the original option list exactly — same usages, same
+// priority order — so greedy option selection (and therefore every
+// schedule) is unchanged. The pass requires the scalar usage form (run it
+// before bit-vector packing).
+func FactorORTrees(m *lowlevel.MDES) Report {
+	rep := Report{Pass: "factor-or-trees"}
+	if m.Packed {
+		return rep
+	}
+	changed := false
+	for _, c := range m.Constraints {
+		var out []*lowlevel.Tree
+		for _, t := range c.Trees {
+			factors := factorTree(m, t)
+			if len(factors) > 1 {
+				changed = true
+				rep.TreesFactored++
+				rep.OptionsRemoved += len(t.Options) - totalOptions(factors)
+				out = append(out, factors...)
+			} else {
+				out = append(out, t)
+			}
+		}
+		c.Trees = out
+	}
+	if changed {
+		m.Form = lowlevel.FormAndOr
+		EliminateRedundant(m)
+	}
+	return rep
+}
+
+func totalOptions(trees []*lowlevel.Tree) int {
+	n := 0
+	for _, t := range trees {
+		n += len(t.Options)
+	}
+	return n
+}
+
+// factorTree recursively splits one OR-tree into cross-product factors.
+// It returns a single-element slice (the original tree) when no valid
+// split exists.
+func factorTree(m *lowlevel.MDES, t *lowlevel.Tree) []*lowlevel.Tree {
+	n := len(t.Options)
+	if n < 4 {
+		// A product needs at least 2x2.
+		return []*lowlevel.Tree{t}
+	}
+	sets := make([]map[lowlevel.Usage]bool, n)
+	for i, o := range t.Options {
+		sets[i] = usageSetScalar(o)
+	}
+	// Try block periods p (the first factor's option count, varying
+	// fastest), smallest first so factors come out maximally split.
+	for p := 2; p <= n/2; p++ {
+		if n%p != 0 {
+			continue
+		}
+		first, rest, ok := trySplit(t, sets, p)
+		if !ok {
+			continue
+		}
+		// Recurse on both factors.
+		out := factorTree(m, first)
+		out = append(out, factorTree(m, rest)...)
+		registerFactors(m, out)
+		return out
+	}
+	return []*lowlevel.Tree{t}
+}
+
+func usageSetScalar(o *lowlevel.Option) map[lowlevel.Usage]bool {
+	s := make(map[lowlevel.Usage]bool, len(o.Usages))
+	for _, u := range o.Usages {
+		s[u] = true
+	}
+	return s
+}
+
+// trySplit tests whether options decompose as F[j] ∪ R[b] with
+// options[b*p+j] == F[j] ∪ R[b], F the within-block varying part.
+func trySplit(t *lowlevel.Tree, sets []map[lowlevel.Usage]bool, p int) (first, rest *lowlevel.Tree, ok bool) {
+	n := len(t.Options)
+	// The varying part of block 0: usages not common to all of block 0.
+	common := map[lowlevel.Usage]bool{}
+	for u := range sets[0] {
+		common[u] = true
+	}
+	for j := 1; j < p; j++ {
+		for u := range common {
+			if !sets[j][u] {
+				delete(common, u)
+			}
+		}
+	}
+	// F[j] = block-0 option j minus common part.
+	F := make([]map[lowlevel.Usage]bool, p)
+	for j := 0; j < p; j++ {
+		F[j] = map[lowlevel.Usage]bool{}
+		for u := range sets[j] {
+			if !common[u] {
+				F[j][u] = true
+			}
+		}
+		if len(F[j]) == 0 {
+			return nil, nil, false // degenerate factor
+		}
+	}
+	// R[b] = option b*p minus F[0].
+	nb := n / p
+	R := make([]map[lowlevel.Usage]bool, nb)
+	for b := 0; b < nb; b++ {
+		R[b] = map[lowlevel.Usage]bool{}
+		for u := range sets[b*p] {
+			if !F[0][u] {
+				R[b][u] = true
+			}
+		}
+	}
+	// Verify every option equals F[j] ∪ R[b], with F[j] and R[b] disjoint.
+	for b := 0; b < nb; b++ {
+		for j := 0; j < p; j++ {
+			s := sets[b*p+j]
+			if len(s) != len(F[j])+len(R[b]) {
+				return nil, nil, false
+			}
+			for u := range F[j] {
+				if !s[u] || R[b][u] {
+					return nil, nil, false
+				}
+			}
+			for u := range R[b] {
+				if !s[u] {
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	first = &lowlevel.Tree{Name: t.Name + "/f", SharedBy: 1}
+	for j := 0; j < p; j++ {
+		first.Options = append(first.Options, optionFromSet(F[j]))
+	}
+	rest = &lowlevel.Tree{Name: t.Name + "/r", SharedBy: 1}
+	for b := 0; b < nb; b++ {
+		rest.Options = append(rest.Options, optionFromSet(R[b]))
+	}
+	return first, rest, true
+}
+
+func optionFromSet(s map[lowlevel.Usage]bool) *lowlevel.Option {
+	usages := make([]lowlevel.Usage, 0, len(s))
+	for u := range s {
+		usages = append(usages, u)
+	}
+	sort.Slice(usages, func(i, j int) bool {
+		if usages[i].Time != usages[j].Time {
+			return usages[i].Time < usages[j].Time
+		}
+		return usages[i].Res < usages[j].Res
+	})
+	return &lowlevel.Option{Usages: usages}
+}
+
+// registerFactors pools freshly created trees and options.
+func registerFactors(m *lowlevel.MDES, trees []*lowlevel.Tree) {
+	pooledTree := map[*lowlevel.Tree]bool{}
+	for _, t := range m.Trees {
+		pooledTree[t] = true
+	}
+	pooledOpt := map[*lowlevel.Option]bool{}
+	for _, o := range m.Options {
+		pooledOpt[o] = true
+	}
+	for _, t := range trees {
+		for _, o := range t.Options {
+			if !pooledOpt[o] {
+				o.ID = len(m.Options)
+				m.Options = append(m.Options, o)
+				pooledOpt[o] = true
+			}
+		}
+		if !pooledTree[t] {
+			t.ID = len(m.Trees)
+			m.Trees = append(m.Trees, t)
+			pooledTree[t] = true
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package opt
+
+import (
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+)
+
+// Regression: after CSE, a hoist target option can be POOLED with an
+// option of an unrelated tree (here, `use A[0] @ 0` equals the first
+// option of the shared one_of tree). Hoisting must not mutate the shared
+// object, or unrelated classes silently acquire the hoisted usage.
+func TestHoistDoesNotCorruptPooledOptions(t *testing.T) {
+	src := `machine R {
+	  resource A[2];
+	  resource D[2];
+	  resource X;
+	  // other uses one_of A: its first option {A[0]@0} will be interned
+	  // together with hoister's use-clause option.
+	  class other {
+	    one_of A[0..1] @ 0;
+	  }
+	  // hoister: X@0 is common to both dispatch options; rule 1 hoists it
+	  // into the one-option use-A[0] tree.
+	  class hoister {
+	    tree {
+	      option { D[0] @ 0; X @ 0; }
+	      option { D[1] @ 0; X @ 0; }
+	    }
+	    use A[0] @ 0;
+	  }
+	  operation OTHER class other;
+	  operation HOIST class hoister;
+	}`
+	mach, err := hmdes.Load("r", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	rep := HoistCommonUsages(m)
+	if rep.UsagesHoisted != 1 {
+		t.Fatalf("UsagesHoisted = %d, want 1", rep.UsagesHoisted)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// class other must still have single-usage options.
+	other := m.Constraints[m.ClassIndex["other"]]
+	for _, o := range other.Trees[0].Options {
+		if len(o.Usages) != 1 {
+			t.Fatalf("pooled option corrupted: other's option has usages %v", o.Usages)
+		}
+	}
+	// hoister's one-option tree must now carry A[0] and X.
+	hoister := m.Constraints[m.ClassIndex["hoister"]]
+	var oneOpt *lowlevel.Tree
+	for _, tr := range hoister.Trees {
+		if len(tr.Options) == 1 {
+			oneOpt = tr
+		}
+	}
+	if oneOpt == nil || len(oneOpt.Options[0].Usages) != 2 {
+		t.Fatalf("hoist target wrong: %+v", oneOpt)
+	}
+}

@@ -1,0 +1,81 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+)
+
+// snapshot canonicalizes an MDES's full constraint structure.
+func snapshot(m *lowlevel.MDES) string {
+	s := ""
+	for _, c := range m.Constraints {
+		s += c.Name + "{"
+		for _, t := range c.Trees {
+			s += fmt.Sprintf("[%s:", t.Name)
+			for _, o := range t.Options {
+				s += optionKey(o) + ";"
+			}
+			s += "]"
+		}
+		s += "}"
+	}
+	for _, op := range m.Operations {
+		s += fmt.Sprintf("%s=%d/%d/%d;", op.Name, op.Constraint, op.Cascaded, op.Latency)
+	}
+	return s
+}
+
+// Every pass must be idempotent: running it a second time changes nothing.
+func TestPassesIdempotentOnBuiltins(t *testing.T) {
+	passes := []struct {
+		name string
+		run  func(*lowlevel.MDES) Report
+	}{
+		{"eliminate-redundant", EliminateRedundant},
+		{"prune-dominated", PruneDominatedOptions},
+		{"pack", PackBitVectors},
+		{"shift", func(m *lowlevel.MDES) Report { return ShiftUsageTimes(m, Forward) }},
+		{"sort-zero", SortUsagesTimeZeroFirst},
+		{"sort-trees", SortORTrees},
+		{"hoist", HoistCommonUsages},
+	}
+	for _, name := range machines.AllExtended {
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			mach := machines.MustLoad(name)
+			m := lowlevel.Compile(mach, form)
+			for _, p := range passes {
+				p.run(m) // first application (cumulative pipeline order)
+				before := snapshot(m)
+				p.run(m)
+				after := snapshot(m)
+				if before != after {
+					t.Fatalf("%s/%v: pass %s not idempotent", name, form, p.name)
+				}
+				if err := m.Validate(); err != nil {
+					t.Fatalf("%s/%v after %s: %v", name, form, p.name, err)
+				}
+			}
+		}
+	}
+}
+
+// The whole pipeline is idempotent too.
+func TestPipelineIdempotentOnBuiltins(t *testing.T) {
+	for _, name := range machines.AllExtended {
+		mach := machines.MustLoad(name)
+		m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+		Apply(m, LevelFull, Forward)
+		before := snapshot(m)
+		sizeBefore := m.Size().Total()
+		Apply(m, LevelFull, Forward)
+		if snapshot(m) != before {
+			t.Fatalf("%s: pipeline not idempotent", name)
+		}
+		if m.Size().Total() != sizeBefore {
+			t.Fatalf("%s: size drifted on re-run", name)
+		}
+	}
+}

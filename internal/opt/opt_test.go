@@ -1,0 +1,551 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+)
+
+// fixtureSrc exercises every pass: shared trees (CSE), a duplicated and a
+// dominated option (pruning), multiple same-cycle usages (packing), a
+// resource first used at a non-zero time (shifting), AND/OR trees in
+// suboptimal order (sorting), a common usage across options (hoisting), and
+// a class no operation references (dead-code removal).
+const fixtureSrc = `
+machine Fixture {
+    resource Dec[2];
+    resource Pair;
+    resource U;
+    resource V;
+    resource Wr[2];
+    resource Div;
+
+    tree AnyDec { one_of Dec[0..1] @ -1; }
+    tree AnyWr  { one_of Wr @ 2; }
+
+    class alu {
+        tree AnyWr;
+        tree AnyDec;
+        tree {
+            option { U @ 0; Pair @ 0; }
+            option { V @ 0; Pair @ 0; }
+        }
+    }
+
+    // Same structure authored twice: CSE should merge with alu's trees.
+    class alu_copy {
+        tree {
+            option { Wr[0] @ 2; }
+            option { Wr[1] @ 2; }
+        }
+        tree AnyDec;
+        tree {
+            option { U @ 0; Pair @ 0; }
+            option { V @ 0; Pair @ 0; }
+        }
+    }
+
+    // Dominated options: option 2 duplicates option 1; option 3 is a
+    // superset of option 1.
+    class mem {
+        tree {
+            option { U @ 0; }
+            option { U @ 0; }
+            option { U @ 0; V @ 0; }
+            option { V @ 0; }
+        }
+        tree AnyDec;
+    }
+
+    // Long-latency unit: usages away from time zero.
+    class div {
+        use Div @ 0, Div @ 1, Div @ 2;
+        tree AnyDec;
+    }
+
+    class unused {
+        use U @ 0;
+    }
+
+    operation ALU  class alu latency 1;
+    operation ALUC class alu_copy latency 1;
+    operation LD   class mem latency 2;
+    operation DIV  class div latency 3;
+}
+`
+
+func compileFixture(t *testing.T, form lowlevel.Form) *lowlevel.MDES {
+	t.Helper()
+	m, err := hmdes.Load("fixture", fixtureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lowlevel.Compile(m, form)
+}
+
+func TestEliminateRedundantMergesAndRemovesDead(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	nOpts, nTrees, nCons := len(m.Options), len(m.Trees), len(m.Constraints)
+	rep := EliminateRedundant(m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClassesRemoved != 1 {
+		t.Fatalf("ClassesRemoved = %d, want 1 (class unused)", rep.ClassesRemoved)
+	}
+	if len(m.Constraints) != nCons-1 {
+		t.Fatalf("constraints = %d", len(m.Constraints))
+	}
+	if rep.TreesRemoved == 0 || rep.OptionsRemoved == 0 {
+		t.Fatalf("nothing merged: %+v (opts %d->%d trees %d->%d)",
+			rep, nOpts, len(m.Options), nTrees, len(m.Trees))
+	}
+	// alu and alu_copy must now share all three trees.
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	cp := m.Constraints[m.ClassIndex["alu_copy"]]
+	shared := 0
+	for _, t1 := range alu.Trees {
+		for _, t2 := range cp.Trees {
+			if t1 == t2 {
+				shared++
+			}
+		}
+	}
+	if shared != 3 {
+		t.Fatalf("alu and alu_copy share %d trees, want 3", shared)
+	}
+	// Operation table must still resolve.
+	for _, op := range m.Operations {
+		if m.ConstraintFor(m.OpIndex[op.Name], false) == nil {
+			t.Fatalf("operation %s lost its constraint", op.Name)
+		}
+	}
+	// Idempotent.
+	rep2 := EliminateRedundant(m)
+	if rep2.OptionsRemoved != 0 || rep2.TreesRemoved != 0 || rep2.ClassesRemoved != 0 {
+		t.Fatalf("second run not a no-op: %+v", rep2)
+	}
+}
+
+func TestSharedByRecomputed(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	// AnyDec is used by alu, alu_copy, mem, div.
+	var anyDec *lowlevel.Tree
+	for _, tr := range alu.Trees {
+		if tr.Name == "AnyDec" {
+			anyDec = tr
+		}
+	}
+	if anyDec == nil {
+		t.Fatalf("AnyDec not found")
+	}
+	if anyDec.SharedBy != 4 {
+		t.Fatalf("AnyDec.SharedBy = %d, want 4", anyDec.SharedBy)
+	}
+}
+
+func TestPruneDominatedOptions(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	rep := PruneDominatedOptions(m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mem's tree: duplicate {U@0} removed and superset {U@0,V@0} removed.
+	if rep.OptionsPruned != 2 {
+		t.Fatalf("OptionsPruned = %d, want 2", rep.OptionsPruned)
+	}
+	mem := m.Constraints[m.ClassIndex["mem"]]
+	if got := len(mem.Trees[0].Options); got != 2 {
+		t.Fatalf("mem tree options = %d, want 2 ({U@0},{V@0})", got)
+	}
+}
+
+func TestPruneKeepsDistinctEqualSizeOptions(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	PruneDominatedOptions(m)
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	// The {U,Pair}/{V,Pair} tree must keep both options.
+	if got := len(alu.Trees[2].Options); got != 2 {
+		t.Fatalf("alu pair tree options = %d, want 2", got)
+	}
+}
+
+func TestPackBitVectors(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	rep := PackBitVectors(m)
+	if !m.Packed || rep.OptionsPacked == 0 {
+		t.Fatalf("nothing packed: %+v", rep)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The {U@0, Pair@0} option packs into a single cycle mask.
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	pairOpt := alu.Trees[2].Options[0]
+	if len(pairOpt.Masks) != 1 {
+		t.Fatalf("same-cycle usages packed into %d masks, want 1", len(pairOpt.Masks))
+	}
+	if pairOpt.NumChecks() != 1 {
+		t.Fatalf("NumChecks = %d after packing", pairOpt.NumChecks())
+	}
+	// DIV uses Div at 0,1,2: three masks remain.
+	div := m.Constraints[m.ClassIndex["div"]]
+	if got := div.Trees[0].Options[0].NumChecks(); got != 3 {
+		t.Fatalf("div checks = %d, want 3", got)
+	}
+}
+
+func TestPackIsIdempotent(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	PackBitVectors(m)
+	rep := PackBitVectors(m)
+	if rep.OptionsPacked != 0 {
+		t.Fatalf("second pack repacked %d options", rep.OptionsPacked)
+	}
+}
+
+func TestShiftUsageTimesForward(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	ShiftUsageTimes(m, Forward)
+	// Every resource's earliest usage is now zero.
+	earliest := map[int32]int32{}
+	for _, o := range m.Options {
+		for _, u := range o.Usages {
+			if e, ok := earliest[u.Res]; !ok || u.Time < e {
+				earliest[u.Res] = u.Time
+			}
+		}
+	}
+	for res, e := range earliest {
+		if e != 0 {
+			t.Fatalf("resource %d earliest usage %d, want 0", res, e)
+		}
+	}
+	// Wr was only used at time 2: shifted to 0. Dec at -1: shifted to 0.
+	// Div keeps its 0,1,2 trail.
+	div := m.Constraints[m.ClassIndex["div"]]
+	times := []int32{}
+	for _, u := range div.Trees[0].Options[0].Usages {
+		times = append(times, u.Time)
+	}
+	if len(times) != 3 || times[0] != 0 || times[2] != 2 {
+		t.Fatalf("div usage times = %v", times)
+	}
+}
+
+func TestShiftUsageTimesBackward(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	ShiftUsageTimes(m, Backward)
+	// Every resource's LATEST usage is now zero.
+	latest := map[int32]int32{}
+	for _, o := range m.Options {
+		for _, u := range o.Usages {
+			if e, ok := latest[u.Res]; !ok || u.Time > e {
+				latest[u.Res] = u.Time
+			}
+		}
+	}
+	for res, e := range latest {
+		if e != 0 {
+			t.Fatalf("resource %d latest usage %d, want 0", res, e)
+		}
+	}
+}
+
+func TestShiftRepacksPackedOptions(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	PackBitVectors(m)
+	ShiftUsageTimes(m, Forward)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range m.Options {
+		if o.Masks == nil {
+			t.Fatalf("option lost its packed form")
+		}
+	}
+	// After shifting, Wr@2 and Dec@-1 and U@0 all land at 0: an alu
+	// expanded option in OR form would pack into one mask; here check the
+	// packed pair option still has one mask.
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	if alu.Trees[2].Options[0].NumChecks() != 1 {
+		t.Fatalf("packed option check count changed")
+	}
+}
+
+func TestSortUsagesTimeZeroFirst(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	// Build an option with times 1, 0, 2 to observe reordering; the div
+	// option after a partial shift serves: times 0,1,2 with 0 first
+	// already. Craft directly instead.
+	o := &lowlevel.Option{Usages: []lowlevel.Usage{{Time: 1, Res: 0}, {Time: 0, Res: 1}, {Time: -1, Res: 2}}}
+	m.Options = append(m.Options, o)
+	SortUsagesTimeZeroFirst(m)
+	if o.Usages[0].Time != 0 {
+		t.Fatalf("time-zero usage not first: %v", o.Usages)
+	}
+	if o.Usages[1].Time != -1 || o.Usages[2].Time != 1 {
+		t.Fatalf("remaining order not ascending: %v", o.Usages)
+	}
+}
+
+func TestSortORTrees(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	ShiftUsageTimes(m, Forward)
+	rep := SortORTrees(m)
+	if rep.TreesReordered == 0 {
+		t.Fatalf("no constraint reordered")
+	}
+	// After shifting all trees start at 0; within alu the pair tree (2
+	// options) must be checked before AnyWr/AnyDec (2 options each but
+	// AnyDec shared by 4 > pair's 2)... tie on option count: order by
+	// SharedBy desc. AnyDec SharedBy=4, AnyWr=2, pair=2.
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	if alu.Trees[0].Name != "AnyDec" {
+		t.Fatalf("first tree = %q, want AnyDec (most shared)", alu.Trees[0].Name)
+	}
+}
+
+func TestSortORTreesNoOpForOR(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormOR)
+	rep := SortORTrees(m)
+	if rep.TreesReordered != 0 {
+		t.Fatalf("OR form reordered")
+	}
+}
+
+func TestSortORTreesEarliestTimeWins(t *testing.T) {
+	// Without shifting, AnyDec's usages are at -1: earliest time wins over
+	// option counts.
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	SortORTrees(m)
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	if alu.Trees[0].Name != "AnyDec" {
+		t.Fatalf("first tree = %q, want AnyDec (earliest usage -1)", alu.Trees[0].Name)
+	}
+}
+
+func TestHoistCommonUsages(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	EliminateRedundant(m)
+	PackBitVectors(m)
+	ShiftUsageTimes(m, Forward)
+	SortUsagesTimeZeroFirst(m)
+	SortORTrees(m)
+	rep := HoistCommonUsages(m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pair@0 is common to both options of the alu pair tree, and div's
+	// one-option Div tree exists only in div's class — within alu there is
+	// no one-option tree at time 0... after shift AnyWr and AnyDec have 2
+	// options each. So rule 2 applies only if Pair is the sole usage at its
+	// time — it is not (U/V share time 0). Hence no hoist in alu...
+	// unless rule 1 found a one-option tree. Assert semantics directly:
+	// every constraint must still represent the same expanded usage combos.
+	_ = rep
+	alu := m.Constraints[m.ClassIndex["alu"]]
+	total := 1
+	for _, tr := range alu.Trees {
+		total *= len(tr.Options)
+	}
+	if total != 2*2*2 && total != 2*2*2*1 {
+		t.Fatalf("alu option count changed: %d", total)
+	}
+}
+
+func TestHoistRule1MovesIntoExistingTree(t *testing.T) {
+	src := `machine H {
+	  resource Slot;
+	  resource Pipe[2];
+	  resource Pair;
+	  class c {
+	    use Slot @ 0;
+	    tree {
+	      option { Pipe[0] @ 0; Pair @ 0; }
+	      option { Pipe[1] @ 0; Pair @ 0; }
+	    }
+	  }
+	  operation X class c;
+	}`
+	mach, err := hmdes.Load("h", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	rep := HoistCommonUsages(m)
+	if rep.UsagesHoisted != 1 {
+		t.Fatalf("UsagesHoisted = %d, want 1", rep.UsagesHoisted)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Constraints[m.ClassIndex["c"]]
+	// The one-option Slot tree must now also use Pair@0.
+	var oneOpt *lowlevel.Tree
+	for _, tr := range c.Trees {
+		if len(tr.Options) == 1 {
+			oneOpt = tr
+		}
+	}
+	if oneOpt == nil || len(oneOpt.Options[0].Usages) != 2 {
+		t.Fatalf("hoist target wrong: %+v", oneOpt)
+	}
+	// Pipe options must have lost the Pair usage.
+	for _, tr := range c.Trees {
+		if len(tr.Options) == 2 {
+			for _, o := range tr.Options {
+				if len(o.Usages) != 1 {
+					t.Fatalf("pair usage not removed: %v", o.Usages)
+				}
+			}
+		}
+	}
+}
+
+func TestHoistRule2CreatesTree(t *testing.T) {
+	src := `machine H {
+	  resource Pipe[2];
+	  resource Bus;
+	  class c {
+	    tree {
+	      option { Pipe[0] @ 0; Bus @ 1; }
+	      option { Pipe[1] @ 0; Bus @ 1; }
+	    }
+	  }
+	  operation X class c;
+	}`
+	mach, err := hmdes.Load("h", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	rep := HoistCommonUsages(m)
+	if rep.UsagesHoisted != 1 {
+		t.Fatalf("UsagesHoisted = %d, want 1 (rule 2)", rep.UsagesHoisted)
+	}
+	c := m.Constraints[m.ClassIndex["c"]]
+	if len(c.Trees) != 2 {
+		t.Fatalf("trees = %d, want 2 (new one-option tree)", len(c.Trees))
+	}
+}
+
+func TestHoistClonesSharedTrees(t *testing.T) {
+	src := `machine H {
+	  resource Slot;
+	  resource Pipe[2];
+	  resource Pair;
+	  tree Shared {
+	    option { Pipe[0] @ 0; Pair @ 0; }
+	    option { Pipe[1] @ 0; Pair @ 0; }
+	  }
+	  class c1 {
+	    use Slot @ 0;
+	    tree Shared;
+	  }
+	  class c2 {
+	    tree Shared;
+	  }
+	  operation X class c1;
+	  operation Y class c2;
+	}`
+	mach, err := hmdes.Load("h", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	HoistCommonUsages(m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// c2 has no one-option tree and Pair is not alone at its time, so its
+	// (shared) tree must be untouched: both options still carry Pair.
+	c2 := m.Constraints[m.ClassIndex["c2"]]
+	for _, o := range c2.Trees[0].Options {
+		found := false
+		for _, u := range o.Usages {
+			if u.Res == 3 { // Pair is the 4th resource (Slot,Pipe0,Pipe1,Pair)
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shared tree mutated for c2: %v", o.Usages)
+		}
+	}
+}
+
+func TestApplyLevelsCumulative(t *testing.T) {
+	for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+		m := compileFixture(t, form)
+		base := m.Size().Total()
+		var prev int
+		for lvl := LevelNone; lvl <= LevelFull; lvl++ {
+			m2 := compileFixture(t, form)
+			reports := Apply(m2, lvl, Forward)
+			if err := m2.Validate(); err != nil {
+				t.Fatalf("level %v: %v", lvl, err)
+			}
+			s := m2.Size().Total()
+			if lvl == LevelNone {
+				if len(reports) != 0 || s != base {
+					t.Fatalf("LevelNone changed MDES")
+				}
+			}
+			if lvl == LevelRedundancy && s >= base {
+				t.Fatalf("redundancy elimination did not shrink: %d -> %d", base, s)
+			}
+			_ = prev
+			prev = s
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Pass: "x"}
+	if !strings.Contains(r.String(), "no-op") {
+		t.Fatalf("empty report: %s", r)
+	}
+	r.OptionsPruned = 3
+	if !strings.Contains(r.String(), "optionsPruned=3") {
+		t.Fatalf("report: %s", r)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{
+		LevelNone: "none", LevelRedundancy: "redundancy",
+		LevelBitVector: "bit-vector", LevelTimeShift: "time-shift",
+		LevelFull: "full", Level(99): "unknown",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Fatalf("Level(%d).String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestUnpackRoundTrip(t *testing.T) {
+	usages := []lowlevel.Usage{{Time: 0, Res: 3}, {Time: 0, Res: 70}, {Time: 2, Res: 3}}
+	o := &lowlevel.Option{Usages: usages}
+	o.Masks = packUsages(usages)
+	if len(o.Masks) != 3 { // time 0 word 0, time 0 word 1, time 2 word 0
+		t.Fatalf("masks = %v", o.Masks)
+	}
+	back := unpackOption(o)
+	if len(back) != 3 {
+		t.Fatalf("unpacked = %v", back)
+	}
+	for i := range usages {
+		if back[i] != usages[i] {
+			t.Fatalf("round trip: %v != %v", back, usages)
+		}
+	}
+}

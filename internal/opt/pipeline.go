@@ -1,0 +1,66 @@
+package opt
+
+import "mdes/internal/lowlevel"
+
+// Level selects how far the optimization pipeline runs. Levels are
+// cumulative and mirror the paper's section ordering, so each level's
+// increment corresponds to one of the paper's incremental-effect tables.
+type Level int
+
+const (
+	// LevelNone leaves the MDES exactly as compiled (§4 "original").
+	LevelNone Level = iota
+	// LevelRedundancy adds CSE/copy-propagation/dead-code removal and
+	// dominated-option pruning (§5, Tables 7-8).
+	LevelRedundancy
+	// LevelBitVector adds bit-vector packing (§6, Tables 9-10).
+	LevelBitVector
+	// LevelTimeShift adds usage-time shifting and time-zero-first check
+	// ordering (§7, Tables 11-12).
+	LevelTimeShift
+	// LevelFull adds AND/OR-tree conflict-detection ordering and
+	// common-usage hoisting (§8, Table 13); both are no-ops for FormOR, so
+	// for OR-form descriptions LevelFull equals LevelTimeShift, matching
+	// the paper's "fully optimized OR" columns (Tables 14-15).
+	LevelFull
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelRedundancy:
+		return "redundancy"
+	case LevelBitVector:
+		return "bit-vector"
+	case LevelTimeShift:
+		return "time-shift"
+	case LevelFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// Apply runs the pipeline up to the given level, in the paper's order,
+// returning one report per executed pass. dir configures the usage-time
+// shift for a forward or backward scheduler.
+func Apply(m *lowlevel.MDES, level Level, dir Direction) []Report {
+	var reports []Report
+	run := func(r Report) { reports = append(reports, r) }
+	if level >= LevelRedundancy {
+		run(EliminateRedundant(m))
+		run(PruneDominatedOptions(m))
+	}
+	if level >= LevelBitVector {
+		run(PackBitVectors(m))
+	}
+	if level >= LevelTimeShift {
+		run(ShiftUsageTimes(m, dir))
+		run(SortUsagesTimeZeroFirst(m))
+	}
+	if level >= LevelFull {
+		run(SortORTrees(m))
+		run(HoistCommonUsages(m))
+	}
+	return reports
+}

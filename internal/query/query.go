@@ -1,0 +1,221 @@
+// Package query gives compiler modules other than the scheduler access to
+// machine-description information — the paper's introduction argues that
+// ILP transformations such as predication and height reduction "also need
+// to use execution constraints to avoid over-subscription of processor
+// resources", and that most modules forgo the MDES only because no
+// efficient query interface exists. This package is that interface, built
+// on the compiled low-level representation.
+package query
+
+import (
+	"fmt"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// Q answers execution-constraint queries against one compiled MDES.
+// It is not safe for concurrent use; create one per goroutine.
+type Q struct {
+	mdes *lowlevel.MDES
+	ru   *rumap.Map
+}
+
+// New returns a query interface over the compiled description.
+func New(m *lowlevel.MDES) *Q {
+	return &Q{mdes: m, ru: rumap.New(m.NumResources)}
+}
+
+// Latency returns an opcode's result latency.
+func (q *Q) Latency(opcode string) (int, error) {
+	idx, ok := q.mdes.OpIndex[opcode]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", opcode)
+	}
+	return q.mdes.Operations[idx].Latency, nil
+}
+
+// MustLatency is Latency for known-good opcodes; it panics on unknown
+// names (a programming error in the caller's opcode tables).
+func (q *Q) MustLatency(opcode string) int {
+	lat, err := q.Latency(opcode)
+	if err != nil {
+		panic(err)
+	}
+	return lat
+}
+
+// FlowDistance returns the dependence distance a flow edge from producer
+// to consumer must respect (latency, source sample time, bypasses).
+func (q *Q) FlowDistance(producer, consumer string) (int, error) {
+	pi, ok := q.mdes.OpIndex[producer]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", producer)
+	}
+	ci, ok := q.mdes.OpIndex[consumer]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", consumer)
+	}
+	return q.mdes.FlowDistance(pi, ci), nil
+}
+
+// CanIssueTogether reports whether all the given opcodes can issue in one
+// cycle on an otherwise idle machine — the primary over-subscription probe
+// for if-conversion and height reduction: merging two paths is only
+// profitable if the merged cycle's operations actually fit.
+func (q *Q) CanIssueTogether(opcodes ...string) (bool, error) {
+	q.ru.Reset()
+	var c stats.Counters
+	var sels []rumap.Selection
+	defer func() {
+		for _, s := range sels {
+			q.ru.Release(s)
+		}
+	}()
+	for _, opc := range opcodes {
+		idx, ok := q.mdes.OpIndex[opc]
+		if !ok {
+			return false, fmt.Errorf("query: unknown opcode %q", opc)
+		}
+		sel, ok2 := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+		if !ok2 {
+			return false, nil
+		}
+		q.ru.Reserve(sel)
+		sels = append(sels, sel)
+	}
+	return true, nil
+}
+
+// MaxPerCycle returns how many instances of an opcode can issue in a
+// single cycle (bounded by limit to keep pathological descriptions cheap).
+func (q *Q) MaxPerCycle(opcode string, limit int) (int, error) {
+	idx, ok := q.mdes.OpIndex[opcode]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", opcode)
+	}
+	q.ru.Reset()
+	var c stats.Counters
+	var sels []rumap.Selection
+	defer func() {
+		for _, s := range sels {
+			q.ru.Release(s)
+		}
+	}()
+	n := 0
+	for n < limit {
+		sel, ok := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+		if !ok {
+			break
+		}
+		q.ru.Reserve(sel)
+		sels = append(sels, sel)
+		n++
+	}
+	return n, nil
+}
+
+// MinIssueDistance returns the smallest non-negative issue separation t at
+// which an instance of `second` can follow an instance of `first` without
+// a resource conflict, assuming both greedily pick their highest-priority
+// available options on an otherwise idle machine. For fully pipelined
+// operations this is 0 or 1; for unpipelined units (divide, the Pentium's
+// non-pairable ops) it exposes the structural hazard distance other
+// modules need for height estimates.
+func (q *Q) MinIssueDistance(first, second string, limit int) (int, error) {
+	fi, ok := q.mdes.OpIndex[first]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", first)
+	}
+	si, ok := q.mdes.OpIndex[second]
+	if !ok {
+		return 0, fmt.Errorf("query: unknown opcode %q", second)
+	}
+	q.ru.Reset()
+	var c stats.Counters
+	sel, ok := q.ru.Check(q.mdes.ConstraintFor(fi, false), 0, &c)
+	if !ok {
+		return 0, fmt.Errorf("query: %q cannot issue on an idle machine", first)
+	}
+	q.ru.Reserve(sel)
+	defer q.ru.Release(sel)
+	for t := 0; t <= limit; t++ {
+		if _, ok := q.ru.Check(q.mdes.ConstraintFor(si, false), t, &c); ok {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("query: no feasible separation within %d cycles", limit)
+}
+
+// IssueWidth estimates the machine's sustainable issue width: the largest
+// k such that some multiset of k operations (drawn from the operation
+// table, tried greedily) issues in one cycle. It probes each opcode's
+// MaxPerCycle and the pairwise combinations of distinct opcodes.
+func (q *Q) IssueWidth(limit int) int {
+	best := 0
+	for _, op := range q.mdes.Operations {
+		if n, err := q.MaxPerCycle(op.Name, limit); err == nil && n > best {
+			best = n
+		}
+	}
+	// Mixed pairs can beat homogeneous streams (e.g. one integer + one FP).
+	for _, a := range q.mdes.Operations {
+		for _, b := range q.mdes.Operations {
+			if a == b {
+				continue
+			}
+			count := 0
+			q.ru.Reset()
+			var c stats.Counters
+			var sels []rumap.Selection
+			for count < limit {
+				var idx int
+				if count%2 == 0 {
+					idx = q.mdes.OpIndex[a.Name]
+				} else {
+					idx = q.mdes.OpIndex[b.Name]
+				}
+				sel, ok := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+				if !ok {
+					break
+				}
+				q.ru.Reserve(sel)
+				sels = append(sels, sel)
+				count++
+			}
+			for _, s := range sels {
+				q.ru.Release(s)
+			}
+			if count > best {
+				best = count
+			}
+		}
+	}
+	return best
+}
+
+// ResourceUse reports, for an opcode's highest-priority option choice, the
+// (resource name, relative cycle) slots it would reserve — the footprint
+// a resource-pressure heuristic charges per operation.
+func (q *Q) ResourceUse(opcode string) (map[string][]int, error) {
+	idx, ok := q.mdes.OpIndex[opcode]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown opcode %q", opcode)
+	}
+	q.ru.Reset()
+	var c stats.Counters
+	sel, ok2 := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+	if !ok2 {
+		return nil, fmt.Errorf("query: %q cannot issue on an idle machine", opcode)
+	}
+	q.ru.Reserve(sel)
+	defer q.ru.Release(sel)
+	out := map[string][]int{}
+	for slot := range q.ru.ReservedSlots() {
+		res, cycle := slot[0], slot[1]
+		name := q.mdes.ResourceNames[res]
+		out[name] = append(out[name], cycle)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package restable
+
+// This file implements the classical theory of pipelined multi-function
+// unit design (Davidson et al.; paper §7): forbidden latencies and collision
+// vectors between reservation-table options. The usage-time shifting
+// transformation is correct precisely because collision vectors depend only
+// on differences of usage times, never their absolute values; the property
+// tests in collision_test.go check that invariant directly.
+
+// ForbiddenLatencies returns the set of latencies t >= 0 such that an
+// operation using option b cannot be initiated t cycles after an operation
+// using option a: t is forbidden iff a and b use some common resource at
+// times i and j respectively with i >= j and i-j == t.
+func ForbiddenLatencies(a, b *Option) map[int]bool {
+	byRes := map[int][]int{}
+	for _, u := range b.Usages {
+		byRes[u.Res] = append(byRes[u.Res], u.Time)
+	}
+	forbidden := map[int]bool{}
+	for _, ua := range a.Usages {
+		for _, j := range byRes[ua.Res] {
+			if ua.Time >= j {
+				forbidden[ua.Time-j] = true
+			}
+		}
+	}
+	return forbidden
+}
+
+// CollisionVector returns the forbidden latencies of (a, b) as a boolean
+// slice indexed by latency, sized to the largest forbidden latency plus one.
+// A nil result means no latency is forbidden.
+func CollisionVector(a, b *Option) []bool {
+	f := ForbiddenLatencies(a, b)
+	max := -1
+	for t := range f {
+		if t > max {
+			max = t
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	v := make([]bool, max+1)
+	for t := range f {
+		v[t] = true
+	}
+	return v
+}
+
+// SameCollisions reports whether the ordered pairs (a1, b1) and (a2, b2)
+// have identical collision vectors, i.e. substituting a2/b2 for a1/b1
+// cannot change any schedule's resource-conflict outcome (paper §7).
+func SameCollisions(a1, b1, a2, b2 *Option) bool {
+	f1 := ForbiddenLatencies(a1, b1)
+	f2 := ForbiddenLatencies(a2, b2)
+	if len(f1) != len(f2) {
+		return false
+	}
+	for t := range f1 {
+		if !f2[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShiftTimes returns a copy of o with shift[r] subtracted from the usage
+// time of every usage of resource r (resources absent from shift are left
+// unchanged). Per-resource constant shifts preserve all collision vectors.
+func ShiftTimes(o *Option, shift map[int]int) *Option {
+	usages := make([]Usage, len(o.Usages))
+	for i, u := range o.Usages {
+		usages[i] = Usage{Res: u.Res, Time: u.Time - shift[u.Res]}
+	}
+	return NewOption(usages)
+}

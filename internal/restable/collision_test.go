@@ -1,0 +1,133 @@
+package restable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForbiddenLatenciesBasic(t *testing.T) {
+	// A uses r0 at times 0 and 3; B uses r0 at time 1.
+	a := NewOption([]Usage{{0, 0}, {0, 3}})
+	b := NewOption([]Usage{{0, 1}})
+	f := ForbiddenLatencies(a, b)
+	// i>=j pairs: (3,1) -> t=2. (0,1) has i<j: not forbidden.
+	if len(f) != 1 || !f[2] {
+		t.Fatalf("forbidden = %v, want {2}", f)
+	}
+}
+
+func TestForbiddenLatenciesDisjointResources(t *testing.T) {
+	a := NewOption([]Usage{{0, 0}})
+	b := NewOption([]Usage{{1, 0}})
+	if f := ForbiddenLatencies(a, b); len(f) != 0 {
+		t.Fatalf("disjoint options forbid %v", f)
+	}
+}
+
+func TestForbiddenLatencyZeroSelfConflict(t *testing.T) {
+	a := NewOption([]Usage{{0, 0}})
+	f := ForbiddenLatencies(a, a)
+	if !f[0] {
+		t.Fatalf("same-resource same-time must forbid latency 0: %v", f)
+	}
+}
+
+func TestCollisionVector(t *testing.T) {
+	a := NewOption([]Usage{{0, 0}, {0, 4}})
+	b := NewOption([]Usage{{0, 0}})
+	v := CollisionVector(a, b)
+	if len(v) != 5 || !v[0] || !v[4] || v[1] || v[2] || v[3] {
+		t.Fatalf("vector = %v", v)
+	}
+	if CollisionVector(NewOption([]Usage{{0, 0}}), NewOption([]Usage{{1, 0}})) != nil {
+		t.Fatalf("disjoint vector not nil")
+	}
+}
+
+func TestSameCollisions(t *testing.T) {
+	a := NewOption([]Usage{{0, 5}})
+	b := NewOption([]Usage{{0, 3}})
+	// Shifting resource 0 by a common constant preserves the vector.
+	shift := map[int]int{0: 3}
+	a2 := ShiftTimes(a, shift)
+	b2 := ShiftTimes(b, shift)
+	if !SameCollisions(a, b, a2, b2) {
+		t.Fatalf("constant shift changed collision vector")
+	}
+	// A genuinely different pair.
+	c := NewOption([]Usage{{0, 4}})
+	if SameCollisions(a, b, c, b) {
+		t.Fatalf("different pair reported same")
+	}
+}
+
+func TestShiftTimesLeavesOtherResources(t *testing.T) {
+	o := NewOption([]Usage{{0, 2}, {1, 2}})
+	s := ShiftTimes(o, map[int]int{0: 2})
+	if s.Usages[0] != (Usage{0, 0}) || s.Usages[1] != (Usage{1, 2}) {
+		t.Fatalf("shifted = %v", s.Usages)
+	}
+}
+
+// randomOption builds a bounded random option over nRes resources.
+func randomOption(r *rand.Rand, nRes int) *Option {
+	n := r.Intn(5) + 1
+	usages := make([]Usage, n)
+	for i := range usages {
+		usages[i] = Usage{Res: r.Intn(nRes), Time: r.Intn(8) - 2}
+	}
+	return NewOption(usages)
+}
+
+// Property (paper §7): subtracting a per-resource constant from usage times
+// preserves every pairwise collision vector.
+func TestQuickShiftPreservesCollisions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nRes = 4
+		a := randomOption(r, nRes)
+		b := randomOption(r, nRes)
+		shift := map[int]int{}
+		for res := 0; res < nRes; res++ {
+			shift[res] = r.Intn(7) - 3
+		}
+		return SameCollisions(a, b, ShiftTimes(a, shift), ShiftTimes(b, shift))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forbidden latencies are exactly the overlaps observed by
+// simulating two options issued t cycles apart on an infinite resource
+// timeline.
+func TestQuickForbiddenMatchesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nRes = 3
+		a := randomOption(r, nRes)
+		b := randomOption(r, nRes)
+		forbidden := ForbiddenLatencies(a, b)
+		for tlat := 0; tlat < 12; tlat++ {
+			occupied := map[Usage]bool{}
+			for _, u := range a.Usages {
+				occupied[u] = true
+			}
+			conflict := false
+			for _, u := range b.Usages {
+				if occupied[Usage{Res: u.Res, Time: u.Time + tlat}] {
+					conflict = true
+					break
+				}
+			}
+			if conflict != forbidden[tlat] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

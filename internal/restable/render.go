@@ -1,0 +1,126 @@
+package restable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file renders reservation tables and trees as ASCII art, regenerating
+// the paper's illustrative figures (Figures 1, 3, 5, 6) for cmd/mdviz.
+
+// RenderOption draws one reservation-table option as a cycle-by-resource
+// grid in the style of the paper's Figure 1, with resource groups as
+// columns ("Decoder" spans three sub-columns) and X marking each usage.
+func RenderOption(rs *ResourceSet, o *Option) string {
+	groups, members := usedGroups(rs, o.Usages)
+	if len(groups) == 0 {
+		return "(no usages)\n"
+	}
+	lo, hi := o.TimeRange()
+
+	var b strings.Builder
+	// Header row.
+	fmt.Fprintf(&b, "%-6s", "Cycle")
+	for _, g := range groups {
+		width := len(members[g])
+		label := g
+		cell := width*2 + 1
+		if len(label)+2 > cell {
+			cell = len(label) + 2
+		}
+		fmt.Fprintf(&b, "|%s", center(label, cell-1))
+	}
+	b.WriteString("|\n")
+
+	used := map[Usage]bool{}
+	for _, u := range o.Usages {
+		used[u] = true
+	}
+	for t := lo; t <= hi; t++ {
+		fmt.Fprintf(&b, "%-6d", t)
+		for _, g := range groups {
+			ms := members[g]
+			cell := len(ms)*2 + 1
+			if len(g)+2 > cell {
+				cell = len(g) + 2
+			}
+			var marks strings.Builder
+			for i, id := range ms {
+				if i > 0 {
+					marks.WriteByte(' ')
+				}
+				if used[Usage{Res: id, Time: t}] {
+					marks.WriteByte('X')
+				} else {
+					marks.WriteByte('.')
+				}
+			}
+			fmt.Fprintf(&b, "|%s", center(marks.String(), cell-1))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// RenderORTree draws every option of an OR-tree in priority order, labeled
+// Option 1..n (Figure 1 / Figure 3a style).
+func RenderORTree(rs *ResourceSet, t *ORTree) string {
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "OR-tree %s (%d options)\n", t.Name, len(t.Options))
+	}
+	for i, o := range t.Options {
+		fmt.Fprintf(&b, "Option %d:\n%s", i+1, indent(RenderOption(rs, o), "  "))
+	}
+	return b.String()
+}
+
+// RenderAndOrTree draws an AND/OR-tree as its AND node over each sub
+// OR-tree (Figure 3b style).
+func RenderAndOrTree(rs *ResourceSet, a *AndOrTree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AND/OR-tree %s: AND of %d OR-trees (%d stored options ≡ %d expanded options)\n",
+		a.Name, len(a.Trees), a.StoredOptionCount(), a.OptionCount())
+	for i, t := range a.Trees {
+		fmt.Fprintf(&b, "├─ OR-tree %d: %s\n%s", i+1, t.Name, indent(RenderORTree(rs, t), "│    "))
+	}
+	return b.String()
+}
+
+// usedGroups returns the resource groups touched by usages (in first-use
+// order) and, per group, its member resource IDs in ID order.
+func usedGroups(rs *ResourceSet, usages []Usage) ([]string, map[string][]int) {
+	var groups []string
+	seen := map[string]bool{}
+	for _, u := range usages {
+		g := rs.Group(u.Res)
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	members := map[string][]int{}
+	for _, g := range groups {
+		ids := rs.GroupMembers(g)
+		sort.Ints(ids)
+		members[g] = ids
+	}
+	return groups, members
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,333 @@
+// Package restable models machine execution constraints as reservation
+// tables, in both the traditional OR-tree form (a prioritized list of
+// fully-enumerated reservation-table options) and the paper's AND/OR-tree
+// form (an AND of OR-trees, one per independent resource choice).
+//
+// This is the mid-level representation: the high-level MDES language
+// (internal/hmdes) lowers into it, and the compiled low-level form
+// (internal/lowlevel) is derived from it.
+package restable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResourceSet is the namespace of abstract resources for one machine.
+// Resources frequently model scheduling rules rather than physical hardware
+// (paper §2); names exist purely for clarity.
+type ResourceSet struct {
+	names  []string       // by ID
+	groups []string       // base group name by ID (e.g. "Decoder" for "Decoder[1]")
+	byName map[string]int // full name -> ID
+}
+
+// NewResourceSet returns an empty resource namespace.
+func NewResourceSet() *ResourceSet {
+	return &ResourceSet{byName: make(map[string]int)}
+}
+
+// Add registers count instances of a resource. A count of 1 registers a
+// single resource under the plain name; count > 1 registers name[0] ..
+// name[count-1]. It returns the ID of the first instance.
+func (rs *ResourceSet) Add(name string, count int) (first int, err error) {
+	if count < 1 {
+		return 0, fmt.Errorf("restable: resource %q count %d < 1", name, count)
+	}
+	first = len(rs.names)
+	if count == 1 {
+		if err := rs.addOne(name, name); err != nil {
+			return 0, err
+		}
+		return first, nil
+	}
+	for i := 0; i < count; i++ {
+		if err := rs.addOne(fmt.Sprintf("%s[%d]", name, i), name); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+func (rs *ResourceSet) addOne(full, group string) error {
+	if _, dup := rs.byName[full]; dup {
+		return fmt.Errorf("restable: duplicate resource %q", full)
+	}
+	rs.byName[full] = len(rs.names)
+	rs.names = append(rs.names, full)
+	rs.groups = append(rs.groups, group)
+	return nil
+}
+
+// Len returns the number of registered resource instances.
+func (rs *ResourceSet) Len() int { return len(rs.names) }
+
+// Name returns the full name of resource id.
+func (rs *ResourceSet) Name(id int) string { return rs.names[id] }
+
+// Group returns the base group name of resource id ("Decoder" for
+// "Decoder[1]"; the plain name for singletons).
+func (rs *ResourceSet) Group(id int) string { return rs.groups[id] }
+
+// Lookup returns the ID for a full resource name.
+func (rs *ResourceSet) Lookup(name string) (int, bool) {
+	id, ok := rs.byName[name]
+	return id, ok
+}
+
+// GroupMembers returns the IDs of all resources in a group, in order.
+func (rs *ResourceSet) GroupMembers(group string) []int {
+	var ids []int
+	for id, g := range rs.groups {
+		if g == group {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Usage records that a resource is occupied at a given usage time, relative
+// to the operation's issue point (time zero = first execution stage, so
+// decode-stage usages carry negative times; paper §2).
+type Usage struct {
+	Res  int // resource ID within the machine's ResourceSet
+	Time int // usage time in cycles
+}
+
+func (u Usage) String() string { return fmt.Sprintf("(r%d@%d)", u.Res, u.Time) }
+
+// Option is one reservation-table option: a set of resource usages that,
+// when simultaneously available, permit the operation to issue.
+// Usages are kept sorted by (Time, Res) and deduplicated.
+type Option struct {
+	Usages []Usage
+}
+
+// NewOption builds an Option from usages, sorting and deduplicating them.
+func NewOption(usages []Usage) *Option {
+	o := &Option{Usages: append([]Usage(nil), usages...)}
+	o.Normalize()
+	return o
+}
+
+// Normalize sorts usages by (Time, Res) and removes duplicates in place.
+func (o *Option) Normalize() {
+	sort.Slice(o.Usages, func(i, j int) bool {
+		a, b := o.Usages[i], o.Usages[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Res < b.Res
+	})
+	out := o.Usages[:0]
+	for i, u := range o.Usages {
+		if i == 0 || u != o.Usages[i-1] {
+			out = append(out, u)
+		}
+	}
+	o.Usages = out
+}
+
+// Equal reports whether two options have identical usage sets.
+func (o *Option) Equal(other *Option) bool {
+	if len(o.Usages) != len(other.Usages) {
+		return false
+	}
+	for i, u := range o.Usages {
+		if other.Usages[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether o's usages are a subset of other's. A
+// lower-priority option whose usages are a superset of a higher-priority
+// option's can never be selected (paper §5), i.e. other is dominated when
+// o.Subsumes(other) holds for a higher-priority o.
+func (o *Option) Subsumes(other *Option) bool {
+	// Both usage lists are normalized; merge-scan.
+	i := 0
+	for _, u := range o.Usages {
+		for i < len(other.Usages) && less(other.Usages[i], u) {
+			i++
+		}
+		if i >= len(other.Usages) || other.Usages[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+func less(a, b Usage) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Res < b.Res
+}
+
+// TimeRange returns the minimum and maximum usage time of the option.
+// It returns (0, -1) for an empty option.
+func (o *Option) TimeRange() (min, max int) {
+	if len(o.Usages) == 0 {
+		return 0, -1
+	}
+	return o.Usages[0].Time, o.Usages[len(o.Usages)-1].Time
+}
+
+// ORTree is a prioritized list of reservation-table options: the operation
+// may issue if any single option's resources are all available, and the
+// first (highest-priority) available option is the one used.
+type ORTree struct {
+	Name    string // optional label, used for sharing and rendering
+	Options []*Option
+}
+
+// NewORTree builds an OR-tree from options in priority order.
+func NewORTree(name string, options ...*Option) *ORTree {
+	return &ORTree{Name: name, Options: options}
+}
+
+// Resources returns the sorted set of distinct resource IDs used anywhere in
+// the tree.
+func (t *ORTree) Resources() []int {
+	seen := map[int]bool{}
+	for _, o := range t.Options {
+		for _, u := range o.Usages {
+			seen[u.Res] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// EarliestTime returns the minimum usage time across all options, or 0 for
+// an empty tree. It is the primary sort key for conflict-detection ordering
+// (paper §8).
+func (t *ORTree) EarliestTime() int {
+	first := true
+	min := 0
+	for _, o := range t.Options {
+		lo, hi := o.TimeRange()
+		if hi < lo {
+			continue
+		}
+		if first || lo < min {
+			min = lo
+			first = false
+		}
+	}
+	return min
+}
+
+// AndOrTree represents an operation's constraint as an AND of OR-trees: one
+// option from every OR-tree must be satisfiable simultaneously. The OR-trees
+// of a well-formed AndOrTree use mutually disjoint resources, which makes
+// per-tree greedy selection equivalent to searching the expanded
+// cross-product OR-tree (verified by ValidateDisjoint and by property tests).
+type AndOrTree struct {
+	Name  string
+	Trees []*ORTree
+}
+
+// NewAndOrTree builds an AND/OR-tree over the given OR-trees.
+func NewAndOrTree(name string, trees ...*ORTree) *AndOrTree {
+	return &AndOrTree{Name: name, Trees: trees}
+}
+
+// ValidateDisjoint returns an error if two OR-trees of the AND/OR-tree use
+// the same (resource, time) slot, naming the offending resource via rs when
+// non-nil. Disjointness at slot granularity is what makes independent
+// per-tree greedy option selection equivalent to searching the expanded
+// cross-product OR-tree: no tree's choice can consume a slot another tree's
+// options need. (The same resource at different times is fine — the K5
+// dispatches through the same slots in consecutive cycles from different
+// OR-trees.)
+func (a *AndOrTree) ValidateDisjoint(rs *ResourceSet) error {
+	owner := map[Usage]int{}
+	for ti, t := range a.Trees {
+		seen := map[Usage]bool{}
+		for _, o := range t.Options {
+			for _, u := range o.Usages {
+				seen[u] = true
+			}
+		}
+		for u := range seen {
+			if prev, clash := owner[u]; clash {
+				name := fmt.Sprintf("resource %d", u.Res)
+				if rs != nil {
+					name = rs.Name(u.Res)
+				}
+				return fmt.Errorf("restable: AND/OR-tree %q: %s at time %d used by OR-trees %d and %d",
+					a.Name, name, u.Time, prev, ti)
+			}
+			owner[u] = ti
+		}
+	}
+	return nil
+}
+
+// OptionCount returns the number of reservation-table options the AND/OR-tree
+// represents, i.e. the product of its OR-tree option counts. This is the
+// option count reported in the paper's Tables 1-4.
+func (a *AndOrTree) OptionCount() int {
+	n := 1
+	for _, t := range a.Trees {
+		n *= len(t.Options)
+	}
+	return n
+}
+
+// StoredOptionCount returns the number of options physically stored by the
+// AND/OR form (the sum of OR-tree option counts), the quantity that makes
+// the representation compact.
+func (a *AndOrTree) StoredOptionCount() int {
+	n := 0
+	for _, t := range a.Trees {
+		n += len(t.Options)
+	}
+	return n
+}
+
+// Expand produces the equivalent flat OR-tree by enumerating the cross
+// product of the OR-trees' options. Priority order makes earlier OR-trees'
+// options vary fastest, which (for disjoint resources) selects exactly the
+// same resources as independent per-tree greedy choice — so the two
+// representations produce identical schedules (paper §4).
+func (a *AndOrTree) Expand() *ORTree {
+	if len(a.Trees) == 0 {
+		return NewORTree(a.Name, NewOption(nil))
+	}
+	combos := []*Option{NewOption(nil)}
+	// Process trees from last to first so that, in the final order, the
+	// first OR-tree's options vary fastest: within each partial combo block
+	// the current tree's options enumerate in priority order.
+	for ti := len(a.Trees) - 1; ti >= 0; ti-- {
+		tree := a.Trees[ti]
+		next := make([]*Option, 0, len(combos)*len(tree.Options))
+		for _, c := range combos {
+			for _, o := range tree.Options {
+				merged := make([]Usage, 0, len(o.Usages)+len(c.Usages))
+				merged = append(merged, o.Usages...)
+				merged = append(merged, c.Usages...)
+				next = append(next, NewOption(merged))
+			}
+		}
+		combos = next
+	}
+	return NewORTree(a.Name, combos...)
+}
+
+// String renders a compact single-line description for debugging.
+func (a *AndOrTree) String() string {
+	parts := make([]string, len(a.Trees))
+	for i, t := range a.Trees {
+		parts[i] = fmt.Sprintf("%s(%d)", t.Name, len(t.Options))
+	}
+	return fmt.Sprintf("AND[%s]", strings.Join(parts, " "))
+}

@@ -1,0 +1,324 @@
+package restable
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newSuperSPARCLike(t *testing.T) (*ResourceSet, map[string]int) {
+	t.Helper()
+	rs := NewResourceSet()
+	ids := map[string]int{}
+	for _, r := range []struct {
+		name  string
+		count int
+	}{
+		{"Decoder", 3}, {"RP", 4}, {"IALU", 2}, {"Shifter", 1},
+		{"M", 1}, {"WrPt", 2}, {"FPU", 1},
+	} {
+		first, err := rs.Add(r.name, r.count)
+		if err != nil {
+			t.Fatalf("Add(%s): %v", r.name, err)
+		}
+		ids[r.name] = first
+	}
+	return rs, ids
+}
+
+func TestResourceSetBasics(t *testing.T) {
+	rs, ids := newSuperSPARCLike(t)
+	if rs.Len() != 3+4+2+1+1+2+1 {
+		t.Fatalf("Len = %d", rs.Len())
+	}
+	if got := rs.Name(ids["Decoder"] + 1); got != "Decoder[1]" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := rs.Name(ids["M"]); got != "M" {
+		t.Fatalf("singleton Name = %q", got)
+	}
+	if got := rs.Group(ids["Decoder"] + 2); got != "Decoder" {
+		t.Fatalf("Group = %q", got)
+	}
+	id, ok := rs.Lookup("WrPt[1]")
+	if !ok || id != ids["WrPt"]+1 {
+		t.Fatalf("Lookup WrPt[1] = %d, %v", id, ok)
+	}
+	if _, ok := rs.Lookup("nope"); ok {
+		t.Fatalf("Lookup nonexistent succeeded")
+	}
+	if got := rs.GroupMembers("RP"); len(got) != 4 || got[0] != ids["RP"] {
+		t.Fatalf("GroupMembers(RP) = %v", got)
+	}
+}
+
+func TestResourceSetErrors(t *testing.T) {
+	rs := NewResourceSet()
+	if _, err := rs.Add("A", 0); err == nil {
+		t.Fatalf("count 0 accepted")
+	}
+	if _, err := rs.Add("A", 1); err != nil {
+		t.Fatalf("Add A: %v", err)
+	}
+	if _, err := rs.Add("A", 1); err == nil {
+		t.Fatalf("duplicate accepted")
+	}
+	// A[0..2] does not collide with plain A.
+	if _, err := rs.Add("A", 3); err != nil {
+		t.Fatalf("Add(A,3): %v", err)
+	}
+	if _, err := rs.Add("A", 3); err == nil {
+		t.Fatalf("duplicate A[i] names accepted")
+	}
+}
+
+func TestOptionNormalize(t *testing.T) {
+	o := NewOption([]Usage{{Res: 3, Time: 1}, {Res: 1, Time: 0}, {Res: 3, Time: 1}, {Res: 2, Time: 0}})
+	want := []Usage{{Res: 1, Time: 0}, {Res: 2, Time: 0}, {Res: 3, Time: 1}}
+	if len(o.Usages) != len(want) {
+		t.Fatalf("Usages = %v, want %v", o.Usages, want)
+	}
+	for i := range want {
+		if o.Usages[i] != want[i] {
+			t.Fatalf("Usages = %v, want %v", o.Usages, want)
+		}
+	}
+}
+
+func TestOptionEqualSubsumes(t *testing.T) {
+	a := NewOption([]Usage{{0, 0}, {1, 1}})
+	b := NewOption([]Usage{{1, 1}, {0, 0}})
+	c := NewOption([]Usage{{0, 0}, {1, 1}, {2, 2}})
+	if !a.Equal(b) {
+		t.Fatalf("a != b")
+	}
+	if a.Equal(c) {
+		t.Fatalf("a == c")
+	}
+	if !a.Subsumes(c) {
+		t.Fatalf("a should subsume c (a ⊆ c)")
+	}
+	if c.Subsumes(a) {
+		t.Fatalf("c should not subsume a")
+	}
+	if !a.Subsumes(a) {
+		t.Fatalf("option should subsume itself")
+	}
+	empty := NewOption(nil)
+	if !empty.Subsumes(a) {
+		t.Fatalf("empty subsumes everything")
+	}
+}
+
+func TestOptionTimeRange(t *testing.T) {
+	o := NewOption([]Usage{{0, -1}, {1, 2}})
+	lo, hi := o.TimeRange()
+	if lo != -1 || hi != 2 {
+		t.Fatalf("TimeRange = %d,%d", lo, hi)
+	}
+	lo, hi = NewOption(nil).TimeRange()
+	if hi >= lo {
+		t.Fatalf("empty TimeRange = %d,%d", lo, hi)
+	}
+}
+
+func TestORTreeResourcesAndEarliestTime(t *testing.T) {
+	tree := NewORTree("x",
+		NewOption([]Usage{{Res: 5, Time: 2}}),
+		NewOption([]Usage{{Res: 3, Time: -1}, {Res: 5, Time: 0}}),
+	)
+	ids := tree.Resources()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 5 {
+		t.Fatalf("Resources = %v", ids)
+	}
+	if got := tree.EarliestTime(); got != -1 {
+		t.Fatalf("EarliestTime = %d", got)
+	}
+	if got := NewORTree("empty").EarliestTime(); got != 0 {
+		t.Fatalf("empty EarliestTime = %d", got)
+	}
+}
+
+// buildLoadTree builds the paper's Figure 3b: integer load needs M at 0,
+// one of two write ports at 1, and one of three decoders at -1.
+func buildLoadTree(ids map[string]int) *AndOrTree {
+	m := NewORTree("M", NewOption([]Usage{{Res: ids["M"], Time: 0}}))
+	wr := NewORTree("WrPt",
+		NewOption([]Usage{{Res: ids["WrPt"], Time: 1}}),
+		NewOption([]Usage{{Res: ids["WrPt"] + 1, Time: 1}}),
+	)
+	dec := NewORTree("Decoder",
+		NewOption([]Usage{{Res: ids["Decoder"], Time: -1}}),
+		NewOption([]Usage{{Res: ids["Decoder"] + 1, Time: -1}}),
+		NewOption([]Usage{{Res: ids["Decoder"] + 2, Time: -1}}),
+	)
+	return NewAndOrTree("load", m, wr, dec)
+}
+
+func TestAndOrTreeCounts(t *testing.T) {
+	_, ids := newSuperSPARCLike(t)
+	a := buildLoadTree(ids)
+	if got := a.OptionCount(); got != 6 {
+		t.Fatalf("OptionCount = %d, want 6 (Figure 1)", got)
+	}
+	if got := a.StoredOptionCount(); got != 6 {
+		t.Fatalf("StoredOptionCount = %d, want 1+2+3", got)
+	}
+}
+
+func TestAndOrTreeValidateDisjoint(t *testing.T) {
+	rs, ids := newSuperSPARCLike(t)
+	a := buildLoadTree(ids)
+	if err := a.ValidateDisjoint(rs); err != nil {
+		t.Fatalf("disjoint tree rejected: %v", err)
+	}
+	// Same resource at DIFFERENT times across trees is legal (slot
+	// granularity): the K5 reuses dispatch slots across cycles.
+	ok := NewAndOrTree("ok",
+		NewORTree("a", NewOption([]Usage{{Res: ids["M"], Time: 0}})),
+		NewORTree("b", NewOption([]Usage{{Res: ids["M"], Time: 1}})),
+	)
+	if err := ok.ValidateDisjoint(rs); err != nil {
+		t.Fatalf("slot-disjoint tree rejected: %v", err)
+	}
+	bad := NewAndOrTree("bad",
+		NewORTree("a", NewOption([]Usage{{Res: ids["M"], Time: 1}})),
+		NewORTree("b", NewOption([]Usage{{Res: ids["M"], Time: 1}})),
+	)
+	err := bad.ValidateDisjoint(rs)
+	if err == nil {
+		t.Fatalf("overlapping tree accepted")
+	}
+	if !strings.Contains(err.Error(), "M") {
+		t.Fatalf("error does not name resource: %v", err)
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	_, ids := newSuperSPARCLike(t)
+	a := buildLoadTree(ids)
+	or := a.Expand()
+	if len(or.Options) != 6 {
+		t.Fatalf("expanded to %d options, want 6", len(or.Options))
+	}
+	// Every expanded option must contain M@0, one write port, one decoder.
+	for i, o := range or.Options {
+		if len(o.Usages) != 3 {
+			t.Fatalf("option %d has %d usages: %v", i, len(o.Usages), o.Usages)
+		}
+	}
+	// Priority order: the FIRST OR-tree's options vary fastest. Trees are
+	// (M, WrPt, Decoder), so options 1..6 should be
+	// (W0,D0) (W1,D0) (W0,D1) (W1,D1) (W0,D2) (W1,D2)... wait, M is first
+	// with a single option, WrPt second. WrPt varies fastest after M.
+	wr0 := Usage{Res: ids["WrPt"], Time: 1}
+	wr1 := Usage{Res: ids["WrPt"] + 1, Time: 1}
+	wants := []Usage{wr0, wr1, wr0, wr1, wr0, wr1}
+	for i, w := range wants {
+		if !contains(or.Options[i], w) {
+			t.Fatalf("option %d = %v missing %v", i, or.Options[i].Usages, w)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		d := Usage{Res: ids["Decoder"] + i/2, Time: -1}
+		if !contains(or.Options[i], d) {
+			t.Fatalf("option %d = %v missing decoder %v", i, or.Options[i].Usages, d)
+		}
+	}
+}
+
+func contains(o *Option, u Usage) bool {
+	for _, x := range o.Usages {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExpandEmptyTree(t *testing.T) {
+	a := NewAndOrTree("empty")
+	or := a.Expand()
+	if len(or.Options) != 1 || len(or.Options[0].Usages) != 0 {
+		t.Fatalf("empty expand = %v", or.Options)
+	}
+}
+
+func TestExpandDeduplicatesSharedUsages(t *testing.T) {
+	// Two OR-trees with one common usage each (legal only pre-validation,
+	// used here to check merge dedup behaviour).
+	u := Usage{Res: 0, Time: 0}
+	a := NewAndOrTree("x",
+		NewORTree("t1", NewOption([]Usage{u})),
+		NewORTree("t2", NewOption([]Usage{u, {Res: 1, Time: 0}})),
+	)
+	or := a.Expand()
+	if len(or.Options[0].Usages) != 2 {
+		t.Fatalf("duplicate usage not removed: %v", or.Options[0].Usages)
+	}
+}
+
+// Property: expansion preserves the represented option count.
+func TestQuickExpandCount(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) > 4 {
+			sizes = sizes[:4]
+		}
+		trees := make([]*ORTree, 0, len(sizes))
+		res := 0
+		want := 1
+		for ti, s := range sizes {
+			n := int(s%3) + 1
+			want *= n
+			opts := make([]*Option, n)
+			for i := 0; i < n; i++ {
+				opts[i] = NewOption([]Usage{{Res: res, Time: ti}})
+				res++
+			}
+			trees = append(trees, NewORTree("t", opts...))
+		}
+		a := NewAndOrTree("q", trees...)
+		if a.OptionCount() != want {
+			return false
+		}
+		return len(a.Expand().Options) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderOptionShowsUsages(t *testing.T) {
+	rs, ids := newSuperSPARCLike(t)
+	o := NewOption([]Usage{
+		{Res: ids["Decoder"], Time: -1},
+		{Res: ids["M"], Time: 0},
+		{Res: ids["WrPt"] + 1, Time: 1},
+	})
+	out := RenderOption(rs, o)
+	if !strings.Contains(out, "Decoder") || !strings.Contains(out, "M") || !strings.Contains(out, "WrPt") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+	if strings.Count(out, "X") != 3 {
+		t.Fatalf("render should contain exactly 3 X marks:\n%s", out)
+	}
+	if !strings.Contains(out, "-1") {
+		t.Fatalf("render missing negative cycle:\n%s", out)
+	}
+}
+
+func TestRenderTrees(t *testing.T) {
+	rs, ids := newSuperSPARCLike(t)
+	a := buildLoadTree(ids)
+	got := RenderAndOrTree(rs, a)
+	if !strings.Contains(got, "AND of 3 OR-trees") {
+		t.Fatalf("AND/OR render:\n%s", got)
+	}
+	or := RenderORTree(rs, a.Expand())
+	if !strings.Contains(or, "Option 6:") {
+		t.Fatalf("OR render should list 6 options:\n%s", or)
+	}
+	if RenderOption(rs, NewOption(nil)) != "(no usages)\n" {
+		t.Fatalf("empty option render")
+	}
+}

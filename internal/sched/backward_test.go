@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"testing"
+
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/stats"
+	"mdes/internal/workload"
+)
+
+func TestBackwardEmptyBlock(t *testing.T) {
+	s := newSched(t, lowlevel.FormAndOr, opt.LevelNone)
+	r, err := s.ScheduleBlockBackward(&ir.Block{})
+	if err != nil || r.Length != 0 {
+		t.Fatalf("empty: %v %+v", err, r)
+	}
+}
+
+func TestBackwardRespectsDependences(t *testing.T) {
+	s := newSched(t, lowlevel.FormAndOr, opt.LevelNone)
+	s.SelfCheck = true
+	b := &ir.Block{Ops: []*ir.Operation{
+		op("MUL", []int{1}, []int{0}), // latency 3
+		op("ADD", []int{2}, []int{1}),
+		op("LD", []int{3}, []int{0}),
+		op("ST", nil, []int{2, 3}),
+		op("BR", nil, nil),
+	}}
+	r, err := s.ScheduleBlockBackward(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Issue[1]-r.Issue[0] < 3 {
+		t.Fatalf("latency violated backward: %v", r.Issue)
+	}
+	min := r.Issue[0]
+	for _, c := range r.Issue {
+		if c < min {
+			min = c
+		}
+	}
+	if min != 0 {
+		t.Fatalf("schedule not normalized: %v", r.Issue)
+	}
+}
+
+func TestBackwardStructuralHazards(t *testing.T) {
+	s := newSched(t, lowlevel.FormAndOr, opt.LevelNone)
+	s.SelfCheck = true
+	b := &ir.Block{Ops: []*ir.Operation{
+		op("LD", []int{1}, []int{0}),
+		op("LD", []int{2}, []int{0}),
+	}}
+	r, err := s.ScheduleBlockBackward(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Issue[0] == r.Issue[1] {
+		t.Fatalf("two loads share the single M unit backward: %v", r.Issue)
+	}
+}
+
+// Backward scheduling over workload blocks stays legal at every level and
+// both shift directions.
+func TestBackwardLegalAcrossConfigs(t *testing.T) {
+	m := machines.MustLoad(machines.SuperSPARC)
+	prog, err := workload.Generate(workload.Config{Machine: machines.SuperSPARC, NumOps: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []opt.Direction{opt.Forward, opt.Backward} {
+		ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+		opt.Apply(ll, opt.LevelFull, dir)
+		s := New(ll)
+		s.SelfCheck = true
+		for _, b := range prog.Blocks {
+			if _, err := s.ScheduleBlockBackward(b); err != nil {
+				t.Fatalf("dir %v: %v", dir, err)
+			}
+		}
+	}
+}
+
+// The §7 claim: a backward scheduler is better served by the Backward
+// shift (latest usage at zero) than by the Forward shift.
+func TestBackwardShiftTunedForBackwardScheduler(t *testing.T) {
+	m := machines.MustLoad(machines.SuperSPARC)
+	prog, err := workload.Generate(workload.Config{Machine: machines.SuperSPARC, NumOps: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dir opt.Direction) float64 {
+		ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+		opt.Apply(ll, opt.LevelFull, dir)
+		s := New(ll)
+		_, counters, err := scheduleAllBackward(s, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counters.ChecksPerAttempt()
+	}
+	fwd := run(opt.Forward)
+	bwd := run(opt.Backward)
+	if bwd > fwd+1e-9 {
+		t.Fatalf("backward shift (%.3f checks/attempt) should not lose to forward shift (%.3f) under backward scheduling", bwd, fwd)
+	}
+}
+
+func scheduleAllBackward(s *Scheduler, prog *workload.Program) ([]*Result, stats.Counters, error) {
+	var total stats.Counters
+	var results []*Result
+	for _, b := range prog.Blocks {
+		r, err := s.ScheduleBlockBackward(b)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Add(r.Counters)
+		results = append(results, r)
+	}
+	return results, total, nil
+}

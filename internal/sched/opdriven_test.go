@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/stats"
+	"mdes/internal/workload"
+)
+
+func TestOpDrivenEmptyAndBasic(t *testing.T) {
+	s := newSched(t, lowlevel.FormAndOr, opt.LevelNone)
+	s.SelfCheck = true
+	if r, err := s.ScheduleBlockOpDriven(&ir.Block{}); err != nil || r.Length != 0 {
+		t.Fatalf("empty: %v %+v", err, r)
+	}
+	b := &ir.Block{Ops: []*ir.Operation{
+		op("MUL", []int{1}, []int{0}),
+		op("ADD", []int{2}, []int{1}),
+		op("LD", []int{3}, []int{0}),
+		op("BR", nil, nil),
+	}}
+	r, err := s.ScheduleBlockOpDriven(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Issue[1]-r.Issue[0] < 3 {
+		t.Fatalf("latency violated: %v", r.Issue)
+	}
+}
+
+func TestOpDrivenLegalOnWorkloads(t *testing.T) {
+	for _, name := range machines.All {
+		m := machines.MustLoad(name)
+		prog, err := workload.Generate(workload.Config{Machine: name, NumOps: 600, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+		opt.Apply(ll, opt.LevelFull, opt.Forward)
+		s := New(ll)
+		s.SelfCheck = true
+		for _, b := range prog.Blocks {
+			if _, err := s.ScheduleBlockOpDriven(b); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// The paper's claim: operation scheduling raises attempts per operation
+// relative to cycle-driven list scheduling on the same input (failed
+// per-cycle probes of stalled ops all count).
+func TestOpDrivenRaisesAttempts(t *testing.T) {
+	m := machines.MustLoad(machines.SuperSPARC)
+	prog, err := workload.Generate(workload.Config{Machine: machines.SuperSPARC, NumOps: 4000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+	opt.Apply(ll, opt.LevelFull, opt.Forward)
+
+	run := func(opDriven bool) stats.Counters {
+		s := New(ll)
+		var total stats.Counters
+		for _, b := range prog.Blocks {
+			var r *Result
+			var err error
+			if opDriven {
+				r, err = s.ScheduleBlockOpDriven(b)
+			} else {
+				r, err = s.ScheduleBlock(b)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Add(r.Counters)
+		}
+		return total
+	}
+	cycleDriven := run(false)
+	opDriven := run(true)
+	if opDriven.Attempts < cycleDriven.Attempts {
+		t.Fatalf("operation-driven attempts %d < cycle-driven %d",
+			opDriven.Attempts, cycleDriven.Attempts)
+	}
+}
+
+// Schedule lengths from the two algorithms stay close (both are greedy
+// height-priority list schedulers).
+func TestOpDrivenQualityComparable(t *testing.T) {
+	s := newSched(t, lowlevel.FormAndOr, opt.LevelFull)
+	s.SelfCheck = true
+	r := rand.New(rand.NewSource(23))
+	var cdTotal, odTotal int
+	for trial := 0; trial < 20; trial++ {
+		b := randomBlock(r, 30)
+		cd, err := s.ScheduleBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		od, err := s.ScheduleBlockOpDriven(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdTotal += cd.Length
+		odTotal += od.Length
+	}
+	if float64(odTotal) > 1.15*float64(cdTotal) {
+		t.Fatalf("operation-driven schedules %d cycles vs cycle-driven %d", odTotal, cdTotal)
+	}
+}

@@ -1,0 +1,206 @@
+// Package sched implements the MDES-driven multi-platform list scheduler
+// used throughout the paper's evaluation (§4): a forward, cycle-driven list
+// scheduler with latency-weighted critical-path priority, instrumented to
+// count scheduling attempts, reservation-table options checked, and
+// resource checks, and to collect the per-attempt options-checked
+// distribution of Figure 2.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// Result is the outcome of scheduling one block.
+type Result struct {
+	// Issue[i] is the cycle operation i was issued.
+	Issue []int
+	// Length is the schedule length in cycles (last issue + 1).
+	Length int
+	// Counters accumulates attempts/options/checks for the block.
+	Counters stats.Counters
+}
+
+// Scheduler schedules blocks for one compiled machine description.
+// It is not safe for concurrent use; create one per goroutine.
+type Scheduler struct {
+	mdes *lowlevel.MDES
+	ru   *rumap.Map
+	// OptionsHist, when non-nil, receives one sample per scheduling
+	// attempt: the number of options checked during that attempt
+	// (Figure 2's distribution).
+	OptionsHist *stats.Histogram
+	// OnAttempt, when non-nil, is called after every scheduling attempt
+	// with the operation, the options checked during the attempt, and
+	// whether it succeeded; the experiment harness uses it to attribute
+	// attempts to option-count classes (Tables 1-4).
+	OnAttempt func(op *ir.Operation, optionsChecked int64, ok bool)
+	// SelfCheck, when set, re-validates every schedule against the
+	// dependence graph (used by tests).
+	SelfCheck bool
+}
+
+// New returns a scheduler for the given compiled MDES.
+func New(m *lowlevel.MDES) *Scheduler {
+	return &Scheduler{mdes: m, ru: rumap.New(m.NumResources)}
+}
+
+// MDES returns the machine description the scheduler drives.
+func (s *Scheduler) MDES() *lowlevel.MDES { return s.mdes }
+
+// Latency returns the opcode's result latency from the MDES operation
+// table; unknown opcodes panic, as they indicate a workload/MDES mismatch.
+func (s *Scheduler) Latency(opcode string) int {
+	idx, ok := s.mdes.OpIndex[opcode]
+	if !ok {
+		panic(fmt.Sprintf("sched: opcode %q not in MDES %s", opcode, s.mdes.MachineName))
+	}
+	return s.mdes.Operations[idx].Latency
+}
+
+// timing adapts the compiled MDES's operand-level distances (latency,
+// source sample time, bypasses) to the IR graph builder.
+type timing struct{ m *lowlevel.MDES }
+
+func (t timing) FlowDist(producer, consumer *ir.Operation) int {
+	pi, pok := t.m.OpIndex[producer.Opcode]
+	ci, cok := t.m.OpIndex[consumer.Opcode]
+	if !pok || !cok {
+		return 1
+	}
+	return t.m.FlowDistance(pi, ci)
+}
+
+func (t timing) Latency(opcode string) int {
+	if idx, ok := t.m.OpIndex[opcode]; ok {
+		return t.m.Operations[idx].Latency
+	}
+	return 1
+}
+
+// ScheduleBlock list-schedules one block and returns the result.
+//
+// The algorithm is classic forward cycle-driven list scheduling: at each
+// cycle, ready operations (all predecessors scheduled and dependence
+// distances satisfied) are attempted in priority order (critical-path
+// height, ties by source order); each attempt checks the operation's
+// reservation constraint against the RU map and either reserves its
+// resources or leaves the operation for a later cycle. One Check call is
+// one "scheduling attempt" in the paper's accounting.
+func (s *Scheduler) ScheduleBlock(b *ir.Block) (*Result, error) {
+	g := ir.BuildGraphTiming(b, timing{m: s.mdes})
+	return s.scheduleGraph(g)
+}
+
+func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
+	n := len(g.Block.Ops)
+	res := &Result{Issue: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+	height := g.Height(s.Latency)
+	s.ru.Reset()
+
+	scheduled := make([]bool, n)
+	npreds := make([]int, n)
+	estart := make([]int, n)
+	for i := range g.Block.Ops {
+		npreds[i] = len(g.Preds[i])
+	}
+
+	// order holds unscheduled-op indices, kept sorted by priority.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if height[order[a]] != height[order[b]] {
+			return height[order[a]] > height[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		progressPossible := false
+		for _, i := range order {
+			if scheduled[i] {
+				continue
+			}
+			if npreds[i] > 0 {
+				continue
+			}
+			progressPossible = true
+			if estart[i] > cycle {
+				continue
+			}
+			op := g.Block.Ops[i]
+			opIdx, ok := s.mdes.OpIndex[op.Opcode]
+			if !ok {
+				return nil, fmt.Errorf("sched: opcode %q not in MDES %s", op.Opcode, s.mdes.MachineName)
+			}
+			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
+
+			before := res.Counters.OptionsChecked
+			sel, ok := s.ru.Check(con, cycle, &res.Counters)
+			if s.OptionsHist != nil {
+				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
+			}
+			if s.OnAttempt != nil {
+				s.OnAttempt(op, res.Counters.OptionsChecked-before, ok)
+			}
+			if !ok {
+				continue
+			}
+			s.ru.Reserve(sel)
+			scheduled[i] = true
+			res.Issue[i] = cycle
+			remaining--
+			for _, e := range g.Succs[i] {
+				npreds[e.To]--
+				if v := cycle + e.MinDist; v > estart[e.To] {
+					estart[e.To] = v
+				}
+			}
+		}
+		if !progressPossible && remaining > 0 {
+			return nil, fmt.Errorf("sched: deadlock, %d operations unschedulable", remaining)
+		}
+		if cycle > 64*n+1024 {
+			return nil, fmt.Errorf("sched: no progress after %d cycles", cycle)
+		}
+	}
+
+	for _, c := range res.Issue {
+		if c+1 > res.Length {
+			res.Length = c + 1
+		}
+	}
+	if s.SelfCheck {
+		if err := g.CheckSchedule(res.Issue); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ScheduleAll schedules a sequence of blocks, accumulating counters, and
+// returns per-block results plus the grand totals.
+func (s *Scheduler) ScheduleAll(blocks []*ir.Block) ([]*Result, stats.Counters, error) {
+	var total stats.Counters
+	results := make([]*Result, 0, len(blocks))
+	for bi, b := range blocks {
+		r, err := s.ScheduleBlock(b)
+		if err != nil {
+			return nil, total, fmt.Errorf("block %d: %w", bi, err)
+		}
+		total.Add(r.Counters)
+		results = append(results, r)
+	}
+	return results, total, nil
+}

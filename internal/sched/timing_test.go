@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+)
+
+// A bypass between FP ops must shorten the schedule of an FMUL->FADD chain
+// relative to an architectural-latency chain.
+func TestBypassShortensSchedule(t *testing.T) {
+	src := `machine B {
+	  resource FP;
+	  resource Issue[2];
+	  class fp { one_of Issue[0..1] @ 0; use FP @ 0; }
+	  operation FMUL class fp latency 4;
+	  operation FDIV class fp latency 4;
+	  operation FADD class fp latency 1;
+	  bypass FMUL to FADD adjust -2;
+	}`
+	m, err := hmdes.Load("b", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(lowlevel.Compile(m, lowlevel.FormAndOr))
+	s.SelfCheck = true
+
+	chain := func(producer string) int {
+		b := &ir.Block{Ops: []*ir.Operation{
+			{Opcode: producer, Dests: []int{1}, Srcs: []int{0}},
+			{Opcode: "FADD", Dests: []int{2}, Srcs: []int{1}},
+		}}
+		res, err := s.ScheduleBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Issue[1] - res.Issue[0]
+	}
+	if d := chain("FDIV"); d != 4 {
+		t.Fatalf("FDIV->FADD distance = %d, want 4", d)
+	}
+	if d := chain("FMUL"); d != 2 {
+		t.Fatalf("FMUL->FADD bypassed distance = %d, want 2", d)
+	}
+}
+
+// Late source sampling lets a consumer issue before the producer's result
+// is architecturally complete.
+func TestSrcTimeShortensFlowDistance(t *testing.T) {
+	src := `machine S {
+	  resource U[2];
+	  class c { one_of U[0..1] @ 0; }
+	  operation LONG class c latency 3;
+	  operation EARLY class c latency 3;
+	  operation LATE class c latency 3 src 2;
+	}`
+	m, err := hmdes.Load("s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(lowlevel.Compile(m, lowlevel.FormAndOr))
+	s.SelfCheck = true
+	b := &ir.Block{Ops: []*ir.Operation{
+		{Opcode: "LONG", Dests: []int{1}, Srcs: []int{0}},
+		{Opcode: "EARLY", Dests: []int{2}, Srcs: []int{1}},
+		{Opcode: "LATE", Dests: []int{3}, Srcs: []int{1}},
+	}}
+	res, err := s.ScheduleBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Issue[1] - res.Issue[0]; d != 3 {
+		t.Fatalf("EARLY distance = %d, want 3", d)
+	}
+	if d := res.Issue[2] - res.Issue[0]; d != 1 {
+		t.Fatalf("LATE distance = %d, want 1 (latency 3 - src 2)", d)
+	}
+}
+
+// The PA7100's built-in FMUL->FADD forwarding path is live end to end.
+func TestPA7100BypassLive(t *testing.T) {
+	m := machines.MustLoad(machines.PA7100)
+	s := New(lowlevel.Compile(m, lowlevel.FormAndOr))
+	s.SelfCheck = true
+	b := &ir.Block{Ops: []*ir.Operation{
+		{Opcode: "FMUL", Dests: []int{1}, Srcs: []int{0}},
+		{Opcode: "FADD", Dests: []int{2}, Srcs: []int{1}},
+	}}
+	res, err := s.ScheduleBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FMUL latency 2, bypass -1 => distance 1.
+	if d := res.Issue[1] - res.Issue[0]; d != 1 {
+		t.Fatalf("forwarded FMUL->FADD distance = %d, want 1", d)
+	}
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/opt"
+)
+
+// wideMachine builds a description with more than 64 resources so the
+// packed representation spans multiple RU-map words (CycleMask.Word > 0).
+func wideMachine(t *testing.T) *hmdes.Machine {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("machine Wide {\n")
+	// 70 lane resources + a shared unit crossing the word boundary.
+	b.WriteString("  resource Lane[70];\n")
+	b.WriteString("  resource Unit[2];\n")
+	// An op that uses one low-word lane, one high-word lane, and a unit,
+	// all at cycle 0: packing needs two mask words for cycle 0.
+	b.WriteString("  class both { use Lane[3] @ 0, Lane[68] @ 0; one_of Unit[0..1] @ 0; }\n")
+	b.WriteString("  class lanes { one_of Lane[60..69] @ 0; }\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "  operation B%d class both latency 1;\n", i)
+	}
+	b.WriteString("  operation L class lanes latency 1;\n")
+	b.WriteString("}\n")
+	m, err := hmdes.Load("wide", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWideMachinePacksAcrossWords(t *testing.T) {
+	m := wideMachine(t)
+	ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+	opt.Apply(ll, opt.LevelFull, opt.Forward)
+	if err := ll.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The `both` fixed-lane option must carry two masks for cycle 0 (word
+	// 0 for Lane[3], word 1 for Lane[68]).
+	con := ll.Constraints[ll.ClassIndex["both"]]
+	sawHighWord := false
+	for _, tree := range con.Trees {
+		for _, o := range tree.Options {
+			for _, cm := range o.Masks {
+				if cm.Word == 1 {
+					sawHighWord = true
+				}
+			}
+		}
+	}
+	if !sawHighWord {
+		t.Fatalf("no mask in word 1; packing collapsed the wide machine")
+	}
+}
+
+func TestWideMachineSchedules(t *testing.T) {
+	m := wideMachine(t)
+	for _, lvl := range []opt.Level{opt.LevelNone, opt.LevelFull} {
+		ll := lowlevel.Compile(m, lowlevel.FormAndOr)
+		opt.Apply(ll, lvl, opt.Forward)
+		s := New(ll)
+		s.SelfCheck = true
+		// Two B ops conflict on Lane[3]/Lane[68]; they must serialize.
+		b := &ir.Block{Ops: []*ir.Operation{
+			{Opcode: "B0", Dests: []int{1}, Srcs: []int{0}},
+			{Opcode: "B1", Dests: []int{2}, Srcs: []int{0}},
+			{Opcode: "L", Dests: []int{3}, Srcs: []int{0}},
+		}}
+		r, err := s.ScheduleBlock(b)
+		if err != nil {
+			t.Fatalf("level %v: %v", lvl, err)
+		}
+		if r.Issue[0] == r.Issue[1] {
+			t.Fatalf("level %v: conflicting wide ops co-issued: %v", lvl, r.Issue)
+		}
+		// The lanes-only op fits in cycle 0 alongside B0 (distinct lanes).
+		if r.Issue[2] != 0 {
+			t.Fatalf("level %v: independent lane op delayed: %v", lvl, r.Issue)
+		}
+	}
+}
+
+// Equivalence must hold for multi-word machines too.
+func TestWideMachineFormsAgree(t *testing.T) {
+	m := wideMachine(t)
+	block := func() *ir.Block {
+		return &ir.Block{Ops: []*ir.Operation{
+			{Opcode: "B0", Dests: []int{1}, Srcs: []int{0}},
+			{Opcode: "L", Dests: []int{2}, Srcs: []int{0}},
+			{Opcode: "B1", Dests: []int{3}, Srcs: []int{1}},
+			{Opcode: "B2", Dests: []int{4}, Srcs: []int{0}},
+		}}
+	}
+	var ref []int
+	for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+		for _, lvl := range []opt.Level{opt.LevelNone, opt.LevelFull} {
+			ll := lowlevel.Compile(m, form)
+			opt.Apply(ll, lvl, opt.Forward)
+			s := New(ll)
+			s.SelfCheck = true
+			r, err := s.ScheduleBlock(block())
+			if err != nil {
+				t.Fatalf("%v %v: %v", form, lvl, err)
+			}
+			if ref == nil {
+				ref = r.Issue
+				continue
+			}
+			for i := range ref {
+				if r.Issue[i] != ref[i] {
+					t.Fatalf("%v %v: issue %v != ref %v", form, lvl, r.Issue, ref)
+				}
+			}
+		}
+	}
+}

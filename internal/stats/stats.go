@@ -1,0 +1,122 @@
+// Package stats provides the instrumentation counters and histograms the
+// paper's evaluation reports: scheduling attempts, reservation-table
+// options checked, and resource checks (Tables 5, 10, 12, 13, 15), plus the
+// per-attempt options-checked distribution of Figure 2.
+package stats
+
+import "fmt"
+
+// Counters accumulates the three quantities every table reports.
+type Counters struct {
+	// Attempts counts scheduling attempts (one Check call).
+	Attempts int64
+	// OptionsChecked counts reservation-table options tested.
+	OptionsChecked int64
+	// ResourceChecks counts individual resource-availability probes.
+	ResourceChecks int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Attempts += other.Attempts
+	c.OptionsChecked += other.OptionsChecked
+	c.ResourceChecks += other.ResourceChecks
+}
+
+// OptionsPerAttempt returns the average options checked per attempt.
+func (c Counters) OptionsPerAttempt() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.OptionsChecked) / float64(c.Attempts)
+}
+
+// ChecksPerAttempt returns the average resource checks per attempt.
+func (c Counters) ChecksPerAttempt() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.ResourceChecks) / float64(c.Attempts)
+}
+
+// ChecksPerOption returns the average resource checks per option checked.
+func (c Counters) ChecksPerOption() float64 {
+	if c.OptionsChecked == 0 {
+		return 0
+	}
+	return float64(c.ResourceChecks) / float64(c.OptionsChecked)
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("attempts=%d options/attempt=%.2f checks/attempt=%.2f",
+		c.Attempts, c.OptionsPerAttempt(), c.ChecksPerAttempt())
+}
+
+// Histogram is a sparse integer-valued histogram (options checked per
+// attempt → count), the data of Figure 2.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: map[int]int64{}}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the number of samples with value v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Percent returns the percentage of samples with value v.
+func (h *Histogram) Percent(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[v]) / float64(h.total)
+}
+
+// Max returns the largest observed value (0 if empty).
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the sample mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for v, n := range h.counts {
+		sum += int64(v) * n
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// PercentBetween returns the percentage of samples with lo <= value <= hi.
+func (h *Histogram) PercentBetween(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for v, c := range h.counts {
+		if v >= lo && v <= hi {
+			n += c
+		}
+	}
+	return 100 * float64(n) / float64(h.total)
+}

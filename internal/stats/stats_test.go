@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAveragesEmpty(t *testing.T) {
+	var c Counters
+	if c.OptionsPerAttempt() != 0 || c.ChecksPerAttempt() != 0 || c.ChecksPerOption() != 0 {
+		t.Fatalf("empty counters should average to 0")
+	}
+}
+
+func TestCountersAverages(t *testing.T) {
+	c := Counters{Attempts: 4, OptionsChecked: 10, ResourceChecks: 30}
+	if got := c.OptionsPerAttempt(); got != 2.5 {
+		t.Fatalf("OptionsPerAttempt = %v", got)
+	}
+	if got := c.ChecksPerAttempt(); got != 7.5 {
+		t.Fatalf("ChecksPerAttempt = %v", got)
+	}
+	if got := c.ChecksPerOption(); got != 3 {
+		t.Fatalf("ChecksPerOption = %v", got)
+	}
+	if !strings.Contains(c.String(), "attempts=4") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Attempts: 1, OptionsChecked: 2, ResourceChecks: 3}
+	a.Add(Counters{Attempts: 10, OptionsChecked: 20, ResourceChecks: 30})
+	if a.Attempts != 11 || a.OptionsChecked != 22 || a.ResourceChecks != 33 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Percent(1) != 0 {
+		t.Fatalf("empty histogram stats wrong")
+	}
+	for _, v := range []int{1, 1, 48, 6} {
+		h.Observe(v)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(48) != 1 || h.Count(99) != 0 {
+		t.Fatalf("counts wrong")
+	}
+	if h.Percent(1) != 50 {
+		t.Fatalf("Percent(1) = %v", h.Percent(1))
+	}
+	if h.Max() != 48 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if got := h.Mean(); got != (1+1+48+6)/4.0 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.PercentBetween(1, 6); got != 75 {
+		t.Fatalf("PercentBetween(1,6) = %v", got)
+	}
+}
+
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(int(v))
+		}
+		if h.Total() != int64(len(vals)) {
+			return false
+		}
+		// Percentages over the full range must sum to ~100 (or 0 if empty).
+		if len(vals) == 0 {
+			return h.PercentBetween(0, 255) == 0
+		}
+		p := h.PercentBetween(0, 255)
+		return p > 99.999 && p < 100.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.Row("alpha", 12)
+	tb.Row("b", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.14") || strings.Contains(lines[3], "3.14159") {
+		t.Fatalf("float not formatted to 2 decimals: %q", lines[3])
+	}
+	// All rows equal width at the separator.
+	if len(lines[1]) < len(lines[0])-2 {
+		t.Fatalf("separator too short: %q vs %q", lines[1], lines[0])
+	}
+}
+
+func TestTableWideCell(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.Row("averyveryverylongname", 1)
+	out := tb.String()
+	if !strings.Contains(out, "averyveryverylongname") {
+		t.Fatalf("wide cell truncated:\n%s", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(200, 100); got != "50.0%" {
+		t.Fatalf("Percent = %q", got)
+	}
+	if got := Percent(100, 110); got != "-10.0%" {
+		t.Fatalf("negative Percent = %q", got)
+	}
+	if got := Percent(0, 5); got != "n/a" {
+		t.Fatalf("zero-base Percent = %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(50, 100, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(200, 100, 10); got != "##########" {
+		t.Fatalf("clamped Bar = %q", got)
+	}
+	if got := Bar(-1, 100, 10); got != "" {
+		t.Fatalf("negative Bar = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Fatalf("zero-max Bar = %q", got)
+	}
+}

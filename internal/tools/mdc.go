@@ -1,0 +1,120 @@
+// Package tools implements the logic of the command-line tools (mdc,
+// mdinfo, schedbench, mdviz) as testable functions; the cmd/ mains are
+// thin wrappers over these.
+package tools
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdes/internal/cli"
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/opt"
+	"mdes/internal/textutil"
+)
+
+// RunMDC is the mdc tool: compile a machine description, optimize it,
+// report per-pass effects and sizes, optionally emit canonical source,
+// dump structure, or write the binary fast-load form.
+func RunMDC(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdc", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+
+	var (
+		machineFlag = fs.String("m", "", "built-in machine name (pa7100, pentium, supersparc, k5)")
+		inFlag      = fs.String("in", "", "path to a high-level MDES source file")
+		formFlag    = fs.String("form", "andor", "representation: or | andor")
+		levelFlag   = fs.String("level", "full", "optimization level: none | redundancy | bit-vector | time-shift | full")
+		dirFlag     = fs.String("dir", "forward", "usage-time shift direction: forward | backward")
+		dumpFlag    = fs.Bool("dump", false, "dump the compiled constraint structure")
+		emitFlag    = fs.Bool("emit", false, "emit the canonicalized high-level source and exit")
+		outFlag     = fs.String("o", "", "write the optimized low-level MDES to this file (binary fast-load format)")
+		factorFlag  = fs.Bool("factor", false, "discover AND/OR structure in flat OR-trees before optimizing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	machine, err := cli.LoadMachine(*machineFlag, *inFlag)
+	if err != nil {
+		return err
+	}
+	if *emitFlag {
+		fmt.Fprint(stdout, hmdes.Format(machine))
+		return nil
+	}
+	form, err := cli.ParseForm(*formFlag)
+	if err != nil {
+		return err
+	}
+	level, err := cli.ParseLevel(*levelFlag)
+	if err != nil {
+		return err
+	}
+	dir, err := cli.ParseDirection(*dirFlag)
+	if err != nil {
+		return err
+	}
+
+	ll := lowlevel.Compile(machine, form)
+	before := ll.Size()
+	var reports []opt.Report
+	if *factorFlag {
+		opt.EliminateRedundant(ll)
+		reports = append(reports, opt.FactorORTrees(ll))
+	}
+	reports = append(reports, opt.Apply(ll, level, dir)...)
+	after := ll.Size()
+
+	fmt.Fprintf(stdout, "machine %s, %s form, %s level\n\n", machine.Name, form, level)
+	if len(reports) == 0 {
+		fmt.Fprintln(stdout, "(no optimization passes run)")
+	}
+	for _, r := range reports {
+		fmt.Fprintln(stdout, " ", r)
+	}
+	fmt.Fprintln(stdout)
+
+	t := textutil.NewTable("", "Trees", "Options", "Option bytes", "Tree bytes", "AND bytes", "Binding bytes", "Total")
+	t.Row("before", before.NumTrees, before.NumOptions, before.OptionBytes, before.TreeBytes, before.AndBytes, before.BindingBytes, before.Total())
+	t.Row("after", after.NumTrees, after.NumOptions, after.OptionBytes, after.TreeBytes, after.AndBytes, after.BindingBytes, after.Total())
+	fmt.Fprintln(stdout, t.String())
+	fmt.Fprintf(stdout, "size reduction: %s\n", textutil.Percent(float64(before.Total()), float64(after.Total())))
+
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		if err := ll.Encode(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		// Verify by reloading.
+		rf, err := os.Open(*outFlag)
+		if err != nil {
+			return err
+		}
+		back, err := lowlevel.Decode(rf)
+		rf.Close()
+		if err != nil {
+			return (fmt.Errorf("reload verification failed: %w", err))
+		}
+		if back.Size() != ll.Size() {
+			return (fmt.Errorf("reload verification: size mismatch"))
+		}
+		st, _ := os.Stat(*outFlag)
+		fmt.Fprintf(stdout, "wrote %s (%d bytes on disk, verified)\n", *outFlag, st.Size())
+	}
+
+	if *dumpFlag {
+		fmt.Fprintln(stdout)
+		cli.DumpCompiled(stdout, ll)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package tools
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mdes/internal/cli"
+	"mdes/internal/experiments"
+	"mdes/internal/machines"
+	"mdes/internal/textutil"
+)
+
+// RunMDInfo is the mdinfo tool: inspect a machine description's
+// resources, classes, operations, and option breakdown (optionally with
+// scheduled-attempt attribution).
+func RunMDInfo(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdinfo", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+
+	var (
+		machineFlag = fs.String("m", "", "built-in machine name")
+		inFlag      = fs.String("in", "", "path to a high-level MDES source file")
+		schedFlag   = fs.Bool("sched", false, "run the synthetic workload to attribute scheduling attempts (built-in machines only)")
+		opsFlag     = fs.Int("ops", 20000, "workload size for -sched")
+		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.LoadMachine(*machineFlag, *inFlag)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "machine %s: %d resources, %d shared trees, %d classes, %d operations\n\n",
+		m.Name, m.Resources.Len(), len(m.TreeNames), len(m.ClassNames), len(m.OpNames))
+
+	rt := textutil.NewTable("Resource", "Instances")
+	groups := map[string]int{}
+	var order []string
+	for i := 0; i < m.Resources.Len(); i++ {
+		g := m.Resources.Group(i)
+		if groups[g] == 0 {
+			order = append(order, g)
+		}
+		groups[g]++
+	}
+	for _, g := range order {
+		rt.Row(g, groups[g])
+	}
+	fmt.Fprintln(stdout, rt.String())
+
+	ot := textutil.NewTable("Operation", "Class", "Options", "Cascaded", "Latency")
+	for _, name := range m.OpNames {
+		op := m.Operations[name]
+		casc := "-"
+		if op.Cascaded != "" {
+			casc = fmt.Sprintf("%s (%d)", op.Cascaded, m.Classes[op.Cascaded].OptionCount())
+		}
+		ot.Row(name, op.Class, m.Classes[op.Class].OptionCount(), casc, op.Latency)
+	}
+	fmt.Fprintln(stdout, ot.String())
+
+	if *schedFlag {
+		if *machineFlag == "" {
+			return (fmt.Errorf("-sched requires a built-in machine (-m)"))
+		}
+		name := machines.Name(strings.ToLower(*machineFlag))
+		rows, res, err := experiments.Breakdown(name, experiments.Params{NumOps: *opsFlag, Seed: *seedFlag})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatBreakdown(name, rows))
+		fmt.Fprintf(stdout, "scheduled %d ops, %.2f attempts/op\n", res.TotalOps, res.AttemptsPerOp())
+		return nil
+	}
+
+	// Static breakdown without scheduling.
+	bd := machines.OptionBreakdown(m)
+	var counts []int
+	for n := range bd {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	bt := textutil.NewTable("Options", "Classes")
+	for _, n := range counts {
+		bt.Row(n, strings.Join(bd[n], " "))
+	}
+	fmt.Fprintln(stdout, bt.String())
+	return nil
+}

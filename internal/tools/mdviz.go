@@ -1,0 +1,98 @@
+package tools
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mdes/internal/cli"
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/opt"
+	"mdes/internal/restable"
+)
+
+// RunMDViz is the mdviz tool: render reservation tables and AND/OR-trees
+// as ASCII art (the paper's Figures 1 and 3-6).
+func RunMDViz(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdviz", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+
+	var (
+		machineFlag = fs.String("m", "", "built-in machine name")
+		inFlag      = fs.String("in", "", "path to a high-level MDES source file")
+		classFlag   = fs.String("class", "", "class to render")
+		formFlag    = fs.String("form", "andor", "or | andor")
+		shiftFlag   = fs.Bool("shift", false, "apply the usage-time transformation before rendering (Figure 5)")
+		sortFlag    = fs.Bool("sort", false, "apply conflict-detection ordering before rendering (Figure 6)")
+		shareFlag   = fs.Bool("share", false, "show OR-tree sharing between classes (Figure 4)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.LoadMachine(*machineFlag, *inFlag)
+	if err != nil {
+		return err
+	}
+
+	if *shareFlag {
+		showSharing(stdout, m)
+		return nil
+	}
+	if *classFlag == "" {
+		return (fmt.Errorf("give -class <name> (classes: %v) or -share", m.ClassNames))
+	}
+	tree, ok := m.Classes[*classFlag]
+	if !ok {
+		return (fmt.Errorf("no class %q (classes: %v)", *classFlag, m.ClassNames))
+	}
+
+	form, err := cli.ParseForm(*formFlag)
+	if err != nil {
+		return err
+	}
+
+	if *shiftFlag || *sortFlag {
+		// Run the relevant passes on a compiled copy and render that.
+		ll := lowlevel.Compile(m, form)
+		if *shiftFlag {
+			opt.ShiftUsageTimes(ll, opt.Forward)
+			opt.SortUsagesTimeZeroFirst(ll)
+		}
+		if *sortFlag {
+			opt.SortORTrees(ll)
+		}
+		cli.DumpCompiledClass(stdout, ll, *classFlag, m)
+		return nil
+	}
+
+	switch form {
+	case lowlevel.FormOR:
+		fmt.Fprint(stdout, restable.RenderORTree(m.Resources, tree.Expand()))
+	case lowlevel.FormAndOr:
+		fmt.Fprint(stdout, restable.RenderAndOrTree(m.Resources, tree))
+	}
+	return nil
+}
+
+// showSharing lists, per named tree, which classes reference it (the
+// sharing Figure 4 illustrates), and renders each shared tree once.
+func showSharing(stdout io.Writer, m *hmdes.Machine) {
+	for _, tname := range m.TreeNames {
+		tree := m.Trees[tname]
+		var users []string
+		for _, cname := range m.ClassNames {
+			for _, t := range m.Classes[cname].Trees {
+				if t == tree {
+					users = append(users, cname)
+					break
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "tree %s (%d options) shared by %d class(es): %v\n",
+			tname, len(tree.Options), len(users), users)
+		fmt.Fprint(stdout, restable.RenderORTree(m.Resources, tree))
+		fmt.Fprintln(stdout)
+	}
+}

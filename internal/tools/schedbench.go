@@ -1,0 +1,144 @@
+package tools
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mdes/internal/experiments"
+	"mdes/internal/machines"
+)
+
+// RunSchedbench is the schedbench tool: regenerate the paper's tables and
+// Figure 2.
+func RunSchedbench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("schedbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+
+	var (
+		tableFlag = fs.Int("table", 0, "regenerate a single table (1-15); 0 = all")
+		fig2Flag  = fs.Bool("fig2", false, "regenerate Figure 2 only")
+		extFlag   = fs.Bool("ext", false, "report the extension ablations (factorization, automaton, E-D, modulo)")
+		opsFlag   = fs.Int("ops", 20000, "static operations per machine")
+		seedFlag  = fs.Int64("seed", 1996, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
+
+	if *extFlag {
+		rep, err := experiments.RunExtensions(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, rep.Format())
+		return nil
+	}
+	if *fig2Flag {
+		return runFig2(stdout, p)
+	}
+	if *tableFlag != 0 {
+		return runTable(stdout, *tableFlag, p)
+	}
+	for n := 1; n <= 15; n++ {
+		if err := runTable(stdout, n, p); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	return runFig2(stdout, p)
+}
+
+func runFig2(stdout io.Writer, p experiments.Params) error {
+	f, err := experiments.RunFigure2(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, f.Format())
+	return nil
+}
+
+func runTable(stdout io.Writer, n int, p experiments.Params) error {
+	switch n {
+	case 1, 2, 3, 4:
+		name := machines.All[map[int]int{2: 0, 3: 1, 1: 2, 4: 3}[n]]
+		rows, res, err := experiments.Breakdown(name, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Table %d: ", n)
+		fmt.Fprintln(stdout, experiments.FormatBreakdown(name, rows))
+		fmt.Fprintf(stdout, "(%d ops, %.2f attempts/op)\n", res.TotalOps, res.AttemptsPerOp())
+	case 5:
+		rows, err := experiments.Table5(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatTable5(rows))
+	case 6:
+		rows, err := experiments.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatSizeRows("Table 6: original MDES memory requirements", rows))
+	case 7:
+		rows, err := experiments.Table7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatSizeRows("Table 7: MDES memory after eliminating redundant and unused information", rows))
+	case 8:
+		row, err := experiments.Table8(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatTable8(row))
+	case 9:
+		rows, err := experiments.Table9()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatBeforeAfter("Table 9: MDES size before/after bit-vector packing", "bytes", rows))
+	case 10:
+		rows, err := experiments.Table10(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatBeforeAfter("Table 10: scheduling checks before/after bit-vector packing", "checks/attempt", rows))
+	case 11:
+		rows, err := experiments.Table11()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatBeforeAfter("Table 11: MDES size before/after usage-time transformation", "bytes", rows))
+	case 12:
+		rows, err := experiments.Table12(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatTable12(rows))
+	case 13:
+		rows, err := experiments.Table13(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatTable13(rows))
+	case 14:
+		rows, err := experiments.Table14()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatAggregate("Table 14: aggregate effect of all transformations on MDES size", "bytes", rows))
+	case 15:
+		rows, err := experiments.Table15(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, experiments.FormatAggregate("Table 15: aggregate effect of all transformations on checks per attempt", "checks/attempt", rows))
+	default:
+		return fmt.Errorf("no table %d (valid: 1-15)", n)
+	}
+	return nil
+}

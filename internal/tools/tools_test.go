@@ -1,0 +1,230 @@
+package tools
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, fn func([]string, *bytes.Buffer) error, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fn(args, &buf); err != nil {
+		t.Fatalf("args %v: %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func mdc(args []string, buf *bytes.Buffer) error        { return RunMDC(args, buf) }
+func mdinfo(args []string, buf *bytes.Buffer) error     { return RunMDInfo(args, buf) }
+func schedbench(args []string, buf *bytes.Buffer) error { return RunSchedbench(args, buf) }
+func mdviz(args []string, buf *bytes.Buffer) error      { return RunMDViz(args, buf) }
+
+func TestMDCBasic(t *testing.T) {
+	out := runTool(t, mdc, "-m", "supersparc", "-form", "andor", "-level", "full")
+	for _, want := range []string{"machine SuperSPARC", "eliminate-redundant", "size reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMDCEmit(t *testing.T) {
+	out := runTool(t, mdc, "-m", "pa7100", "-emit")
+	if !strings.Contains(out, "machine PA7100 {") || !strings.Contains(out, "bypass FMUL to FADD") {
+		t.Fatalf("emit output:\n%s", out)
+	}
+}
+
+func TestMDCDump(t *testing.T) {
+	out := runTool(t, mdc, "-m", "pa7100", "-level", "none", "-dump")
+	if !strings.Contains(out, "class mem") {
+		t.Fatalf("dump output:\n%s", out)
+	}
+}
+
+func TestMDCFactorAndOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k5.lmdes")
+	out := runTool(t, mdc, "-m", "k5", "-form", "or", "-level", "full", "-factor", "-o", path)
+	if !strings.Contains(out, "treesFactored=") || !strings.Contains(out, "verified") {
+		t.Fatalf("factor/output missing:\n%s", out)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("binary not written: %v", err)
+	}
+}
+
+func TestMDCErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMDC([]string{"-m", "vax"}, &buf); err == nil {
+		t.Fatalf("unknown machine accepted")
+	}
+	if err := RunMDC([]string{"-m", "k5", "-form", "weird"}, &buf); err == nil {
+		t.Fatalf("bad form accepted")
+	}
+	if err := RunMDC([]string{"-m", "k5", "-level", "11"}, &buf); err == nil {
+		t.Fatalf("bad level accepted")
+	}
+	if err := RunMDC([]string{"-m", "k5", "-dir", "sideways"}, &buf); err == nil {
+		t.Fatalf("bad direction accepted")
+	}
+	if err := RunMDC([]string{"-bogusflag"}, &buf); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}
+
+func TestMDInfoStatic(t *testing.T) {
+	out := runTool(t, mdinfo, "-m", "supersparc")
+	for _, want := range []string{"machine SuperSPARC", "Decoder", "ialu1", "ialu1_casc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMDInfoSched(t *testing.T) {
+	out := runTool(t, mdinfo, "-m", "pa7100", "-sched", "-ops", "2000")
+	if !strings.Contains(out, "% Attempts") || !strings.Contains(out, "attempts/op") {
+		t.Fatalf("sched output:\n%s", out)
+	}
+}
+
+func TestMDInfoCustomFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mdes")
+	src := `machine F { resource R; class c { use R @ 0; } operation X class c; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, mdinfo, "-in", path)
+	if !strings.Contains(out, "machine F") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestMDInfoErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMDInfo([]string{"-in", "/nonexistent.mdes"}, &buf); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	if err := RunMDInfo([]string{"-in", "x", "-sched"}, &buf); err == nil {
+		t.Fatalf("-sched with -in accepted")
+	}
+}
+
+func TestSchedbenchSingleTables(t *testing.T) {
+	for _, table := range []string{"1", "5", "6", "8", "14"} {
+		out := runTool(t, schedbench, "-table", table, "-ops", "1500")
+		if !strings.Contains(out, "Table "+table) {
+			t.Errorf("table %s output:\n%s", table, out)
+		}
+	}
+}
+
+func TestSchedbenchFig2(t *testing.T) {
+	out := runTool(t, schedbench, "-fig2", "-ops", "1500")
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatalf("fig2 output:\n%s", out)
+	}
+}
+
+func TestSchedbenchBadTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunSchedbench([]string{"-table", "99"}, &buf); err == nil {
+		t.Fatalf("table 99 accepted")
+	}
+}
+
+func TestMDVizForms(t *testing.T) {
+	or := runTool(t, mdviz, "-m", "supersparc", "-class", "load", "-form", "or")
+	if !strings.Contains(or, "Option 6:") {
+		t.Fatalf("or render:\n%s", or)
+	}
+	ao := runTool(t, mdviz, "-m", "supersparc", "-class", "load", "-form", "andor")
+	if !strings.Contains(ao, "AND of") {
+		t.Fatalf("andor render:\n%s", ao)
+	}
+}
+
+func TestMDVizShiftAndSort(t *testing.T) {
+	out := runTool(t, mdviz, "-m", "supersparc", "-class", "load", "-form", "or", "-shift")
+	if !strings.Contains(out, "class load") {
+		t.Fatalf("shift render:\n%s", out)
+	}
+	out = runTool(t, mdviz, "-m", "supersparc", "-class", "ialu2", "-form", "andor", "-sort")
+	if !strings.Contains(out, "class ialu2") {
+		t.Fatalf("sort render:\n%s", out)
+	}
+}
+
+func TestMDVizShare(t *testing.T) {
+	out := runTool(t, mdviz, "-m", "supersparc", "-share")
+	if !strings.Contains(out, "AnyDecoder") || !strings.Contains(out, "shared by") {
+		t.Fatalf("share output:\n%s", out)
+	}
+}
+
+func TestMDVizErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMDViz([]string{"-m", "supersparc"}, &buf); err == nil {
+		t.Fatalf("missing -class accepted")
+	}
+	if err := RunMDViz([]string{"-m", "supersparc", "-class", "nope"}, &buf); err == nil {
+		t.Fatalf("unknown class accepted")
+	}
+}
+
+func TestSchedbenchExtensions(t *testing.T) {
+	out := runTool(t, schedbench, "-ext", "-ops", "1500")
+	for _, want := range []string{"factorization", "automaton", "Eichenberger", "modulo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in extensions report:\n%s", want, out)
+		}
+	}
+}
+
+// The default invocation regenerates everything (small workload).
+func TestSchedbenchFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	out := runTool(t, schedbench, "-ops", "1200")
+	for n := 1; n <= 15; n++ {
+		if !strings.Contains(out, "Table "+itoa(n)) {
+			t.Errorf("missing Table %d", n)
+		}
+	}
+	if !strings.Contains(out, "Figure 2") {
+		t.Errorf("missing Figure 2")
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestMDVizCustomFileAndBadForm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mdes")
+	src := `machine V { resource R[2]; class c { one_of R[0..1] @ 0; } operation X class c; }`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, mdviz, "-in", path, "-class", "c", "-form", "or")
+	if !strings.Contains(out, "Option 2:") {
+		t.Fatalf("custom render:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := RunMDViz([]string{"-in", path, "-class", "c", "-form", "banana"}, &buf); err == nil {
+		t.Fatalf("bad form accepted")
+	}
+	if err := RunMDViz([]string{"-m", "vax"}, &buf); err == nil {
+		t.Fatalf("unknown machine accepted")
+	}
+}

@@ -1,0 +1,327 @@
+// Package workload generates deterministic synthetic assembly streams for
+// each target machine, standing in for the paper's SPEC CINT92 assembly
+// (between 201011 and 282219 static operations per platform, §4).
+//
+// Substitution rationale (DESIGN.md §2): the paper's metrics — scheduling
+// attempts, options checked, resource checks, and their distribution over
+// option-count classes — depend only on the stream of (operation class,
+// dependence structure) pairs reaching the scheduler. Each machine's
+// opcode mix below is tuned so the share of scheduling attempts falling in
+// each option-count class approximates the paper's Tables 1-4, and the
+// dependence/register model follows the paper's setup: prepass scheduling
+// (virtual registers, flow dependences dominate) for the PA7100 and
+// SuperSPARC, postpass scheduling (eight architectural registers, anti and
+// output dependences abound) for the X86 Pentium and K5.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdes/internal/ir"
+	"mdes/internal/machines"
+)
+
+// OpSpec describes one opcode's place in a machine's synthetic mix.
+type OpSpec struct {
+	Opcode string
+	// Weight is the relative static frequency among non-branch ops (or
+	// among terminators for Branch specs).
+	Weight float64
+	NSrcs  int
+	NDests int
+	Mem    ir.MemKind
+	Branch bool
+	// CascadeProb is the probability a generated instance is marked as a
+	// cascade candidate (SuperSPARC same-cycle IALU pairs).
+	CascadeProb float64
+}
+
+// MachineSpec bundles a machine's generation parameters.
+type MachineSpec struct {
+	Machine machines.Name
+	Ops     []OpSpec // non-terminator mix
+	Terms   []OpSpec // block-terminator mix (branches, bundled cmp+br)
+	// MeanBlockSize controls the terminator share of the stream.
+	MeanBlockSize int
+	// Postpass selects the eight-register reuse model.
+	Postpass bool
+	// ImmProb is the probability that a source operand is an immediate or
+	// memory form carrying no register dependence (X86 code is rich in
+	// these), which raises the number of simultaneously-ready operations.
+	ImmProb float64
+}
+
+// Specs returns the generation spec for a built-in machine.
+func Specs(n machines.Name) (*MachineSpec, error) {
+	switch n {
+	case machines.SuperSPARC:
+		return superSPARCSpec(), nil
+	case machines.PA7100:
+		return pa7100Spec(), nil
+	case machines.Pentium:
+		return pentiumSpec(), nil
+	case machines.K5:
+		return k5Spec(), nil
+	case machines.P6:
+		return p6Spec(), nil
+	}
+	return nil, fmt.Errorf("workload: no spec for machine %q", n)
+}
+
+// superSPARCSpec targets Table 1's attempt distribution: ~50% one-source
+// IALU (48 options), ~14% loads (6), ~5% stores (12), ~9% in the 24-option
+// class (shifts + cascaded one-source IALU), ~3% in the 36-option class,
+// ~4% two-source IALU (72), ~0.7% FP (3), ~13% branches/serial (1).
+func superSPARCSpec() *MachineSpec {
+	return &MachineSpec{
+		Machine: machines.SuperSPARC,
+		Ops: []OpSpec{
+			{Opcode: "ADD1", Weight: 44, NSrcs: 1, NDests: 1},
+			{Opcode: "SUB1", Weight: 14, NSrcs: 1, NDests: 1, CascadeProb: 0.55},
+			{Opcode: "ADD2", Weight: 4.7, NSrcs: 2, NDests: 1},
+			{Opcode: "AND2", Weight: 3.5, NSrcs: 2, NDests: 1, CascadeProb: 0.55},
+			{Opcode: "LD", Weight: 16.6, NSrcs: 1, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "ST", Weight: 5.7, NSrcs: 2, Mem: ir.MemStore},
+			{Opcode: "SLL1", Weight: 3.2, NSrcs: 1, NDests: 1},
+			{Opcode: "SLL2", Weight: 1.1, NSrcs: 2, NDests: 1},
+			{Opcode: "FADD", Weight: 0.5, NSrcs: 2, NDests: 1},
+			{Opcode: "FMUL", Weight: 0.3, NSrcs: 2, NDests: 1},
+			{Opcode: "CALL", Weight: 1.5},
+		},
+		Terms: []OpSpec{
+			{Opcode: "BR", Weight: 1, NSrcs: 1, Branch: true},
+		},
+		MeanBlockSize: 8,
+	}
+}
+
+// pa7100Spec targets Table 2: ~81% two-option ops, ~19% branches.
+func pa7100Spec() *MachineSpec {
+	return &MachineSpec{
+		Machine: machines.PA7100,
+		Ops: []OpSpec{
+			{Opcode: "ADD", Weight: 30, NSrcs: 2, NDests: 1},
+			{Opcode: "SUB", Weight: 12, NSrcs: 2, NDests: 1},
+			{Opcode: "AND", Weight: 8, NSrcs: 2, NDests: 1},
+			{Opcode: "SH", Weight: 7, NSrcs: 1, NDests: 1},
+			{Opcode: "LD", Weight: 18, NSrcs: 1, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "ST", Weight: 7, NSrcs: 2, Mem: ir.MemStore},
+			{Opcode: "FADD", Weight: 1.2, NSrcs: 2, NDests: 1},
+			{Opcode: "FMUL", Weight: 0.8, NSrcs: 2, NDests: 1},
+		},
+		Terms: []OpSpec{
+			{Opcode: "BR", Weight: 1, NSrcs: 1, Branch: true},
+		},
+		MeanBlockSize: 5,
+	}
+}
+
+// pentiumSpec targets Table 3: ~55% two-option (pairable) attempts, ~45%
+// one-option (U-only and non-pairable) attempts.
+func pentiumSpec() *MachineSpec {
+	return &MachineSpec{
+		Machine: machines.Pentium,
+		Ops: []OpSpec{
+			{Opcode: "ADD", Weight: 22, NSrcs: 2, NDests: 1},
+			{Opcode: "SUB", Weight: 6, NSrcs: 2, NDests: 1},
+			{Opcode: "MOV", Weight: 12, NSrcs: 1, NDests: 1},
+			{Opcode: "LD", Weight: 10, NSrcs: 1, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "ST", Weight: 5, NSrcs: 2, Mem: ir.MemStore},
+			{Opcode: "SHL", Weight: 17, NSrcs: 1, NDests: 1},
+			{Opcode: "ROR", Weight: 7, NSrcs: 1, NDests: 1},
+			{Opcode: "MUL", Weight: 13, NSrcs: 2, NDests: 1},
+			{Opcode: "STRING", Weight: 8, NSrcs: 2, NDests: 1},
+		},
+		Terms: []OpSpec{
+			{Opcode: "CMPBR", Weight: 1, NSrcs: 2, Branch: true},
+		},
+		MeanBlockSize: 9,
+		Postpass:      true,
+	}
+}
+
+// k5Spec targets Table 4's eleven option-count classes.
+func k5Spec() *MachineSpec {
+	return &MachineSpec{
+		Machine: machines.K5,
+		Ops: []OpSpec{
+			{Opcode: "ADD", Weight: 38, NSrcs: 2, NDests: 1},
+			{Opcode: "SUB", Weight: 12, NSrcs: 2, NDests: 1},
+			{Opcode: "MOV", Weight: 13, NSrcs: 1, NDests: 1},
+			{Opcode: "LD", Weight: 9, NSrcs: 1, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "ST", Weight: 4, NSrcs: 2, Mem: ir.MemStore},
+			{Opcode: "FOP", Weight: 14.5, NSrcs: 2, NDests: 1},
+			{Opcode: "PUSH", Weight: 0.15, NSrcs: 1, Mem: ir.MemStore},
+			{Opcode: "ADDM", Weight: 0.2, NSrcs: 2, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "LEAL", Weight: 0.15, NSrcs: 2, NDests: 1},
+			{Opcode: "ADDML", Weight: 0.4, NSrcs: 2, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "RMW", Weight: 0.15, NSrcs: 2, NDests: 1, Mem: ir.MemStore},
+		},
+		Terms: []OpSpec{
+			{Opcode: "CMPBR", Weight: 6.2, NSrcs: 2, Branch: true},
+			{Opcode: "TESTBR", Weight: 2.7, NSrcs: 2, Branch: true},
+			{Opcode: "CMPBRL", Weight: 0.7, NSrcs: 2, Branch: true},
+			{Opcode: "TESTBRL", Weight: 0.45, NSrcs: 2, Branch: true},
+		},
+		// Larger blocks and immediate-heavy operands raise the number of
+		// simultaneously-ready operations competing for the four decode
+		// positions and dispatch slots, reproducing the K5's higher
+		// failed-attempt rate (paper: 1.6 attempts/op).
+		MeanBlockSize: 16,
+		Postpass:      true,
+		ImmProb:       0.6,
+	}
+}
+
+// p6Spec covers the extension machine (not part of the paper's tables):
+// a three-wide decode, five-port machine with micro-op fusion pressure.
+func p6Spec() *MachineSpec {
+	return &MachineSpec{
+		Machine: machines.P6,
+		Ops: []OpSpec{
+			{Opcode: "ADD", Weight: 34, NSrcs: 2, NDests: 1},
+			{Opcode: "SUB", Weight: 11, NSrcs: 2, NDests: 1},
+			{Opcode: "MOV", Weight: 16, NSrcs: 1, NDests: 1},
+			{Opcode: "LD", Weight: 18, NSrcs: 1, NDests: 1, Mem: ir.MemLoad},
+			{Opcode: "ST", Weight: 8, NSrcs: 2, Mem: ir.MemStore},
+			{Opcode: "FOP", Weight: 6, NSrcs: 2, NDests: 1},
+			{Opcode: "RMW", Weight: 3, NSrcs: 2, NDests: 1, Mem: ir.MemStore},
+		},
+		Terms: []OpSpec{
+			{Opcode: "CMPBR", Weight: 1, NSrcs: 2, Branch: true},
+		},
+		MeanBlockSize: 12,
+		Postpass:      true,
+		ImmProb:       0.5,
+	}
+}
+
+// Program is a generated workload: basic blocks of ir operations targeting
+// one machine.
+type Program struct {
+	Machine machines.Name
+	Blocks  []*ir.Block
+	NumOps  int
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Machine machines.Name
+	// NumOps is the approximate total static operation count.
+	NumOps int
+	Seed   int64
+}
+
+// Generate builds a deterministic synthetic program.
+func Generate(cfg Config) (*Program, error) {
+	spec, err := Specs(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumOps <= 0 {
+		return nil, fmt.Errorf("workload: NumOps %d must be positive", cfg.NumOps)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{spec: spec, r: r}
+	p := &Program{Machine: cfg.Machine}
+	for p.NumOps < cfg.NumOps {
+		b := g.block()
+		p.Blocks = append(p.Blocks, b)
+		p.NumOps += len(b.Ops)
+	}
+	return p, nil
+}
+
+type generator struct {
+	spec *MachineSpec
+	r    *rand.Rand
+}
+
+// pick selects a spec by weight.
+func pick(r *rand.Rand, specs []OpSpec) *OpSpec {
+	var total float64
+	for i := range specs {
+		total += specs[i].Weight
+	}
+	x := r.Float64() * total
+	for i := range specs {
+		x -= specs[i].Weight
+		if x <= 0 {
+			return &specs[i]
+		}
+	}
+	return &specs[len(specs)-1]
+}
+
+const postpassRegs = 8
+
+func (g *generator) block() *ir.Block {
+	// Block sizes vary geometrically around the mean, min 1 op + branch.
+	n := 1
+	mean := g.spec.MeanBlockSize
+	for n < mean*3 && g.r.Float64() > 1.0/float64(mean) {
+		n++
+	}
+	b := &ir.Block{}
+	// live holds recently-defined registers to draw sources from.
+	live := []int{0, 1, 2, 3}
+	nextReg := 4
+	defReg := func() int {
+		if g.spec.Postpass {
+			return g.r.Intn(postpassRegs)
+		}
+		reg := nextReg
+		nextReg++
+		return reg
+	}
+	srcReg := func() int {
+		if g.spec.Postpass {
+			return g.r.Intn(postpassRegs)
+		}
+		// Prefer recent values: exponential-ish bias toward the tail.
+		i := len(live) - 1 - g.r.Intn(min(len(live), 6))
+		return live[i]
+	}
+	emit := func(spec *OpSpec) {
+		op := &ir.Operation{Opcode: spec.Opcode, Mem: spec.Mem, Branch: spec.Branch}
+		for i := 0; i < spec.NSrcs; i++ {
+			if g.spec.ImmProb > 0 && g.r.Float64() < g.spec.ImmProb {
+				continue // immediate/memory operand: no register dependence
+			}
+			op.Srcs = append(op.Srcs, srcReg())
+		}
+		for i := 0; i < spec.NDests; i++ {
+			d := defReg()
+			op.Dests = append(op.Dests, d)
+			if !g.spec.Postpass {
+				live = append(live, d)
+				if len(live) > 16 {
+					live = live[len(live)-16:]
+				}
+			}
+		}
+		if spec.CascadeProb > 0 && g.r.Float64() < spec.CascadeProb && len(b.Ops) > 0 {
+			// Rewrite the op to consume the previous op's result so the
+			// cascade's zero-distance flow edge is real.
+			prev := b.Ops[len(b.Ops)-1]
+			if len(prev.Dests) > 0 && len(op.Srcs) > 0 && !prev.Branch {
+				op.Srcs[0] = prev.Dests[0]
+				op.Cascaded = true
+			}
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	for i := 0; i < n; i++ {
+		emit(pick(g.r, g.spec.Ops))
+	}
+	emit(pick(g.r, g.spec.Terms))
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

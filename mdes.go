@@ -1,0 +1,225 @@
+// Package mdes is a machine-description (MDES) facility for
+// instruction-level-parallelism compilers, reproducing Gyllenhaal, Hwu &
+// Rau, "Optimization of Machine Descriptions for Efficient Use" (MICRO-29,
+// 1996).
+//
+// The package implements the paper's two-tier model:
+//
+//   - a high-level MDES language in which compiler writers describe a
+//     processor's execution constraints readably and maintainably
+//     (resources, shared OR-trees, AND/OR-tree operation classes,
+//     latencies);
+//   - a compiler from that language to a low-level representation tuned
+//     for the scheduler's inner loop, via the paper's transformations:
+//     redundancy elimination (CSE/copy-propagation/dead-code removal),
+//     dominated-option pruning, bit-vector packing, per-resource
+//     usage-time shifting, time-zero-first check ordering, AND/OR-tree
+//     conflict-detection ordering, and common-usage hoisting;
+//   - an instrumented multi-platform list scheduler driven by the
+//     compiled description.
+//
+// Four detailed machine descriptions ship with the package — HP PA7100,
+// Intel Pentium, Sun SuperSPARC, and AMD-K5 — with reservation-table
+// option counts matching the paper's Tables 1-4.
+//
+// # Quick start
+//
+//	machine, err := mdes.Builtin(mdes.SuperSPARC)
+//	if err != nil { ... }
+//	compiled := mdes.Compile(machine, mdes.FormAndOr)
+//	mdes.Optimize(compiled, mdes.LevelFull)
+//	s := mdes.NewScheduler(compiled)
+//	result, err := s.ScheduleBlock(block)
+//
+// Custom machines are authored in the MDES language and loaded with Load:
+//
+//	machine, err := mdes.Load("mymachine.mdes", source)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory and the experiment index reproducing the paper's tables
+// and figures.
+package mdes
+
+import (
+	"io"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/opt"
+	"mdes/internal/query"
+	"mdes/internal/restable"
+	"mdes/internal/sched"
+	"mdes/internal/stats"
+)
+
+// Machine is an analyzed high-level machine description.
+type Machine = hmdes.Machine
+
+// MachineOperation is a machine operation's scheduling attributes.
+type MachineOperation = hmdes.Operation
+
+// Compiled is the low-level compiled machine description used by the
+// scheduler.
+type Compiled = lowlevel.MDES
+
+// Form selects the constraint representation of a compiled description.
+type Form = lowlevel.Form
+
+// Representation forms.
+const (
+	// FormOR is the traditional representation: a flat, prioritized list
+	// of fully-enumerated reservation-table options per operation class.
+	FormOR = lowlevel.FormOR
+	// FormAndOr is the paper's AND/OR-tree representation.
+	FormAndOr = lowlevel.FormAndOr
+)
+
+// Level selects how much of the optimization pipeline to run.
+type Level = opt.Level
+
+// Optimization levels (cumulative, in the paper's section order).
+const (
+	LevelNone       = opt.LevelNone
+	LevelRedundancy = opt.LevelRedundancy
+	LevelBitVector  = opt.LevelBitVector
+	LevelTimeShift  = opt.LevelTimeShift
+	LevelFull       = opt.LevelFull
+)
+
+// Direction configures the usage-time shift for forward or backward list
+// scheduling.
+type Direction = opt.Direction
+
+// Shift directions.
+const (
+	Forward  = opt.Forward
+	Backward = opt.Backward
+)
+
+// Report summarizes one optimization pass's effect.
+type Report = opt.Report
+
+// Scheduler is the MDES-driven list scheduler.
+type Scheduler = sched.Scheduler
+
+// Result is one block's scheduling outcome.
+type Result = sched.Result
+
+// Block, IROperation and Graph are the scheduler's input IR.
+type (
+	Block       = ir.Block
+	IROperation = ir.Operation
+	Graph       = ir.Graph
+	MemKind     = ir.MemKind
+)
+
+// Memory behaviour of an IR operation.
+const (
+	MemNone  = ir.MemNone
+	MemLoad  = ir.MemLoad
+	MemStore = ir.MemStore
+)
+
+// Counters are the paper's instrumentation: scheduling attempts, options
+// checked, resource checks.
+type Counters = stats.Counters
+
+// Histogram collects per-attempt distributions (Figure 2).
+type Histogram = stats.Histogram
+
+// SizeStats is the byte-accounting breakdown of a compiled description.
+type SizeStats = lowlevel.SizeStats
+
+// Built-in machine names.
+const (
+	PA7100     = machines.PA7100
+	Pentium    = machines.Pentium
+	SuperSPARC = machines.SuperSPARC
+	K5         = machines.K5
+)
+
+// BuiltinName identifies a built-in machine description.
+type BuiltinName = machines.Name
+
+// Builtins lists the built-in machine descriptions.
+func Builtins() []BuiltinName {
+	return append([]BuiltinName(nil), machines.All...)
+}
+
+// Builtin loads one of the built-in machine descriptions.
+func Builtin(name BuiltinName) (*Machine, error) {
+	return machines.Load(name)
+}
+
+// BuiltinSource returns the high-level MDES source text of a built-in
+// machine, a starting point for authoring new descriptions.
+func BuiltinSource(name BuiltinName) (string, error) {
+	return machines.Source(name)
+}
+
+// Load parses and analyzes a machine description written in the high-level
+// MDES language. The file name is used in error positions only.
+func Load(file, source string) (*Machine, error) {
+	return hmdes.Load(file, source)
+}
+
+// Compile lowers an analyzed machine into the requested low-level form,
+// unoptimized. Run Optimize to apply the paper's transformations.
+func Compile(m *Machine, form Form) *Compiled {
+	return lowlevel.Compile(m, form)
+}
+
+// Optimize runs the transformation pipeline up to level, tuned for a
+// forward scheduler, and returns one report per executed pass.
+func Optimize(c *Compiled, level Level) []Report {
+	return opt.Apply(c, level, opt.Forward)
+}
+
+// OptimizeFor is Optimize with an explicit scheduling direction for the
+// usage-time shift (§7).
+func OptimizeFor(c *Compiled, level Level, dir Direction) []Report {
+	return opt.Apply(c, level, dir)
+}
+
+// DecodeCompiled reads a compiled description serialized with
+// Compiled.Encode — the fast-load path a compiler uses at startup (the
+// paper's low-level representation is designed to load without re-running
+// any sharing analysis).
+func DecodeCompiled(r io.Reader) (*Compiled, error) {
+	return lowlevel.Decode(r)
+}
+
+// NewScheduler returns a list scheduler driven by the compiled description.
+func NewScheduler(c *Compiled) *Scheduler {
+	return sched.New(c)
+}
+
+// NewHistogram returns an empty histogram for Scheduler.OptionsHist.
+func NewHistogram() *Histogram {
+	return stats.NewHistogram()
+}
+
+// Query is the execution-constraint query interface for compiler modules
+// other than the scheduler (if-conversion, height reduction, resource
+// pressure heuristics — the use cases the paper's introduction motivates).
+type Query = query.Q
+
+// NewQuery returns a query interface over the compiled description.
+func NewQuery(c *Compiled) *Query {
+	return query.New(c)
+}
+
+// RenderClass renders a class's AND/OR-tree (and optionally its expanded
+// OR-tree) as ASCII reservation tables, the format of the paper's figures.
+func RenderClass(m *Machine, class string, expanded bool) (string, bool) {
+	tree, ok := m.Classes[class]
+	if !ok {
+		return "", false
+	}
+	if expanded {
+		return restable.RenderORTree(m.Resources, tree.Expand()), true
+	}
+	return restable.RenderAndOrTree(m.Resources, tree), true
+}
