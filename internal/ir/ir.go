@@ -85,7 +85,11 @@ type Graph struct {
 	Preds [][]Edge
 }
 
-// Renumber assigns sequential IDs matching slice positions.
+// Renumber assigns sequential IDs matching slice positions. IDs are
+// display/debug metadata only — the graph builder and schedulers identify
+// operations by slice position. Call it when constructing a block; the
+// read paths never mutate a block, so one block can be scheduled from
+// many goroutines concurrently.
 func (b *Block) Renumber() {
 	for i, op := range b.Ops {
 		op.ID = i
@@ -125,9 +129,10 @@ func BuildGraph(b *Block, latency LatencyFunc) *Graph {
 	return BuildGraphTiming(b, latencyTiming{lat: latency})
 }
 
-// BuildGraphTiming is BuildGraph with operand-level flow distances.
+// BuildGraphTiming is BuildGraph with operand-level flow distances. It
+// treats the block as read-only (no renumbering), so shared blocks may be
+// graphed and scheduled concurrently.
 func BuildGraphTiming(b *Block, tm Timing) *Graph {
-	b.Renumber()
 	g := &Graph{
 		Block: b,
 		Succs: make([][]Edge, len(b.Ops)),

@@ -18,6 +18,8 @@ package lowlevel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mdes/internal/hmdes"
 	"mdes/internal/restable"
@@ -166,7 +168,34 @@ type MDES struct {
 	// Bypasses adjusts flow-dependence distances for forwarding paths,
 	// keyed by (producer, consumer) operation indices.
 	Bypasses map[[2]int]int
+
+	// Immutability contract (see Freeze).
+	freezeOnce sync.Once
+	freezeErr  error
+	frozen     atomic.Bool
 }
+
+// Freeze validates the description once and marks it immutable: after a
+// successful Freeze the MDES is compile-once, validate-once data that any
+// number of goroutines may read concurrently without synchronization. All
+// mutable scheduling state lives outside the MDES (internal/resctx); the
+// transformation pipeline (internal/opt) refuses to run on a frozen
+// description. Freeze is idempotent and safe to call from multiple
+// goroutines; every call returns the first call's validation result.
+func (m *MDES) Freeze() error {
+	m.freezeOnce.Do(func() {
+		if err := m.Validate(); err != nil {
+			m.freezeErr = fmt.Errorf("lowlevel: freeze: %w", err)
+			return
+		}
+		m.frozen.Store(true)
+	})
+	return m.freezeErr
+}
+
+// Frozen reports whether Freeze has successfully marked the description
+// immutable.
+func (m *MDES) Frozen() bool { return m.frozen.Load() }
 
 // FlowDistance returns the flow-dependence distance from producer to
 // consumer operation indices: producer latency, minus consumer source

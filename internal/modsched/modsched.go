@@ -18,6 +18,7 @@ import (
 
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
+	"mdes/internal/resctx"
 	"mdes/internal/stats"
 )
 
@@ -77,8 +78,15 @@ type Schedule struct {
 }
 
 // Scheduler runs iterative modulo scheduling against one compiled MDES.
+//
+// The compiled description is shared, immutable data (see
+// lowlevel.MDES.Freeze). The modulo RU map is private to each Schedule
+// call, so a Scheduler is single-goroutine but many Schedulers — each
+// with its own borrowed resctx.Context — may pipeline loops against the
+// same compiled MDES concurrently.
 type Scheduler struct {
 	mdes *lowlevel.MDES
+	cx   *resctx.Context
 	// Budget bounds total placements per candidate II as a multiple of the
 	// operation count (Rau's budget_ratio); default 6.
 	Budget int
@@ -86,9 +94,17 @@ type Scheduler struct {
 	MaxII int
 }
 
-// New returns a modulo scheduler for the compiled description.
+// New returns a modulo scheduler for the compiled description, backed by
+// a standalone context.
 func New(m *lowlevel.MDES) *Scheduler {
-	return &Scheduler{mdes: m, Budget: 6}
+	return NewWithContext(m, resctx.New(m.NumResources))
+}
+
+// NewWithContext returns a modulo scheduler over the shared compiled
+// description; the search's counters are also accumulated into the
+// borrowed context, so pooled contexts aggregate service-wide totals.
+func NewWithContext(m *lowlevel.MDES, cx *resctx.Context) *Scheduler {
+	return &Scheduler{mdes: m, cx: cx, Budget: 6}
 }
 
 // deps builds the full dependence set: intra-iteration from the IR graph
@@ -249,6 +265,7 @@ func (s *Scheduler) Schedule(l *Loop) (*Schedule, error) {
 		result.TriedIIs++
 		if s.tryII(l, deps, ii, result) {
 			result.II = ii
+			s.cx.Counters.Add(result.Counters)
 			return result, nil
 		}
 	}
@@ -438,10 +455,14 @@ type modMap struct {
 	ii    int
 	nres  int
 	owner [][]int // [row][res] -> op index or -1
+	// taken and seen are reusable scratch for check/optionFree, cleared
+	// per use so the hot search loop allocates no maps.
+	taken map[[2]int]bool
+	seen  map[[2]int]bool
 }
 
 func newModMap(nres, ii int) *modMap {
-	m := &modMap{ii: ii, nres: nres}
+	m := &modMap{ii: ii, nres: nres, taken: map[[2]int]bool{}, seen: map[[2]int]bool{}}
 	m.owner = make([][]int, ii)
 	for i := range m.owner {
 		row := make([]int, nres)
@@ -477,7 +498,8 @@ func (m *modMap) check(con *lowlevel.Constraint, issue int, c *stats.Counters) (
 	sel := selection{con: con, issue: issue, chosen: make([]int, len(con.Trees)), valid: true}
 	// Track slots taken by earlier trees of this same selection so the
 	// AND-combination cannot double-book a folded slot.
-	taken := map[[2]int]bool{}
+	taken := m.taken
+	clear(taken)
 	for ti, tree := range con.Trees {
 		found := -1
 		for oi, o := range tree.Options {
@@ -503,7 +525,8 @@ func (m *modMap) check(con *lowlevel.Constraint, issue int, c *stats.Counters) (
 }
 
 func (m *modMap) optionFree(o *lowlevel.Option, issue int, taken map[[2]int]bool, c *stats.Counters) bool {
-	seen := map[[2]int]bool{}
+	seen := m.seen
+	clear(seen)
 	for _, u := range optionUsages(o) {
 		c.ResourceChecks++
 		r := (issue + int(u.Time)) % m.ii

@@ -44,7 +44,15 @@ func (l Level) String() string {
 // Apply runs the pipeline up to the given level, in the paper's order,
 // returning one report per executed pass. dir configures the usage-time
 // shift for a forward or backward scheduler.
+//
+// Apply panics if the description has been frozen: a frozen MDES is
+// shared immutable data (possibly already visible to other goroutines),
+// and transforming it in place would be a data race. Run the pipeline
+// before Freeze.
 func Apply(m *lowlevel.MDES, level Level, dir Direction) []Report {
+	if m.Frozen() {
+		panic("opt: cannot transform a frozen MDES; run Optimize before Freeze/NewEngine")
+	}
 	var reports []Report
 	run := func(r Report) { reports = append(reports, r) }
 	if level >= LevelRedundancy {

@@ -11,21 +11,46 @@ import (
 	"fmt"
 
 	"mdes/internal/lowlevel"
-	"mdes/internal/rumap"
+	"mdes/internal/resctx"
 	"mdes/internal/stats"
 )
 
 // Q answers execution-constraint queries against one compiled MDES.
-// It is not safe for concurrent use; create one per goroutine.
+//
+// The compiled description is shared, immutable data (see
+// lowlevel.MDES.Freeze); all mutable probe state lives in the borrowed
+// resctx.Context. A Q therefore must not be used from more than one
+// goroutine at a time, but any number of Qs — each with its own borrowed
+// Context — may query the same compiled MDES concurrently.
 type Q struct {
 	mdes *lowlevel.MDES
-	ru   *rumap.Map
+	cx   *resctx.Context
 }
 
-// New returns a query interface over the compiled description.
+// New returns a query interface over the compiled description, backed by
+// a standalone context. For concurrent use over a shared description,
+// borrow per-goroutine contexts from a resctx.Pool and use NewWithContext
+// (or mdes.Engine.Query).
 func New(m *lowlevel.MDES) *Q {
-	return &Q{mdes: m, ru: rumap.New(m.NumResources)}
+	return NewWithContext(m, resctx.New(m.NumResources))
 }
+
+// NewWithContext returns a query interface over the shared compiled
+// description using the borrowed context for all mutable probe state.
+func NewWithContext(m *lowlevel.MDES, cx *resctx.Context) *Q {
+	return &Q{mdes: m, cx: cx}
+}
+
+// Close releases the underlying context back to its pool (a no-op for
+// standalone contexts). The Q must not be used after Close.
+func (q *Q) Close() {
+	q.cx.Release()
+	q.cx = nil
+}
+
+// Counters returns the instrumentation accumulated by this Q's probes
+// since its context was borrowed.
+func (q *Q) Counters() stats.Counters { return q.cx.Counters }
 
 // Latency returns an opcode's result latency.
 func (q *Q) Latency(opcode string) (int, error) {
@@ -65,24 +90,24 @@ func (q *Q) FlowDistance(producer, consumer string) (int, error) {
 // for if-conversion and height reduction: merging two paths is only
 // profitable if the merged cycle's operations actually fit.
 func (q *Q) CanIssueTogether(opcodes ...string) (bool, error) {
-	q.ru.Reset()
-	var c stats.Counters
-	var sels []rumap.Selection
+	q.cx.RU.Reset()
+	sels := q.cx.Sels[:0]
 	defer func() {
 		for _, s := range sels {
-			q.ru.Release(s)
+			q.cx.RU.Release(s)
 		}
+		q.cx.Sels = sels[:0]
 	}()
 	for _, opc := range opcodes {
 		idx, ok := q.mdes.OpIndex[opc]
 		if !ok {
 			return false, fmt.Errorf("query: unknown opcode %q", opc)
 		}
-		sel, ok2 := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+		sel, ok2 := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
 		if !ok2 {
 			return false, nil
 		}
-		q.ru.Reserve(sel)
+		q.cx.RU.Reserve(sel)
 		sels = append(sels, sel)
 	}
 	return true, nil
@@ -95,21 +120,21 @@ func (q *Q) MaxPerCycle(opcode string, limit int) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("query: unknown opcode %q", opcode)
 	}
-	q.ru.Reset()
-	var c stats.Counters
-	var sels []rumap.Selection
+	q.cx.RU.Reset()
+	sels := q.cx.Sels[:0]
 	defer func() {
 		for _, s := range sels {
-			q.ru.Release(s)
+			q.cx.RU.Release(s)
 		}
+		q.cx.Sels = sels[:0]
 	}()
 	n := 0
 	for n < limit {
-		sel, ok := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+		sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
 		if !ok {
 			break
 		}
-		q.ru.Reserve(sel)
+		q.cx.RU.Reserve(sel)
 		sels = append(sels, sel)
 		n++
 	}
@@ -132,16 +157,15 @@ func (q *Q) MinIssueDistance(first, second string, limit int) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("query: unknown opcode %q", second)
 	}
-	q.ru.Reset()
-	var c stats.Counters
-	sel, ok := q.ru.Check(q.mdes.ConstraintFor(fi, false), 0, &c)
+	q.cx.RU.Reset()
+	sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(fi, false), 0, &q.cx.Counters)
 	if !ok {
 		return 0, fmt.Errorf("query: %q cannot issue on an idle machine", first)
 	}
-	q.ru.Reserve(sel)
-	defer q.ru.Release(sel)
+	q.cx.RU.Reserve(sel)
+	defer q.cx.RU.Release(sel)
 	for t := 0; t <= limit; t++ {
-		if _, ok := q.ru.Check(q.mdes.ConstraintFor(si, false), t, &c); ok {
+		if _, ok := q.cx.RU.Check(q.mdes.ConstraintFor(si, false), t, &q.cx.Counters); ok {
 			return t, nil
 		}
 	}
@@ -166,9 +190,8 @@ func (q *Q) IssueWidth(limit int) int {
 				continue
 			}
 			count := 0
-			q.ru.Reset()
-			var c stats.Counters
-			var sels []rumap.Selection
+			q.cx.RU.Reset()
+			sels := q.cx.Sels[:0]
 			for count < limit {
 				var idx int
 				if count%2 == 0 {
@@ -176,17 +199,18 @@ func (q *Q) IssueWidth(limit int) int {
 				} else {
 					idx = q.mdes.OpIndex[b.Name]
 				}
-				sel, ok := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+				sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
 				if !ok {
 					break
 				}
-				q.ru.Reserve(sel)
+				q.cx.RU.Reserve(sel)
 				sels = append(sels, sel)
 				count++
 			}
 			for _, s := range sels {
-				q.ru.Release(s)
+				q.cx.RU.Release(s)
 			}
+			q.cx.Sels = sels[:0]
 			if count > best {
 				best = count
 			}
@@ -203,16 +227,16 @@ func (q *Q) ResourceUse(opcode string) (map[string][]int, error) {
 	if !ok {
 		return nil, fmt.Errorf("query: unknown opcode %q", opcode)
 	}
-	q.ru.Reset()
-	var c stats.Counters
-	sel, ok2 := q.ru.Check(q.mdes.ConstraintFor(idx, false), 0, &c)
+	q.cx.RU.Reset()
+	sel, ok2 := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
 	if !ok2 {
 		return nil, fmt.Errorf("query: %q cannot issue on an idle machine", opcode)
 	}
-	q.ru.Reserve(sel)
-	defer q.ru.Release(sel)
+	q.cx.RU.Reserve(sel)
+	defer q.cx.RU.Release(sel)
+	q.cx.Slots = q.cx.RU.AppendReservedSlots(q.cx.Slots[:0])
 	out := map[string][]int{}
-	for slot := range q.ru.ReservedSlots() {
+	for _, slot := range q.cx.Slots {
 		res, cycle := slot[0], slot[1]
 		name := q.mdes.ResourceNames[res]
 		out[name] = append(out[name], cycle)

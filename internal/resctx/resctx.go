@@ -1,0 +1,115 @@
+// Package resctx provides the session layer between one immutable compiled
+// machine description and its many concurrent consumers.
+//
+// The compiled lowlevel.MDES is compile-once, validate-once data: after
+// Freeze it is never mutated, so any number of goroutines may share one
+// copy (the paper's premise is that one description serves a compiler's
+// hottest inner loop; in a long-running service the same artifact must
+// serve many inner loops at once). All per-client mutable state — the
+// resource-usage map, the instrumentation counters, and the selection
+// scratch buffers — lives in a Context instead. Consumers (the list
+// scheduler, the query interface, the modulo scheduler) borrow a Context,
+// run against the shared MDES, and return it.
+//
+// A Pool recycles Contexts via sync.Pool and aggregates the counters of
+// every returned Context, giving a service both allocation-free steady
+// state and global instrumentation totals without any per-check
+// synchronization: counters are accumulated locally in the borrowed
+// Context and folded into the pool's atomic totals only on Put.
+package resctx
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// Context is the per-client mutable state for scheduling and querying
+// against one shared compiled MDES. A Context must not be used from more
+// than one goroutine at a time; borrow one per goroutine instead.
+type Context struct {
+	// RU is the resource-usage map all reservation checks run against.
+	RU *rumap.Map
+	// Counters accumulates the attempts / options checked / resource
+	// checks performed through this context since it was borrowed.
+	Counters stats.Counters
+	// Slots is a reusable (resource, cycle) buffer for reservation
+	// snapshots (rumap.Map.AppendReservedSlots).
+	Slots [][2]int
+	// Sels is a reusable selection scratch for multi-reserve probes.
+	Sels []rumap.Selection
+
+	pool *Pool
+}
+
+// New returns a standalone (unpooled) Context for a machine with numRes
+// resources. Release on a standalone Context is a no-op, so single-client
+// code can treat pooled and unpooled Contexts uniformly.
+func New(numRes int) *Context {
+	return &Context{RU: rumap.New(numRes)}
+}
+
+// Reset clears the reservation map and counters, retaining all storage.
+func (c *Context) Reset() {
+	c.RU.Reset()
+	c.Counters = stats.Counters{}
+	c.Slots = c.Slots[:0]
+	c.Sels = c.Sels[:0]
+}
+
+// Release returns the Context to the Pool it was borrowed from, folding
+// its counters into the pool totals. Releasing a standalone Context is a
+// no-op. The Context must not be used after Release.
+func (c *Context) Release() {
+	if c.pool != nil {
+		c.pool.Put(c)
+	}
+}
+
+// Pool recycles Contexts for one compiled MDES and aggregates the
+// instrumentation of every Context returned to it.
+type Pool struct {
+	numRes int
+	p      sync.Pool
+
+	attempts atomic.Int64
+	options  atomic.Int64
+	checks   atomic.Int64
+}
+
+// NewPool returns a Context pool for a machine with numRes resources.
+func NewPool(numRes int) *Pool {
+	pl := &Pool{numRes: numRes}
+	pl.p.New = func() any {
+		return &Context{RU: rumap.New(pl.numRes), pool: pl}
+	}
+	return pl
+}
+
+// Get borrows a clean Context. The caller must return it with Put (or
+// Context.Release) when done.
+func (p *Pool) Get() *Context {
+	return p.p.Get().(*Context)
+}
+
+// Put folds the Context's counters into the pool totals, resets it, and
+// makes it available for reuse.
+func (p *Pool) Put(c *Context) {
+	p.attempts.Add(c.Counters.Attempts)
+	p.options.Add(c.Counters.OptionsChecked)
+	p.checks.Add(c.Counters.ResourceChecks)
+	c.Reset()
+	p.p.Put(c)
+}
+
+// Totals returns the aggregated counters of every Context returned to the
+// pool so far. Contexts currently borrowed are not included until Put.
+func (p *Pool) Totals() stats.Counters {
+	return stats.Counters{
+		Attempts:       p.attempts.Load(),
+		OptionsChecked: p.options.Load(),
+		ResourceChecks: p.checks.Load(),
+	}
+}

@@ -1,0 +1,74 @@
+package resctx
+
+import (
+	"sync"
+	"testing"
+
+	"mdes/internal/stats"
+)
+
+func TestStandaloneReleaseIsNoop(t *testing.T) {
+	c := New(4)
+	c.Counters.Attempts = 7
+	c.Release() // must not panic or reset
+	if c.Counters.Attempts != 7 {
+		t.Fatalf("standalone Release mutated counters: %+v", c.Counters)
+	}
+}
+
+func TestPoolRecyclesAndAggregates(t *testing.T) {
+	p := NewPool(8)
+	c := p.Get()
+	if c.RU == nil {
+		t.Fatal("pooled context has no RU map")
+	}
+	c.Counters = stats.Counters{Attempts: 3, OptionsChecked: 5, ResourceChecks: 11}
+	c.Slots = append(c.Slots, [2]int{1, 2})
+	c.Release()
+
+	got := p.Totals()
+	want := stats.Counters{Attempts: 3, OptionsChecked: 5, ResourceChecks: 11}
+	if got != want {
+		t.Fatalf("Totals = %+v, want %+v", got, want)
+	}
+
+	c2 := p.Get()
+	if c2.Counters != (stats.Counters{}) {
+		t.Fatalf("recycled context has stale counters: %+v", c2.Counters)
+	}
+	if len(c2.Slots) != 0 {
+		t.Fatalf("recycled context has stale slots: %v", c2.Slots)
+	}
+	c2.Release()
+}
+
+func TestPoolTotalsConcurrent(t *testing.T) {
+	p := NewPool(4)
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c := p.Get()
+				c.Counters.Attempts++
+				c.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Totals().Attempts; got != workers*rounds {
+		t.Fatalf("Totals.Attempts = %d, want %d", got, workers*rounds)
+	}
+}
+
+func TestResetClearsReservations(t *testing.T) {
+	c := New(4)
+	c.Slots = append(c.Slots, [2]int{0, 0})
+	c.Counters.Attempts = 1
+	c.Reset()
+	if c.Counters != (stats.Counters{}) || len(c.Slots) != 0 {
+		t.Fatalf("Reset left state: %+v slots=%v", c.Counters, c.Slots)
+	}
+}

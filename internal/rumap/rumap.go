@@ -202,14 +202,26 @@ func (m *Map) Release(sel Selection) {
 }
 
 // ReservedSlots returns every (resource, cycle) currently reserved, for
-// tests that compare reservations across representations.
+// tests that compare reservations across representations. Hot paths should
+// use AppendReservedSlots, which reuses the caller's buffer.
 func (m *Map) ReservedSlots() map[[2]int]bool {
 	out := map[[2]int]bool{}
+	for _, s := range m.AppendReservedSlots(nil) {
+		out[s] = true
+	}
+	return out
+}
+
+// AppendReservedSlots appends every (resource, cycle) currently reserved
+// to dst and returns the extended slice. Passing a buffer with spare
+// capacity (dst[:0] of a previous result) makes the snapshot
+// allocation-free.
+func (m *Map) AppendReservedSlots(dst [][2]int) [][2]int {
 	for i := range m.rows {
 		cycle := m.base + i
 		m.rows[i].ForEach(func(res int) {
-			out[[2]int{res, cycle}] = true
+			dst = append(dst, [2]int{res, cycle})
 		})
 	}
-	return out
+	return dst
 }

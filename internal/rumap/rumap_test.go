@@ -300,3 +300,39 @@ func BenchmarkCheckScalarVsPacked(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) { run(b, false) })
 	b.Run("packed", func(b *testing.B) { run(b, true) })
 }
+
+func TestAppendReservedSlotsMatchesMap(t *testing.T) {
+	ll := compileMini(t, lowlevel.FormAndOr)
+	m := New(ll.NumResources)
+	var c stats.Counters
+	sel, _ := m.Check(ll.Constraints[0], 5, &c)
+	m.Reserve(sel)
+	want := m.ReservedSlots()
+	got := m.AppendReservedSlots(nil)
+	if len(got) != len(want) {
+		t.Fatalf("append returned %d slots, map has %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("append returned slot %v not in map %v", s, want)
+		}
+	}
+}
+
+// The append-into variant must be allocation-free once the caller's buffer
+// has capacity — it replaces a map[[2]int]bool built fresh per call on the
+// query hot path.
+func TestAppendReservedSlotsNoAlloc(t *testing.T) {
+	ll := compileMini(t, lowlevel.FormAndOr)
+	m := New(ll.NumResources)
+	var c stats.Counters
+	sel, _ := m.Check(ll.Constraints[0], 5, &c)
+	m.Reserve(sel)
+	buf := m.AppendReservedSlots(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.AppendReservedSlots(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendReservedSlots into a sized buffer allocates %.1f times per call, want 0", allocs)
+	}
+}

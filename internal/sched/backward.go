@@ -24,7 +24,10 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 	if n == 0 {
 		return res, nil
 	}
-	s.ru.Reset()
+	if err := s.checkOpcodes(g.Block); err != nil {
+		return nil, err
+	}
+	s.cx.RU.Reset()
 
 	// depth[i]: latency-weighted longest path from any source to i — the
 	// mirror of the forward scheduler's height priority.
@@ -82,7 +85,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
 			before := res.Counters.OptionsChecked
-			sel, ok := s.ru.Check(con, -cycle, &res.Counters)
+			sel, ok := s.cx.RU.Check(con, -cycle, &res.Counters)
 			if s.OptionsHist != nil {
 				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
 			}
@@ -92,7 +95,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			if !ok {
 				continue
 			}
-			s.ru.Reserve(sel)
+			s.cx.RU.Reserve(sel)
 			scheduled[i] = true
 			tau[i] = cycle
 			remaining--
@@ -129,5 +132,6 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			return nil, err
 		}
 	}
+	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }

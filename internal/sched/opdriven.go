@@ -25,8 +25,11 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 	if n == 0 {
 		return res, nil
 	}
+	if err := s.checkOpcodes(g.Block); err != nil {
+		return nil, err
+	}
 	height := g.Height(s.Latency)
-	s.ru.Reset()
+	s.cx.RU.Reset()
 
 	npreds := make([]int, n)
 	estart := make([]int, n)
@@ -55,7 +58,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 		cycle := estart[i]
 		for {
 			before := res.Counters.OptionsChecked
-			sel, ok := s.ru.Check(con, cycle, &res.Counters)
+			sel, ok := s.cx.RU.Check(con, cycle, &res.Counters)
 			if s.OptionsHist != nil {
 				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
 			}
@@ -63,7 +66,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 				s.OnAttempt(op, res.Counters.OptionsChecked-before, ok)
 			}
 			if ok {
-				s.ru.Reserve(sel)
+				s.cx.RU.Reserve(sel)
 				break
 			}
 			cycle++
@@ -96,6 +99,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 			return nil, err
 		}
 	}
+	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }
 

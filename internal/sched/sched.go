@@ -12,7 +12,7 @@ import (
 
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
-	"mdes/internal/rumap"
+	"mdes/internal/resctx"
 	"mdes/internal/stats"
 )
 
@@ -27,10 +27,16 @@ type Result struct {
 }
 
 // Scheduler schedules blocks for one compiled machine description.
-// It is not safe for concurrent use; create one per goroutine.
+//
+// The compiled description is shared, immutable data (see
+// lowlevel.MDES.Freeze); all mutable scheduling state lives in the
+// borrowed resctx.Context. A Scheduler therefore must not be used from
+// more than one goroutine at a time, but any number of Schedulers — each
+// with its own borrowed Context — may drive the same compiled MDES
+// concurrently (mdes.Engine.ScheduleBlocks is the fan-out entry point).
 type Scheduler struct {
 	mdes *lowlevel.MDES
-	ru   *rumap.Map
+	cx   *resctx.Context
 	// OptionsHist, when non-nil, receives one sample per scheduling
 	// attempt: the number of options checked during that attempt
 	// (Figure 2's distribution).
@@ -45,10 +51,24 @@ type Scheduler struct {
 	SelfCheck bool
 }
 
-// New returns a scheduler for the given compiled MDES.
+// New returns a scheduler for the given compiled MDES, backed by a
+// standalone context. For concurrent use over a shared description,
+// borrow per-goroutine contexts from a resctx.Pool and use
+// NewWithContext.
 func New(m *lowlevel.MDES) *Scheduler {
-	return &Scheduler{mdes: m, ru: rumap.New(m.NumResources)}
+	return NewWithContext(m, resctx.New(m.NumResources))
 }
+
+// NewWithContext returns a scheduler over the shared compiled description
+// using the borrowed context for all mutable scheduling state. Per-block
+// counters are also accumulated into the context, so pooled contexts
+// aggregate a service-wide total on release.
+func NewWithContext(m *lowlevel.MDES, cx *resctx.Context) *Scheduler {
+	return &Scheduler{mdes: m, cx: cx}
+}
+
+// Context returns the scheduler's borrowed context.
+func (s *Scheduler) Context() *resctx.Context { return s.cx }
 
 // MDES returns the machine description the scheduler drives.
 func (s *Scheduler) MDES() *lowlevel.MDES { return s.mdes }
@@ -97,14 +117,29 @@ func (s *Scheduler) ScheduleBlock(b *ir.Block) (*Result, error) {
 	return s.scheduleGraph(g)
 }
 
+// checkOpcodes rejects blocks with operations the MDES does not define,
+// so malformed inputs surface as errors before the priority computation
+// (whose latency lookups panic on unknown names).
+func (s *Scheduler) checkOpcodes(b *ir.Block) error {
+	for _, op := range b.Ops {
+		if _, ok := s.mdes.OpIndex[op.Opcode]; !ok {
+			return fmt.Errorf("sched: opcode %q not in MDES %s", op.Opcode, s.mdes.MachineName)
+		}
+	}
+	return nil
+}
+
 func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 	n := len(g.Block.Ops)
 	res := &Result{Issue: make([]int, n)}
 	if n == 0 {
 		return res, nil
 	}
+	if err := s.checkOpcodes(g.Block); err != nil {
+		return nil, err
+	}
 	height := g.Height(s.Latency)
-	s.ru.Reset()
+	s.cx.RU.Reset()
 
 	scheduled := make([]bool, n)
 	npreds := make([]int, n)
@@ -147,7 +182,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
 			before := res.Counters.OptionsChecked
-			sel, ok := s.ru.Check(con, cycle, &res.Counters)
+			sel, ok := s.cx.RU.Check(con, cycle, &res.Counters)
 			if s.OptionsHist != nil {
 				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
 			}
@@ -157,7 +192,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			if !ok {
 				continue
 			}
-			s.ru.Reserve(sel)
+			s.cx.RU.Reserve(sel)
 			scheduled[i] = true
 			res.Issue[i] = cycle
 			remaining--
@@ -186,6 +221,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			return nil, err
 		}
 	}
+	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }
 

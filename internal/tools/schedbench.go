@@ -1,12 +1,16 @@
 package tools
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
+	"mdes"
 	"mdes/internal/experiments"
 	"mdes/internal/machines"
+	"mdes/internal/workload"
 )
 
 // RunSchedbench is the schedbench tool: regenerate the paper's tables and
@@ -16,11 +20,12 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 
 	var (
-		tableFlag = fs.Int("table", 0, "regenerate a single table (1-15); 0 = all")
-		fig2Flag  = fs.Bool("fig2", false, "regenerate Figure 2 only")
-		extFlag   = fs.Bool("ext", false, "report the extension ablations (factorization, automaton, E-D, modulo)")
-		opsFlag   = fs.Int("ops", 20000, "static operations per machine")
-		seedFlag  = fs.Int64("seed", 1996, "workload seed")
+		tableFlag    = fs.Int("table", 0, "regenerate a single table (1-15); 0 = all")
+		fig2Flag     = fs.Bool("fig2", false, "regenerate Figure 2 only")
+		extFlag      = fs.Bool("ext", false, "report the extension ablations (factorization, automaton, E-D, modulo)")
+		parallelFlag = fs.Int("parallel", 0, "run the concurrent-serving benchmark sweeping parallelism up to N over one shared frozen MDES")
+		opsFlag      = fs.Int("ops", 20000, "static operations per machine")
+		seedFlag     = fs.Int64("seed", 1996, "workload seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -28,6 +33,9 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
 
+	if *parallelFlag > 0 {
+		return runParallel(stdout, p, *parallelFlag)
+	}
 	if *extFlag {
 		rep, err := experiments.RunExtensions(p)
 		if err != nil {
@@ -49,6 +57,56 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	return runFig2(stdout, p)
+}
+
+// runParallel is the concurrent-serving benchmark: one frozen compiled
+// description per machine, scheduled by pools of 1..maxPar goroutines
+// borrowing contexts from the engine. Schedule lengths are verified
+// identical to the serial run at every parallelism level; speedup is
+// bounded by min(parallelism, GOMAXPROCS).
+func runParallel(stdout io.Writer, p experiments.Params, maxPar int) error {
+	fmt.Fprintf(stdout, "Concurrent scheduling: shared frozen MDES, pooled contexts (%d ops/machine)\n", p.NumOps)
+	fmt.Fprintf(stdout, "%-12s %9s %12s %12s %9s\n", "machine", "parallel", "wall-clock", "blocks/s", "speedup")
+	for _, name := range machines.All {
+		machine, err := machines.Load(name)
+		if err != nil {
+			return err
+		}
+		compiled := mdes.Compile(machine, mdes.FormAndOr)
+		mdes.Optimize(compiled, mdes.LevelFull)
+		eng, err := mdes.NewEngine(compiled)
+		if err != nil {
+			return err
+		}
+		prog, err := workload.GenerateParallel(workload.Config{Machine: name, NumOps: p.NumOps, Seed: p.Seed}, 4)
+		if err != nil {
+			return err
+		}
+		var base time.Duration
+		var serial []*mdes.Result
+		for par := 1; par <= maxPar; par *= 2 {
+			start := time.Now()
+			results, _, err := eng.ScheduleBlocks(context.Background(), prog.Blocks, par)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			if par == 1 {
+				base, serial = elapsed, results
+			} else {
+				for bi, r := range results {
+					if r.Length != serial[bi].Length {
+						return fmt.Errorf("%s parallelism %d block %d: length %d != serial %d",
+							name, par, bi, r.Length, serial[bi].Length)
+					}
+				}
+			}
+			fmt.Fprintf(stdout, "%-12s %9d %12s %12.0f %8.2fx\n",
+				name, par, elapsed.Round(time.Microsecond),
+				float64(len(prog.Blocks))/elapsed.Seconds(), float64(base)/float64(elapsed))
+		}
+	}
+	return nil
 }
 
 func runFig2(stdout io.Writer, p experiments.Params) error {

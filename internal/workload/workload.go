@@ -17,6 +17,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mdes/internal/ir"
 	"mdes/internal/machines"
@@ -233,6 +234,53 @@ func Generate(cfg Config) (*Program, error) {
 	return p, nil
 }
 
+// GenerateParallel builds a deterministic synthetic program from shards
+// generated concurrently: shard i runs an independent generator seeded
+// with Seed+i over ~NumOps/shards operations, and the shards are
+// concatenated in shard order. The result depends only on (cfg, shards) —
+// never on goroutine interleaving — so large multi-block corpora for the
+// concurrent scheduling benchmarks build at full machine speed while
+// staying reproducible. shards < 2 degenerates to Generate.
+func GenerateParallel(cfg Config, shards int) (*Program, error) {
+	if shards < 2 {
+		return Generate(cfg)
+	}
+	if _, err := Specs(cfg.Machine); err != nil {
+		return nil, err
+	}
+	if cfg.NumOps <= 0 {
+		return nil, fmt.Errorf("workload: NumOps %d must be positive", cfg.NumOps)
+	}
+	per := cfg.NumOps / shards
+	parts := make([]*Program, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		n := per
+		if i == shards-1 {
+			n = cfg.NumOps - per*(shards-1)
+		}
+		if n <= 0 {
+			n = 1
+		}
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			parts[i], errs[i] = Generate(Config{Machine: cfg.Machine, NumOps: n, Seed: cfg.Seed + int64(i)})
+		}(i, n)
+	}
+	wg.Wait()
+	out := &Program{Machine: cfg.Machine}
+	for i, p := range parts {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.Blocks = append(out.Blocks, p.Blocks...)
+		out.NumOps += p.NumOps
+	}
+	return out, nil
+}
+
 type generator struct {
 	spec *MachineSpec
 	r    *rand.Rand
@@ -316,6 +364,7 @@ func (g *generator) block() *ir.Block {
 		emit(pick(g.r, g.spec.Ops))
 	}
 	emit(pick(g.r, g.spec.Terms))
+	b.Renumber()
 	return b
 }
 

@@ -222,3 +222,66 @@ func TestGraphsBuildOnGeneratedCode(t *testing.T) {
 		}
 	}
 }
+
+// GenerateParallel must be deterministic in (cfg, shards) — independent of
+// goroutine interleaving — and must equal the serial concatenation of its
+// shards.
+func TestGenerateParallelDeterministic(t *testing.T) {
+	cfg := Config{Machine: machines.K5, NumOps: 4000, Seed: 1996}
+	a, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumOps != b.NumOps || len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("non-deterministic shape: %d/%d ops, %d/%d blocks",
+			a.NumOps, b.NumOps, len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if len(a.Blocks[i].Ops) != len(b.Blocks[i].Ops) {
+			t.Fatalf("block %d sizes differ", i)
+		}
+		for j := range a.Blocks[i].Ops {
+			if a.Blocks[i].Ops[j].Opcode != b.Blocks[i].Ops[j].Opcode {
+				t.Fatalf("block %d op %d differs: %s vs %s",
+					i, j, a.Blocks[i].Ops[j].Opcode, b.Blocks[i].Ops[j].Opcode)
+			}
+		}
+	}
+
+	// Shards equal the serial generation of each shard's sub-config.
+	per := cfg.NumOps / 4
+	serial, err := Generate(Config{Machine: cfg.Machine, NumOps: per, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range serial.Blocks {
+		if got := a.Blocks[i]; len(got.Ops) != len(blk.Ops) || got.Ops[0].Opcode != blk.Ops[0].Opcode {
+			t.Fatalf("shard 0 block %d does not match serial generation", i)
+		}
+	}
+}
+
+func TestGenerateParallelDegenerate(t *testing.T) {
+	cfg := Config{Machine: machines.SuperSPARC, NumOps: 500, Seed: 3}
+	a, err := GenerateParallel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumOps != b.NumOps || len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("shards=1 differs from Generate: %d/%d ops", a.NumOps, b.NumOps)
+	}
+	if _, err := GenerateParallel(Config{Machine: "nope", NumOps: 10}, 4); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := GenerateParallel(Config{Machine: machines.K5, NumOps: 0}, 4); err == nil {
+		t.Fatal("zero NumOps accepted")
+	}
+}

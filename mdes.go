@@ -31,6 +31,13 @@
 //	s := mdes.NewScheduler(compiled)
 //	result, err := s.ScheduleBlock(block)
 //
+// For concurrent serving — one compiled description, many goroutines —
+// wrap the optimized description in an Engine, which freezes it
+// (immutable, race-free to share) and pools per-goroutine contexts:
+//
+//	engine, err := mdes.NewEngine(compiled)
+//	results, total, err := engine.ScheduleBlocks(ctx, blocks, 8)
+//
 // Custom machines are authored in the MDES language and loaded with Load:
 //
 //	machine, err := mdes.Load("mymachine.mdes", source)
@@ -41,7 +48,11 @@
 package mdes
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"mdes/internal/hmdes"
 	"mdes/internal/ir"
@@ -49,6 +60,7 @@ import (
 	"mdes/internal/machines"
 	"mdes/internal/opt"
 	"mdes/internal/query"
+	"mdes/internal/resctx"
 	"mdes/internal/restable"
 	"mdes/internal/sched"
 	"mdes/internal/stats"
@@ -192,8 +204,132 @@ func DecodeCompiled(r io.Reader) (*Compiled, error) {
 }
 
 // NewScheduler returns a list scheduler driven by the compiled description.
+// The scheduler is single-goroutine; for concurrent scheduling over one
+// shared description use NewEngine.
 func NewScheduler(c *Compiled) *Scheduler {
 	return sched.New(c)
+}
+
+// Engine serves one frozen compiled machine description to any number of
+// concurrent clients — the session layer between the paper's
+// compile-once artifact and a production service's many inner loops.
+//
+// NewEngine freezes the description (validate-once, then immutable and
+// data-race-free to share); every scheduling or query session borrows a
+// pooled per-goroutine context holding all mutable state (RU map,
+// counters, scratch), so the steady state allocates no per-block
+// scheduling structures and needs no locks on the hot path.
+type Engine struct {
+	compiled *Compiled
+	pool     *resctx.Pool
+}
+
+// NewEngine freezes the compiled description and returns an engine
+// serving it. The description must be fully optimized before this call:
+// Optimize panics on a frozen MDES.
+func NewEngine(c *Compiled) (*Engine, error) {
+	if err := c.Freeze(); err != nil {
+		return nil, err
+	}
+	return &Engine{compiled: c, pool: resctx.NewPool(c.NumResources)}, nil
+}
+
+// Compiled returns the engine's frozen description.
+func (e *Engine) Compiled() *Compiled { return e.compiled }
+
+// Totals returns the instrumentation counters aggregated across every
+// completed session (scheduling call or closed query) so far.
+func (e *Engine) Totals() Counters { return e.pool.Totals() }
+
+// ScheduleBlock schedules one block on a borrowed context.
+func (e *Engine) ScheduleBlock(b *Block) (*Result, error) {
+	cx := e.pool.Get()
+	defer cx.Release()
+	return sched.NewWithContext(e.compiled, cx).ScheduleBlock(b)
+}
+
+// ScheduleBlocks schedules every block, fanning the work out over a pool
+// of parallelism goroutines, each driving the shared frozen description
+// through its own borrowed context. Blocks are independent scheduling
+// problems (each starts from an empty RU map), so results — issue cycles,
+// schedule lengths, per-block counters — are identical to a serial run
+// regardless of parallelism; only wall-clock time changes. parallelism
+// <= 0 uses GOMAXPROCS. The first error cancels the remaining work, as
+// does ctx; on error the partial results are discarded.
+//
+// The returned Counters are the sum over all blocks (deterministic,
+// unlike the interleaving).
+func (e *Engine) ScheduleBlocks(ctx context.Context, blocks []*Block, parallelism int) ([]*Result, Counters, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(blocks) {
+		parallelism = len(blocks)
+	}
+	results := make([]*Result, len(blocks))
+	if len(blocks) == 0 {
+		return results, Counters{}, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cx := e.pool.Get()
+			defer cx.Release()
+			s := sched.NewWithContext(e.compiled, cx)
+			for bi := range next {
+				r, err := s.ScheduleBlock(blocks[bi])
+				if err != nil {
+					fail(fmt.Errorf("block %d: %w", bi, err))
+					return
+				}
+				results[bi] = r
+			}
+		}()
+	}
+feed:
+	for bi := range blocks {
+		select {
+		case next <- bi:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, Counters{}, firstErr
+	}
+	var total Counters
+	for _, r := range results {
+		total.Add(r.Counters)
+	}
+	return results, total, nil
+}
+
+// Query returns a query session over the engine's frozen description on a
+// borrowed context. Call Close on the returned Query to recycle the
+// context; each goroutine must use its own Query.
+func (e *Engine) Query() *Query {
+	return query.NewWithContext(e.compiled, e.pool.Get())
 }
 
 // NewHistogram returns an empty histogram for Scheduler.OptionsHist.
