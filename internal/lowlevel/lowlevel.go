@@ -303,11 +303,28 @@ func (b *builder) addOption(o *restable.Option) *Option {
 // ConstraintFor returns the constraint for an operation, selecting the
 // cascaded form when requested and available.
 func (m *MDES) ConstraintFor(opIdx int, cascaded bool) *Constraint {
+	return m.Constraints[m.ConstraintIndexFor(opIdx, cascaded)]
+}
+
+// ConstraintIndexFor returns the index in m.Constraints of the
+// constraint ConstraintFor would select — the opcode-class key the
+// observability layer attributes attempts to.
+func (m *MDES) ConstraintIndexFor(opIdx int, cascaded bool) int {
 	op := m.Operations[opIdx]
 	if cascaded && op.Cascaded >= 0 {
-		return m.Constraints[op.Cascaded]
+		return op.Cascaded
 	}
-	return m.Constraints[op.Constraint]
+	return op.Constraint
+}
+
+// ConstraintNames returns the constraint (opcode class) names in index
+// order, for sizing an observability registry.
+func (m *MDES) ConstraintNames() []string {
+	names := make([]string, len(m.Constraints))
+	for i, c := range m.Constraints {
+		names[i] = c.Name
+	}
+	return names
 }
 
 // Validate performs internal-consistency checks; transformations call it in

@@ -15,9 +15,11 @@ package modsched
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
+	"mdes/internal/obs"
 	"mdes/internal/resctx"
 	"mdes/internal/stats"
 )
@@ -266,10 +268,33 @@ func (s *Scheduler) Schedule(l *Loop) (*Schedule, error) {
 		if s.tryII(l, deps, ii, result) {
 			result.II = ii
 			s.cx.Counters.Add(result.Counters)
+			if s.cx.Obs != nil {
+				s.cx.Obs.Backtrack(obs.PhaseModulo, result.Counters.Backtracks)
+			}
 			return result, nil
 		}
 	}
 	return nil, fmt.Errorf("modsched: no schedule found up to II=%d", maxII)
+}
+
+// attempt performs one instrumented modulo-map check: the paper's
+// counters always (into c), plus per-class PhaseModulo metrics when the
+// borrowed context carries an obs.Local. Each probe of a candidate slot
+// is one scheduling attempt — the inflation the paper attributes to
+// iterative modulo scheduling shows up directly in this phase's counters.
+func (s *Scheduler) attempt(mm *modMap, classIdx int, con *lowlevel.Constraint, issue int, c *stats.Counters) (selection, bool) {
+	local := s.cx.Obs
+	if local == nil {
+		return mm.check(con, issue, c)
+	}
+	t0 := time.Now()
+	beforeOpts := c.OptionsChecked
+	beforeChecks := c.ResourceChecks
+	se, ok := mm.check(con, issue, c)
+	local.Attempt(obs.PhaseModulo, classIdx,
+		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
+		time.Since(t0).Nanoseconds(), ok)
+	return se, ok
 }
 
 // tryII is one iteration of Rau's algorithm at a fixed II.
@@ -345,12 +370,13 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 		op := l.Body.Ops[opIdx]
 		mdIdx := s.mdes.OpIndex[op.Opcode]
 		con := s.mdes.ConstraintFor(mdIdx, op.Cascaded)
+		classIdx := s.mdes.ConstraintIndexFor(mdIdx, op.Cascaded)
 
 		// Try II consecutive slots; each try is a scheduling attempt.
 		chosen := -1
 		var chosenSel selection
 		for t := estart; t < estart+ii; t++ {
-			se, ok := mm.check(con, t, &out.Counters)
+			se, ok := s.attempt(mm, classIdx, con, t, &out.Counters)
 			if ok {
 				chosen = t
 				chosenSel = se
@@ -368,10 +394,11 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 				if v != opIdx && placed[v] {
 					placed[v] = false
 					out.Evictions++
+					out.Counters.Backtracks++
 					push(v)
 				}
 			}
-			se, ok := mm.check(con, chosen, &out.Counters)
+			se, ok := s.attempt(mm, classIdx, con, chosen, &out.Counters)
 			if !ok {
 				// The constraint conflicts with itself at this II (modulo
 				// self-collision); this II is infeasible for this op.
@@ -396,6 +423,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 				mm.release(sel[d.To], d.To)
 				placed[d.To] = false
 				out.Evictions++
+				out.Counters.Backtracks++
 				push(d.To)
 			}
 		}
@@ -407,6 +435,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 				mm.release(sel[d.From], d.From)
 				placed[d.From] = false
 				out.Evictions++
+				out.Counters.Backtracks++
 				push(d.From)
 			}
 		}
@@ -510,6 +539,7 @@ func (m *modMap) check(con *lowlevel.Constraint, issue int, c *stats.Counters) (
 			}
 		}
 		if found < 0 {
+			c.Conflicts++
 			return selection{}, false
 		}
 		sel.chosen[ti] = found

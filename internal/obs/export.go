@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format.
+func WritePrometheus(b *strings.Builder, s Snapshot) {
+	b.WriteString("# TYPE mdes_attempts_total counter\n")
+	b.WriteString("# TYPE mdes_options_checked_total counter\n")
+	b.WriteString("# TYPE mdes_resource_checks_total counter\n")
+	b.WriteString("# TYPE mdes_conflicts_total counter\n")
+	b.WriteString("# TYPE mdes_backtracks_total counter\n")
+	for _, p := range s.Phases {
+		if p.Attempts == 0 && p.Backtracks == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "mdes_attempts_total{phase=%q} %d\n", p.Phase, p.Attempts)
+		fmt.Fprintf(b, "mdes_options_checked_total{phase=%q} %d\n", p.Phase, p.OptionsChecked)
+		fmt.Fprintf(b, "mdes_resource_checks_total{phase=%q} %d\n", p.Phase, p.ResourceChecks)
+		fmt.Fprintf(b, "mdes_conflicts_total{phase=%q} %d\n", p.Phase, p.Conflicts)
+		fmt.Fprintf(b, "mdes_backtracks_total{phase=%q} %d\n", p.Phase, p.Backtracks)
+	}
+	b.WriteString("# TYPE mdes_check_duration_ns histogram\n")
+	for _, p := range s.Phases {
+		if p.Attempts == 0 {
+			continue
+		}
+		var cum int64
+		for i, n := range p.CheckNs {
+			cum += n
+			if n == 0 && i != len(p.CheckNs)-1 {
+				continue
+			}
+			fmt.Fprintf(b, "mdes_check_duration_ns_bucket{phase=%q,le=\"%d\"} %d\n",
+				p.Phase, BucketUpperBound(i), cum)
+		}
+		fmt.Fprintf(b, "mdes_check_duration_ns_bucket{phase=%q,le=\"+Inf\"} %d\n", p.Phase, cum)
+		fmt.Fprintf(b, "mdes_check_duration_ns_sum{phase=%q} %d\n", p.Phase, p.CheckNsSum)
+		fmt.Fprintf(b, "mdes_check_duration_ns_count{phase=%q} %d\n", p.Phase, cum)
+	}
+	b.WriteString("# TYPE mdes_class_attempts_total counter\n")
+	b.WriteString("# TYPE mdes_class_conflicts_total counter\n")
+	for _, c := range s.Classes {
+		if c.Attempts == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "mdes_class_attempts_total{class=%q} %d\n", c.Class, c.Attempts)
+		fmt.Fprintf(b, "mdes_class_conflicts_total{class=%q} %d\n", c.Class, c.Conflicts)
+	}
+	b.WriteString("# TYPE mdes_resource_conflicts_total counter\n")
+	for _, r := range s.Resources {
+		if r.Conflicts == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "mdes_resource_conflicts_total{resource=%q} %d\n", r.Resource, r.Conflicts)
+	}
+	b.WriteString("# TYPE mdes_contexts_in_flight gauge\n")
+	fmt.Fprintf(b, "mdes_contexts_in_flight %d\n", s.InFlight)
+	b.WriteString("# TYPE mdes_context_merges_total counter\n")
+	fmt.Fprintf(b, "mdes_context_merges_total %d\n", s.Merges)
+}
+
+// ExpvarVar returns an expvar.Var rendering the registry's snapshot as
+// JSON, for callers that want to expvar.Publish it under their own name.
+func ExpvarVar(r *Registry) expvar.Var {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// Handler returns a mux exposing the registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  the full Snapshot as JSON (expvar-style)
+//	/debug/vars    the process-wide expvar handler
+//	/debug/pprof/  the standard pprof handlers
+func Handler(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		WritePrometheus(&b, r.Snapshot())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, ExpvarVar(r).String())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	// Addr is the bound address (host:port), useful with ":0".
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ServeMetrics binds addr (e.g. ":8080", "127.0.0.1:0") and serves
+// Handler(r) on it in a background goroutine until Close.
+func ServeMetrics(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// TopClasses returns the snapshot's classes with attempts, sorted by
+// attempts descending, truncated to n (n <= 0 keeps all).
+func TopClasses(s Snapshot, n int) []ClassSnapshot {
+	var out []ClassSnapshot
+	for _, c := range s.Classes {
+		if c.Attempts > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Attempts != out[b].Attempts {
+			return out[a].Attempts > out[b].Attempts
+		}
+		return out[a].Class < out[b].Class
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

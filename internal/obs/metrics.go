@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumLatencyBuckets is the number of log2 ns buckets in the check-latency
+// histograms: bucket 0 holds 0ns, bucket i holds durations in
+// [2^(i-1), 2^i) ns, and the last bucket absorbs everything longer.
+const NumLatencyBuckets = 40
+
+// latencyBucket maps a duration in ns to its log2 bucket.
+func latencyBucket(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumLatencyBuckets {
+		return NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperBound returns the exclusive ns upper bound of bucket i
+// (inclusive 0 for bucket 0), for rendering and Prometheus exposition.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << uint(i)
+}
+
+// phaseCounters is one phase's registry slot (all atomic).
+type phaseCounters struct {
+	attempts   atomic.Int64
+	options    atomic.Int64
+	checks     atomic.Int64
+	conflicts  atomic.Int64
+	backtracks atomic.Int64
+	// checkNs is the log2 histogram of per-Check wall time; checkNsSum is
+	// the total ns, for means and Prometheus _sum.
+	checkNs    [NumLatencyBuckets]atomic.Int64
+	checkNsSum atomic.Int64
+}
+
+// classCounters is one opcode class's registry slot.
+type classCounters struct {
+	attempts  atomic.Int64
+	options   atomic.Int64
+	conflicts atomic.Int64
+}
+
+// Registry aggregates scheduling metrics for one compiled machine
+// description: per-phase attempt/option/check/conflict/backtrack counters
+// with check-latency histograms, per-opcode-class attempt attribution,
+// and conflicts keyed by the blocking resource. All fields are atomic, so
+// exporters may read at any time; but the hot path never writes here —
+// schedulers bump a per-context Local and the pool merges it on release,
+// keeping the fast path lock-free and contention-free.
+type Registry struct {
+	classNames    []string
+	resourceNames []string
+
+	phases       [NumPhases]phaseCounters
+	classes      []classCounters
+	resConflicts []atomic.Int64
+	merges       atomic.Int64
+	inFlight     atomic.Int64
+}
+
+// AddInFlight adjusts the gauge of currently-borrowed contexts observing
+// into this registry (resctx.Pool bumps it on Get/Put).
+func (r *Registry) AddInFlight(delta int64) { r.inFlight.Add(delta) }
+
+// NewRegistry returns a registry for a description with the given opcode
+// class (constraint) names and resource names; the names key the
+// per-class and conflicts-by-resource breakdowns.
+func NewRegistry(classNames, resourceNames []string) *Registry {
+	return &Registry{
+		classNames:    append([]string(nil), classNames...),
+		resourceNames: append([]string(nil), resourceNames...),
+		classes:       make([]classCounters, len(classNames)),
+		resConflicts:  make([]atomic.Int64, len(resourceNames)),
+	}
+}
+
+// ClassNames returns the registered opcode-class names.
+func (r *Registry) ClassNames() []string { return r.classNames }
+
+// ResourceNames returns the registered resource names.
+func (r *Registry) ResourceNames() []string { return r.resourceNames }
+
+// NewLocal returns an empty Local sized for this registry.
+func (r *Registry) NewLocal() *Local {
+	return &Local{
+		classes:      make([]localClass, len(r.classNames)),
+		resConflicts: make([]int64, len(r.resourceNames)),
+	}
+}
+
+// Merge folds a Local's counts into the registry's atomics. It is called
+// on context release (resctx.Pool.Put), not on the hot path. Untouched
+// locals merge for free.
+func (r *Registry) Merge(l *Local) {
+	if l == nil || !l.dirty {
+		return
+	}
+	for p := range l.phases {
+		lp, rp := &l.phases[p], &r.phases[p]
+		if lp.attempts == 0 && lp.backtracks == 0 {
+			continue
+		}
+		rp.attempts.Add(lp.attempts)
+		rp.options.Add(lp.options)
+		rp.checks.Add(lp.checks)
+		rp.conflicts.Add(lp.conflicts)
+		rp.backtracks.Add(lp.backtracks)
+		rp.checkNsSum.Add(lp.checkNsSum)
+		for b, n := range lp.checkNs {
+			if n != 0 {
+				rp.checkNs[b].Add(n)
+			}
+		}
+	}
+	for ci := range l.classes {
+		lc := &l.classes[ci]
+		if lc.attempts == 0 {
+			continue
+		}
+		rc := &r.classes[ci]
+		rc.attempts.Add(lc.attempts)
+		rc.options.Add(lc.options)
+		rc.conflicts.Add(lc.conflicts)
+	}
+	for ri, n := range l.resConflicts {
+		if n != 0 {
+			r.resConflicts[ri].Add(n)
+		}
+	}
+	r.merges.Add(1)
+}
+
+// localPhase mirrors phaseCounters without atomics.
+type localPhase struct {
+	attempts   int64
+	options    int64
+	checks     int64
+	conflicts  int64
+	backtracks int64
+	checkNs    [NumLatencyBuckets]int64
+	checkNsSum int64
+}
+
+type localClass struct {
+	attempts  int64
+	options   int64
+	conflicts int64
+}
+
+// Local is the per-context (single-goroutine) accumulation buffer the
+// schedulers write on the hot path: plain integer adds, no atomics, no
+// locks, no allocations. A Local is merged into its Registry when the
+// owning context is released and is then reset for reuse.
+type Local struct {
+	phases       [NumPhases]localPhase
+	classes      []localClass
+	resConflicts []int64
+	dirty        bool
+}
+
+// Attempt records one instrumented Check: the phase that performed it,
+// the opcode class (constraint index) it was for, the options and
+// resource probes it consumed, its wall time, and whether it succeeded.
+// A negative or out-of-range class is accounted to the phase only.
+func (l *Local) Attempt(p Phase, class int, options, checks, ns int64, ok bool) {
+	l.dirty = true
+	lp := &l.phases[p]
+	lp.attempts++
+	lp.options += options
+	lp.checks += checks
+	lp.checkNs[latencyBucket(ns)]++
+	lp.checkNsSum += ns
+	if !ok {
+		lp.conflicts++
+	}
+	if class >= 0 && class < len(l.classes) {
+		lc := &l.classes[class]
+		lc.attempts++
+		lc.options += options
+		if !ok {
+			lc.conflicts++
+		}
+	}
+}
+
+// ConflictAt attributes a failed attempt to the blocking resource.
+func (l *Local) ConflictAt(res int) {
+	if res >= 0 && res < len(l.resConflicts) {
+		l.dirty = true
+		l.resConflicts[res]++
+	}
+}
+
+// Backtrack records n unscheduled (evicted) operations in phase p.
+func (l *Local) Backtrack(p Phase, n int64) {
+	if n == 0 {
+		return
+	}
+	l.dirty = true
+	l.phases[p].backtracks += n
+}
+
+// Reset zeroes the Local, retaining storage.
+func (l *Local) Reset() {
+	if !l.dirty {
+		return
+	}
+	l.phases = [NumPhases]localPhase{}
+	for i := range l.classes {
+		l.classes[i] = localClass{}
+	}
+	for i := range l.resConflicts {
+		l.resConflicts[i] = 0
+	}
+	l.dirty = false
+}
+
+// PhaseSnapshot is one phase's metrics at snapshot time.
+type PhaseSnapshot struct {
+	Phase          string               `json:"phase"`
+	Attempts       int64                `json:"attempts"`
+	OptionsChecked int64                `json:"options_checked"`
+	ResourceChecks int64                `json:"resource_checks"`
+	Conflicts      int64                `json:"conflicts"`
+	Backtracks     int64                `json:"backtracks"`
+	CheckNsSum     int64                `json:"check_ns_sum"`
+	CheckNs        [NumLatencyBuckets]int64 `json:"check_ns_log2,omitempty"`
+}
+
+// MeanCheckNs returns the mean wall time per Check in ns.
+func (p PhaseSnapshot) MeanCheckNs() float64 {
+	if p.Attempts == 0 {
+		return 0
+	}
+	return float64(p.CheckNsSum) / float64(p.Attempts)
+}
+
+// ClassSnapshot is one opcode class's metrics at snapshot time.
+type ClassSnapshot struct {
+	Class          string `json:"class"`
+	Attempts       int64  `json:"attempts"`
+	OptionsChecked int64  `json:"options_checked"`
+	Conflicts      int64  `json:"conflicts"`
+}
+
+// ResourceSnapshot is one resource's conflict attribution.
+type ResourceSnapshot struct {
+	Resource  string `json:"resource"`
+	Conflicts int64  `json:"conflicts"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a Registry
+// (counters are read individually; totals may straddle a merge, which
+// only ever under-reports in-flight contexts).
+type Snapshot struct {
+	Phases    []PhaseSnapshot    `json:"phases"`
+	Classes   []ClassSnapshot    `json:"classes"`
+	Resources []ResourceSnapshot `json:"resources"`
+	Merges    int64              `json:"merges"`
+	// InFlight is the gauge of currently-borrowed observing contexts.
+	InFlight int64 `json:"in_flight"`
+}
+
+// Snapshot reads the registry into plain values for export.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Merges: r.merges.Load(), InFlight: r.inFlight.Load()}
+	for p := 0; p < int(NumPhases); p++ {
+		rp := &r.phases[p]
+		ps := PhaseSnapshot{
+			Phase:          Phase(p).String(),
+			Attempts:       rp.attempts.Load(),
+			OptionsChecked: rp.options.Load(),
+			ResourceChecks: rp.checks.Load(),
+			Conflicts:      rp.conflicts.Load(),
+			Backtracks:     rp.backtracks.Load(),
+			CheckNsSum:     rp.checkNsSum.Load(),
+		}
+		for b := range rp.checkNs {
+			ps.CheckNs[b] = rp.checkNs[b].Load()
+		}
+		s.Phases = append(s.Phases, ps)
+	}
+	for ci := range r.classes {
+		rc := &r.classes[ci]
+		s.Classes = append(s.Classes, ClassSnapshot{
+			Class:          r.classNames[ci],
+			Attempts:       rc.attempts.Load(),
+			OptionsChecked: rc.options.Load(),
+			Conflicts:      rc.conflicts.Load(),
+		})
+	}
+	for ri := range r.resConflicts {
+		s.Resources = append(s.Resources, ResourceSnapshot{
+			Resource:  r.resourceNames[ri],
+			Conflicts: r.resConflicts[ri].Load(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+// Package obs is the observability layer: low-overhead metrics and
+// structured tracing for the MDES schedulers and query interface.
+//
+// The paper's entire evaluation is instrumentation — counts of scheduling
+// attempts, reservation-table options checked, and resource probes
+// (Tables 5, 8-13) and the per-attempt options-checked distribution
+// (Figure 2). This package generalizes that instrumentation for a
+// long-running service: it attributes cost to description structure
+// (which scheduler phase, which opcode class, which blocking resource)
+// and to wall-clock time (log2-bucketed ns-per-Check histograms), and it
+// can emit a machine-readable trace of every scheduling decision.
+//
+// Two independent facilities:
+//
+//   - A metrics Registry of atomic counters keyed by scheduler phase and
+//     opcode class. The hot path never touches the registry: each borrowed
+//     resctx.Context carries a plain (non-atomic) Local that the
+//     schedulers bump, and the Local is merged into the Registry's atomics
+//     when the context is released. Exporters (Prometheus text, expvar
+//     JSON, human-readable tables) read consistent snapshots at any time.
+//
+//   - A Tracer producing one BlockRecord per scheduled block: block
+//     start/finish, every issue attempt with its chosen option and cycle,
+//     and conflict details naming the blocking resource and usage time —
+//     the machine-readable version of the paper's Figure 2 data. Records
+//     are accumulated privately per block and handed to a Sink (JSONL
+//     writer or in-memory ring buffer) as one atomic unit, so records from
+//     concurrent goroutines never interleave.
+//
+// Both facilities are nil-disabled: a nil Tracer and a nil Local cost a
+// pointer comparison on the hot path and zero allocations (enforced by
+// BenchmarkObsOverhead and the allocs-per-run gates at the repository
+// root).
+package obs
+
+// Phase identifies which consumer of the compiled MDES performed an
+// instrumented operation.
+type Phase uint8
+
+// Scheduler phases.
+const (
+	// PhaseList is the forward cycle-driven list scheduler.
+	PhaseList Phase = iota
+	// PhaseBackward is the backward (bottom-up) list scheduler.
+	PhaseBackward
+	// PhaseOpDriven is the operation-driven list scheduler.
+	PhaseOpDriven
+	// PhaseModulo is the iterative modulo scheduler.
+	PhaseModulo
+	// PhaseQuery is the execution-constraint query interface.
+	PhaseQuery
+	// NumPhases is the number of phases (for sizing arrays).
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseList:     "list",
+	PhaseBackward: "backward",
+	PhaseOpDriven: "opdriven",
+	PhaseModulo:   "modulo",
+	PhaseQuery:    "query",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}

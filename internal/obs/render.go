@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"mdes/internal/textutil"
+)
+
+// FormatRegistry renders the registry as the aligned ASCII tables the
+// experiment harness uses (internal/textutil, the formatting behind
+// internal/experiments/tables.go): per-phase scheduling metrics, the
+// hottest opcode classes, conflicts by blocking resource, and a log2
+// check-latency histogram per active phase.
+func FormatRegistry(r *Registry) string {
+	return FormatSnapshot(r.Snapshot())
+}
+
+// FormatSnapshot renders an already-taken snapshot (see FormatRegistry).
+func FormatSnapshot(s Snapshot) string {
+	var b strings.Builder
+
+	pt := textutil.NewTable("Phase", "Attempts", "Opt/att", "Chk/att", "Conflicts", "Backtracks", "ns/check")
+	active := 0
+	for _, p := range s.Phases {
+		if p.Attempts == 0 && p.Backtracks == 0 {
+			continue
+		}
+		active++
+		pt.Row(p.Phase, p.Attempts,
+			ratio(p.OptionsChecked, p.Attempts), ratio(p.ResourceChecks, p.Attempts),
+			p.Conflicts, p.Backtracks, p.MeanCheckNs())
+	}
+	b.WriteString("Per-phase scheduling metrics\n")
+	if active == 0 {
+		b.WriteString("(no instrumented activity recorded)\n")
+		return b.String()
+	}
+	b.WriteString(pt.String())
+
+	if top := TopClasses(s, 12); len(top) > 0 {
+		ct := textutil.NewTable("Class", "Attempts", "Opt/att", "Conflicts")
+		for _, c := range top {
+			ct.Row(c.Class, c.Attempts, ratio(c.OptionsChecked, c.Attempts), c.Conflicts)
+		}
+		b.WriteString("\nHottest opcode classes\n")
+		b.WriteString(ct.String())
+	}
+
+	var maxConf int64
+	nconf := 0
+	for _, rc := range s.Resources {
+		if rc.Conflicts > 0 {
+			nconf++
+			if rc.Conflicts > maxConf {
+				maxConf = rc.Conflicts
+			}
+		}
+	}
+	if nconf > 0 {
+		rt := textutil.NewTable("Resource", "Conflicts", "")
+		for _, rc := range s.Resources {
+			if rc.Conflicts == 0 {
+				continue
+			}
+			rt.Row(rc.Resource, rc.Conflicts, textutil.Bar(float64(rc.Conflicts), float64(maxConf), 24))
+		}
+		b.WriteString("\nConflicts by blocking resource\n")
+		b.WriteString(rt.String())
+	}
+
+	for _, p := range s.Phases {
+		if p.Attempts == 0 || p.CheckNsSum == 0 {
+			continue
+		}
+		var total, maxN int64
+		for _, n := range p.CheckNs {
+			total += n
+			if n > maxN {
+				maxN = n
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		ht := textutil.NewTable("ns/check", "Checks", "%", "")
+		for i, n := range p.CheckNs {
+			if n == 0 {
+				continue
+			}
+			label := "0"
+			if i > 0 {
+				label = fmt.Sprintf("%d..%d", BucketUpperBound(i-1), BucketUpperBound(i)-1)
+			}
+			ht.Row(label, n,
+				100*float64(n)/float64(total), textutil.Bar(float64(n), float64(maxN), 24))
+		}
+		fmt.Fprintf(&b, "\nCheck latency, %s phase (log2 ns buckets)\n", p.Phase)
+		b.WriteString(ht.String())
+	}
+
+	fmt.Fprintf(&b, "\ncontexts in flight: %d, context merges: %d\n", s.InFlight, s.Merges)
+	return b.String()
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes each block record as one JSON line. A mutex makes
+// every record one atomic write, so lines from concurrent goroutines
+// never interleave; readers can stream-parse the file line by line.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one record as one line. The first write error is retained
+// (Err) and subsequent records are dropped.
+func (s *JSONLSink) Emit(rec *BlockRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RingSink retains the most recent records in memory — the "flight
+// recorder" for a service: cheap to leave enabled, inspected on demand.
+type RingSink struct {
+	mu    sync.Mutex
+	recs  []*BlockRecord
+	next  int
+	total int64
+}
+
+// NewRingSink returns a ring retaining the last n records (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{recs: make([]*BlockRecord, 0, n)}
+}
+
+// Emit retains the record, evicting the oldest when full.
+func (s *RingSink) Emit(rec *BlockRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.recs) < cap(s.recs) {
+		s.recs = append(s.recs, rec)
+		return
+	}
+	s.recs[s.next] = rec
+	s.next = (s.next + 1) % cap(s.recs)
+}
+
+// Snapshot returns the retained records, oldest first.
+func (s *RingSink) Snapshot() []*BlockRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*BlockRecord, 0, len(s.recs))
+	out = append(out, s.recs[s.next:]...)
+	out = append(out, s.recs[:s.next]...)
+	return out
+}
+
+// Total returns how many records have been emitted (including evicted).
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -9,9 +9,12 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"mdes/internal/lowlevel"
+	"mdes/internal/obs"
 	"mdes/internal/resctx"
+	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
 
@@ -51,6 +54,34 @@ func (q *Q) Close() {
 // Counters returns the instrumentation accumulated by this Q's probes
 // since its context was borrowed.
 func (q *Q) Counters() stats.Counters { return q.cx.Counters }
+
+// check performs one instrumented constraint probe for the operation at
+// opIdx issuing at cycle issue: the paper's counters always, plus
+// per-class PhaseQuery metrics when the borrowed context carries an
+// obs.Local. Every query probe is one scheduling attempt in the paper's
+// accounting, so the observability layer attributes it exactly like a
+// scheduler attempt.
+func (q *Q) check(opIdx, issue int) (rumap.Selection, bool) {
+	con := q.mdes.ConstraintFor(opIdx, false)
+	local := q.cx.Obs
+	if local == nil {
+		return q.cx.RU.Check(con, issue, &q.cx.Counters)
+	}
+	t0 := time.Now()
+	c := &q.cx.Counters
+	beforeOpts := c.OptionsChecked
+	beforeChecks := c.ResourceChecks
+	sel, ok := q.cx.RU.Check(con, issue, c)
+	local.Attempt(obs.PhaseQuery, q.mdes.ConstraintIndexFor(opIdx, false),
+		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
+		time.Since(t0).Nanoseconds(), ok)
+	if !ok {
+		if res, _, found := q.cx.RU.ExplainConflict(con, issue); found {
+			local.ConflictAt(res)
+		}
+	}
+	return sel, ok
+}
 
 // Latency returns an opcode's result latency.
 func (q *Q) Latency(opcode string) (int, error) {
@@ -103,7 +134,7 @@ func (q *Q) CanIssueTogether(opcodes ...string) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("query: unknown opcode %q", opc)
 		}
-		sel, ok2 := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
+		sel, ok2 := q.check(idx, 0)
 		if !ok2 {
 			return false, nil
 		}
@@ -130,7 +161,7 @@ func (q *Q) MaxPerCycle(opcode string, limit int) (int, error) {
 	}()
 	n := 0
 	for n < limit {
-		sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
+		sel, ok := q.check(idx, 0)
 		if !ok {
 			break
 		}
@@ -158,14 +189,14 @@ func (q *Q) MinIssueDistance(first, second string, limit int) (int, error) {
 		return 0, fmt.Errorf("query: unknown opcode %q", second)
 	}
 	q.cx.RU.Reset()
-	sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(fi, false), 0, &q.cx.Counters)
+	sel, ok := q.check(fi, 0)
 	if !ok {
 		return 0, fmt.Errorf("query: %q cannot issue on an idle machine", first)
 	}
 	q.cx.RU.Reserve(sel)
 	defer q.cx.RU.Release(sel)
 	for t := 0; t <= limit; t++ {
-		if _, ok := q.cx.RU.Check(q.mdes.ConstraintFor(si, false), t, &q.cx.Counters); ok {
+		if _, ok := q.check(si, t); ok {
 			return t, nil
 		}
 	}
@@ -199,7 +230,7 @@ func (q *Q) IssueWidth(limit int) int {
 				} else {
 					idx = q.mdes.OpIndex[b.Name]
 				}
-				sel, ok := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
+				sel, ok := q.check(idx, 0)
 				if !ok {
 					break
 				}
@@ -228,7 +259,7 @@ func (q *Q) ResourceUse(opcode string) (map[string][]int, error) {
 		return nil, fmt.Errorf("query: unknown opcode %q", opcode)
 	}
 	q.cx.RU.Reset()
-	sel, ok2 := q.cx.RU.Check(q.mdes.ConstraintFor(idx, false), 0, &q.cx.Counters)
+	sel, ok2 := q.check(idx, 0)
 	if !ok2 {
 		return nil, fmt.Errorf("query: %q cannot issue on an idle machine", opcode)
 	}

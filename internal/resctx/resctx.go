@@ -6,22 +6,27 @@
 // copy (the paper's premise is that one description serves a compiler's
 // hottest inner loop; in a long-running service the same artifact must
 // serve many inner loops at once). All per-client mutable state — the
-// resource-usage map, the instrumentation counters, and the selection
-// scratch buffers — lives in a Context instead. Consumers (the list
-// scheduler, the query interface, the modulo scheduler) borrow a Context,
-// run against the shared MDES, and return it.
+// resource-usage map, the instrumentation counters, the observability
+// buffer, and the selection scratch buffers — lives in a Context instead.
+// Consumers (the list scheduler, the query interface, the modulo
+// scheduler) borrow a Context, run against the shared MDES, and return it.
 //
 // A Pool recycles Contexts via sync.Pool and aggregates the counters of
 // every returned Context, giving a service both allocation-free steady
 // state and global instrumentation totals without any per-check
-// synchronization: counters are accumulated locally in the borrowed
-// Context and folded into the pool's atomic totals only on Put.
+// synchronization: counters and metrics are accumulated locally in the
+// borrowed Context and folded into the pool's atomic totals (and, when
+// configured, into an obs.Registry) exactly once, on Put. Put and
+// Context.Release are idempotent, so a double release can neither
+// double-count a context's counters nor hand the same context to two
+// borrowers.
 package resctx
 
 import (
 	"sync"
 	"sync/atomic"
 
+	"mdes/internal/obs"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
@@ -35,6 +40,12 @@ type Context struct {
 	// Counters accumulates the attempts / options checked / resource
 	// checks performed through this context since it was borrowed.
 	Counters stats.Counters
+	// Obs, when non-nil, is the observability buffer the schedulers bump
+	// on the hot path (per-phase, per-class, per-resource metrics); it is
+	// merged into the pool's obs.Registry on release. Nil when the pool
+	// has no registry (observability disabled) and on standalone
+	// contexts.
+	Obs *obs.Local
 	// Slots is a reusable (resource, cycle) buffer for reservation
 	// snapshots (rumap.Map.AppendReservedSlots).
 	Slots [][2]int
@@ -42,6 +53,10 @@ type Context struct {
 	Sels []rumap.Selection
 
 	pool *Pool
+	// released guards the release path: folding a context's counters
+	// into the pool totals must happen at most once per borrow (see
+	// Pool.Put).
+	released bool
 }
 
 // New returns a standalone (unpooled) Context for a machine with numRes
@@ -51,17 +66,22 @@ func New(numRes int) *Context {
 	return &Context{RU: rumap.New(numRes)}
 }
 
-// Reset clears the reservation map and counters, retaining all storage.
+// Reset clears the reservation map, counters, and observability buffer,
+// retaining all storage.
 func (c *Context) Reset() {
 	c.RU.Reset()
 	c.Counters = stats.Counters{}
+	if c.Obs != nil {
+		c.Obs.Reset()
+	}
 	c.Slots = c.Slots[:0]
 	c.Sels = c.Sels[:0]
 }
 
 // Release returns the Context to the Pool it was borrowed from, folding
-// its counters into the pool totals. Releasing a standalone Context is a
-// no-op. The Context must not be used after Release.
+// its counters into the pool totals. Releasing a standalone Context, or
+// releasing the same Context twice, is a no-op. The Context must not be
+// used after Release.
 func (c *Context) Release() {
 	if c.pool != nil {
 		c.pool.Put(c)
@@ -74,9 +94,13 @@ type Pool struct {
 	numRes int
 	p      sync.Pool
 
-	attempts atomic.Int64
-	options  atomic.Int64
-	checks   atomic.Int64
+	attempts   atomic.Int64
+	options    atomic.Int64
+	checks     atomic.Int64
+	conflicts  atomic.Int64
+	backtracks atomic.Int64
+
+	reg *obs.Registry
 }
 
 // NewPool returns a Context pool for a machine with numRes resources.
@@ -88,18 +112,50 @@ func NewPool(numRes int) *Pool {
 	return pl
 }
 
+// SetMetrics attaches an observability registry: every Context borrowed
+// after this call carries an obs.Local merged into reg on release, and
+// the registry's in-flight gauge tracks borrowed contexts. Must be
+// called before the first Get (mdes.NewEngine configures it at
+// construction).
+func (p *Pool) SetMetrics(reg *obs.Registry) { p.reg = reg }
+
+// Metrics returns the attached registry, or nil.
+func (p *Pool) Metrics() *obs.Registry { return p.reg }
+
 // Get borrows a clean Context. The caller must return it with Put (or
 // Context.Release) when done.
 func (p *Pool) Get() *Context {
-	return p.p.Get().(*Context)
+	c := p.p.Get().(*Context)
+	c.released = false
+	if p.reg != nil {
+		if c.Obs == nil {
+			c.Obs = p.reg.NewLocal()
+		}
+		p.reg.AddInFlight(1)
+	}
+	return c
 }
 
-// Put folds the Context's counters into the pool totals, resets it, and
-// makes it available for reuse.
+// Put folds the Context's counters into the pool totals (and its
+// observability buffer into the registry, when configured), resets it,
+// and makes it available for reuse. Put is idempotent per borrow: a
+// second Put of the same Context is a no-op, so its counters cannot be
+// double-counted and the pool cannot hand the same Context to two
+// borrowers.
 func (p *Pool) Put(c *Context) {
+	if c.released {
+		return
+	}
+	c.released = true
 	p.attempts.Add(c.Counters.Attempts)
 	p.options.Add(c.Counters.OptionsChecked)
 	p.checks.Add(c.Counters.ResourceChecks)
+	p.conflicts.Add(c.Counters.Conflicts)
+	p.backtracks.Add(c.Counters.Backtracks)
+	if p.reg != nil {
+		p.reg.Merge(c.Obs)
+		p.reg.AddInFlight(-1)
+	}
 	c.Reset()
 	p.p.Put(c)
 }
@@ -111,5 +167,7 @@ func (p *Pool) Totals() stats.Counters {
 		Attempts:       p.attempts.Load(),
 		OptionsChecked: p.options.Load(),
 		ResourceChecks: p.checks.Load(),
+		Conflicts:      p.conflicts.Load(),
+		Backtracks:     p.backtracks.Load(),
 	}
 }

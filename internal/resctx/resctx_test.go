@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"mdes/internal/obs"
 	"mdes/internal/stats"
 )
 
@@ -70,5 +71,73 @@ func TestResetClearsReservations(t *testing.T) {
 	c.Reset()
 	if c.Counters != (stats.Counters{}) || len(c.Slots) != 0 {
 		t.Fatalf("Reset left state: %+v slots=%v", c.Counters, c.Slots)
+	}
+}
+
+func TestDoubleReleaseFoldsOnce(t *testing.T) {
+	p := NewPool(4)
+	c := p.Get()
+	c.Counters = stats.Counters{Attempts: 5, OptionsChecked: 9, ResourceChecks: 13, Conflicts: 2, Backtracks: 1}
+	c.Release()
+	c.Release() // must be a no-op: counters were already folded and reset
+	want := stats.Counters{Attempts: 5, OptionsChecked: 9, ResourceChecks: 13, Conflicts: 2, Backtracks: 1}
+	if got := p.Totals(); got != want {
+		t.Fatalf("Totals after double release = %+v, want %+v", got, want)
+	}
+}
+
+func TestDoubleReleaseDoesNotAliasContexts(t *testing.T) {
+	// A non-idempotent Put would insert the same context into the pool
+	// twice, handing one context to two borrowers whose counters would
+	// then be folded twice. After a double release, two Gets must return
+	// distinct contexts.
+	p := NewPool(4)
+	c := p.Get()
+	c.Release()
+	c.Release()
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("double release aliased one context to two borrowers")
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestPoolMetricsMergeOnRelease(t *testing.T) {
+	p := NewPool(2)
+	reg := obs.NewRegistry([]string{"alu"}, []string{"r0", "r1"})
+	p.SetMetrics(reg)
+
+	c := p.Get()
+	if c.Obs == nil {
+		t.Fatal("metrics-enabled pool handed out a context without an obs.Local")
+	}
+	if got := reg.Snapshot().InFlight; got != 1 {
+		t.Fatalf("in-flight = %d, want 1", got)
+	}
+	c.Obs.Attempt(obs.PhaseList, 0, 2, 3, 10, false)
+	c.Obs.ConflictAt(1)
+	c.Release()
+	c.Release() // idempotent for the registry too
+
+	s := reg.Snapshot()
+	if s.InFlight != 0 {
+		t.Fatalf("in-flight after release = %d", s.InFlight)
+	}
+	if s.Merges != 1 {
+		t.Fatalf("merges = %d, want 1 (double release must not re-merge)", s.Merges)
+	}
+	if s.Phases[obs.PhaseList].Attempts != 1 || s.Resources[1].Conflicts != 1 {
+		t.Fatalf("merged snapshot = %+v", s)
+	}
+
+	// The recycled context's local must be clean.
+	c2 := p.Get()
+	if c2.Obs == nil {
+		t.Fatal("recycled context lost its obs.Local")
+	}
+	c2.Release()
+	if got := reg.Snapshot().Phases[obs.PhaseList].Attempts; got != 1 {
+		t.Fatalf("clean recycled local changed attempts: %d", got)
 	}
 }

@@ -6,6 +6,7 @@ package rumap
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mdes/internal/bitset"
 	"mdes/internal/lowlevel"
@@ -178,6 +179,7 @@ func (m *Map) Check(con *lowlevel.Constraint, issue int, c *stats.Counters) (Sel
 			}
 		}
 		if found < 0 {
+			c.Conflicts++
 			return Selection{}, false
 		}
 		sel.Chosen[ti] = found
@@ -199,6 +201,74 @@ func (m *Map) Release(sel Selection) {
 	for ti, tree := range sel.Constraint.Trees {
 		m.releaseOption(tree.Options[sel.Chosen[ti]], sel.Issue)
 	}
+}
+
+// optionFree reports whether every usage of the option is free with the
+// operation issued at cycle issue, without instrumentation — the
+// attribution-only twin of OptionAvailable used by ExplainConflict.
+func (m *Map) optionFree(o *lowlevel.Option, issue int) bool {
+	if o.Masks != nil {
+		for _, cm := range o.Masks {
+			r := m.peek(issue + int(cm.Time))
+			if r != nil && r.IntersectsMask(int(cm.Word), cm.Mask) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, u := range o.Usages {
+		r := m.peek(issue + int(u.Time))
+		if r != nil && r.Test(int(u.Res)) {
+			return false
+		}
+	}
+	return true
+}
+
+// optionBlocker returns the first busy (resource, relative usage time)
+// slot blocking the option at issue.
+func (m *Map) optionBlocker(o *lowlevel.Option, issue int) (res, time int, found bool) {
+	if o.Masks != nil {
+		for _, cm := range o.Masks {
+			r := m.peek(issue + int(cm.Time))
+			if r != nil && r.IntersectsMask(int(cm.Word), cm.Mask) {
+				w := r.Word(int(cm.Word)) & cm.Mask
+				return int(cm.Word)*bitset.WordBits + bits.TrailingZeros64(w), int(cm.Time), true
+			}
+		}
+		return 0, 0, false
+	}
+	for _, u := range o.Usages {
+		r := m.peek(issue + int(u.Time))
+		if r != nil && r.Test(int(u.Res)) {
+			return int(u.Res), int(u.Time), true
+		}
+	}
+	return 0, 0, false
+}
+
+// ExplainConflict attributes a failed Check: for the first tree of the
+// constraint with no available option at issue, it returns the blocking
+// (resource, relative usage time) of that tree's highest-priority option
+// — "which resource, at which time, kept the preferred reservation from
+// issuing", the conflict detail the trace and the conflicts-by-resource
+// metric report. It performs no accounting (the failed Check already
+// counted the probes) and runs only on the observability slow path.
+// found is false when the constraint is satisfiable.
+func (m *Map) ExplainConflict(con *lowlevel.Constraint, issue int) (res, time int, found bool) {
+	for _, tree := range con.Trees {
+		satisfiable := false
+		for _, o := range tree.Options {
+			if m.optionFree(o, issue) {
+				satisfiable = true
+				break
+			}
+		}
+		if !satisfiable {
+			return m.optionBlocker(tree.Options[0], issue)
+		}
+	}
+	return 0, 0, false
 }
 
 // ReservedSlots returns every (resource, cycle) currently reserved, for

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mdes/internal/ir"
+	"mdes/internal/obs"
 )
 
 // ScheduleBlockBackward schedules a block bottom-up: operations are placed
@@ -27,6 +28,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	bt := s.startTrace(n)
 	s.cx.RU.Reset()
 
 	// depth[i]: latency-weighted longest path from any source to i — the
@@ -84,13 +86,12 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			}
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
-			before := res.Counters.OptionsChecked
-			sel, ok := s.cx.RU.Check(con, -cycle, &res.Counters)
+			sel, ok, opts := s.attempt(obs.PhaseBackward, bt, i, op, opIdx, con, -cycle, &res.Counters)
 			if s.OptionsHist != nil {
-				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
+				s.OptionsHist.Observe(int(opts))
 			}
 			if s.OnAttempt != nil {
-				s.OnAttempt(op, res.Counters.OptionsChecked-before, ok)
+				s.OnAttempt(op, opts, ok)
 			}
 			if !ok {
 				continue
@@ -107,9 +108,15 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			}
 		}
 		if !progressPossible && remaining > 0 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
 			return nil, fmt.Errorf("sched: backward deadlock, %d operations unschedulable", remaining)
 		}
 		if cycle > 64*n+1024 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
 			return nil, fmt.Errorf("sched: backward no progress after %d cycles", cycle)
 		}
 	}
@@ -131,6 +138,9 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 		if err := g.CheckSchedule(res.Issue); err != nil {
 			return nil, err
 		}
+	}
+	if bt != nil {
+		bt.Finish(res.Length, res.Counters)
 	}
 	s.cx.Counters.Add(res.Counters)
 	return res, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mdes/internal/ir"
+	"mdes/internal/obs"
 )
 
 // ScheduleBlockOpDriven schedules a block with operation-driven list
@@ -28,6 +29,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
 	s.cx.RU.Reset()
 
@@ -57,13 +59,12 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 
 		cycle := estart[i]
 		for {
-			before := res.Counters.OptionsChecked
-			sel, ok := s.cx.RU.Check(con, cycle, &res.Counters)
+			sel, ok, opts := s.attempt(obs.PhaseOpDriven, bt, i, op, opIdx, con, cycle, &res.Counters)
 			if s.OptionsHist != nil {
-				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
+				s.OptionsHist.Observe(int(opts))
 			}
 			if s.OnAttempt != nil {
-				s.OnAttempt(op, res.Counters.OptionsChecked-before, ok)
+				s.OnAttempt(op, opts, ok)
 			}
 			if ok {
 				s.cx.RU.Reserve(sel)
@@ -71,6 +72,9 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 			}
 			cycle++
 			if cycle > estart[i]+64*n+1024 {
+				if bt != nil {
+					bt.Finish(-1, res.Counters)
+				}
 				return nil, fmt.Errorf("sched: op %d found no cycle", i)
 			}
 		}
@@ -98,6 +102,9 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 		if err := g.CheckSchedule(res.Issue); err != nil {
 			return nil, err
 		}
+	}
+	if bt != nil {
+		bt.Finish(res.Length, res.Counters)
 	}
 	s.cx.Counters.Add(res.Counters)
 	return res, nil

@@ -9,10 +9,13 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
+	"mdes/internal/obs"
 	"mdes/internal/resctx"
+	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
 
@@ -49,6 +52,16 @@ type Scheduler struct {
 	// SelfCheck, when set, re-validates every schedule against the
 	// dependence graph (used by tests).
 	SelfCheck bool
+	// Tracer, when non-nil, receives one structured record per scheduled
+	// block: every issue attempt with its candidate cycle and chosen
+	// option, conflict attribution naming the blocking resource, and the
+	// block's final length and counters. A nil Tracer costs one pointer
+	// comparison per block.
+	Tracer obs.Tracer
+	// BlockID labels the next block's trace record;
+	// mdes.Engine.ScheduleBlocks sets it to the block's index within the
+	// batch. The scheduler never modifies it.
+	BlockID int64
 }
 
 // New returns a scheduler for the given compiled MDES, backed by a
@@ -81,6 +94,58 @@ func (s *Scheduler) Latency(opcode string) int {
 		panic(fmt.Sprintf("sched: opcode %q not in MDES %s", opcode, s.mdes.MachineName))
 	}
 	return s.mdes.Operations[idx].Latency
+}
+
+// attempt performs one instrumented Check: the paper's counters always
+// (into c), per-phase/per-class observability metrics when the borrowed
+// context carries an obs.Local, and a trace event when bt is non-nil. It
+// returns the selection, whether the attempt succeeded, and the number of
+// options checked during the attempt (the per-attempt quantity of
+// Figure 2). With observability disabled (nil Local, nil bt) the extra
+// cost is a few nil comparisons and no allocations.
+func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, opIdx int, con *lowlevel.Constraint, cycle int, c *stats.Counters) (rumap.Selection, bool, int64) {
+	local := s.cx.Obs
+	var t0 time.Time
+	if local != nil {
+		t0 = time.Now()
+	}
+	beforeOpts := c.OptionsChecked
+	beforeChecks := c.ResourceChecks
+	sel, ok := s.cx.RU.Check(con, cycle, c)
+	opts := c.OptionsChecked - beforeOpts
+	if local == nil && bt == nil {
+		return sel, ok, opts
+	}
+	if local != nil {
+		local.Attempt(phase, s.mdes.ConstraintIndexFor(opIdx, op.Cascaded),
+			opts, c.ResourceChecks-beforeChecks, time.Since(t0).Nanoseconds(), ok)
+	}
+	if !ok {
+		if res, at, found := s.cx.RU.ExplainConflict(con, cycle); found {
+			if local != nil {
+				local.ConflictAt(res)
+			}
+			if bt != nil {
+				bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[res], at)
+			}
+		}
+	}
+	if bt != nil {
+		choice := 0
+		if ok && len(sel.Chosen) > 0 {
+			choice = sel.Chosen[0]
+		}
+		bt.Attempt(opInBlock, op.Opcode, cycle, int(opts), choice, ok)
+	}
+	return sel, ok, opts
+}
+
+// startTrace opens a trace record for one block when tracing is enabled.
+func (s *Scheduler) startTrace(numOps int) *obs.BlockTrace {
+	if s.Tracer == nil {
+		return nil
+	}
+	return s.Tracer.StartBlock(s.BlockID, s.mdes.MachineName, numOps)
 }
 
 // timing adapts the compiled MDES's operand-level distances (latency,
@@ -138,6 +203,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
 	s.cx.RU.Reset()
 
@@ -181,13 +247,12 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			}
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
-			before := res.Counters.OptionsChecked
-			sel, ok := s.cx.RU.Check(con, cycle, &res.Counters)
+			sel, ok, opts := s.attempt(obs.PhaseList, bt, i, op, opIdx, con, cycle, &res.Counters)
 			if s.OptionsHist != nil {
-				s.OptionsHist.Observe(int(res.Counters.OptionsChecked - before))
+				s.OptionsHist.Observe(int(opts))
 			}
 			if s.OnAttempt != nil {
-				s.OnAttempt(op, res.Counters.OptionsChecked-before, ok)
+				s.OnAttempt(op, opts, ok)
 			}
 			if !ok {
 				continue
@@ -204,9 +269,15 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			}
 		}
 		if !progressPossible && remaining > 0 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
 			return nil, fmt.Errorf("sched: deadlock, %d operations unschedulable", remaining)
 		}
 		if cycle > 64*n+1024 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
 			return nil, fmt.Errorf("sched: no progress after %d cycles", cycle)
 		}
 	}
@@ -221,6 +292,9 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			return nil, err
 		}
 	}
+	if bt != nil {
+		bt.Finish(res.Length, res.Counters)
+	}
 	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }
@@ -231,6 +305,7 @@ func (s *Scheduler) ScheduleAll(blocks []*ir.Block) ([]*Result, stats.Counters, 
 	var total stats.Counters
 	results := make([]*Result, 0, len(blocks))
 	for bi, b := range blocks {
+		s.BlockID = int64(bi)
 		r, err := s.ScheduleBlock(b)
 		if err != nil {
 			return nil, total, fmt.Errorf("block %d: %w", bi, err)

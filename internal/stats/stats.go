@@ -6,7 +6,9 @@ package stats
 
 import "fmt"
 
-// Counters accumulates the three quantities every table reports.
+// Counters accumulates the three quantities every table reports, plus
+// the failure-side quantities the observability layer attributes
+// (conflicts, backtracks).
 type Counters struct {
 	// Attempts counts scheduling attempts (one Check call).
 	Attempts int64
@@ -14,6 +16,13 @@ type Counters struct {
 	OptionsChecked int64
 	// ResourceChecks counts individual resource-availability probes.
 	ResourceChecks int64
+	// Conflicts counts failed scheduling attempts: Check calls that
+	// found no satisfiable option at the candidate cycle.
+	Conflicts int64
+	// Backtracks counts unscheduled (evicted) operations in
+	// backtracking schedulers — iterative modulo scheduling's
+	// unscheduling step (§10).
+	Backtracks int64
 }
 
 // Add accumulates other into c.
@@ -21,6 +30,8 @@ func (c *Counters) Add(other Counters) {
 	c.Attempts += other.Attempts
 	c.OptionsChecked += other.OptionsChecked
 	c.ResourceChecks += other.ResourceChecks
+	c.Conflicts += other.Conflicts
+	c.Backtracks += other.Backtracks
 }
 
 // OptionsPerAttempt returns the average options checked per attempt.
@@ -47,9 +58,21 @@ func (c Counters) ChecksPerOption() float64 {
 	return float64(c.ResourceChecks) / float64(c.OptionsChecked)
 }
 
+// ConflictRate returns the fraction of attempts that failed.
+func (c Counters) ConflictRate() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.Conflicts) / float64(c.Attempts)
+}
+
 func (c Counters) String() string {
-	return fmt.Sprintf("attempts=%d options/attempt=%.2f checks/attempt=%.2f",
-		c.Attempts, c.OptionsPerAttempt(), c.ChecksPerAttempt())
+	s := fmt.Sprintf("attempts=%d options/attempt=%.2f checks/attempt=%.2f conflicts=%d",
+		c.Attempts, c.OptionsPerAttempt(), c.ChecksPerAttempt(), c.Conflicts)
+	if c.Backtracks > 0 {
+		s += fmt.Sprintf(" backtracks=%d", c.Backtracks)
+	}
+	return s
 }
 
 // Histogram is a sparse integer-valued histogram (options checked per

@@ -30,10 +30,28 @@ func TestCountersAverages(t *testing.T) {
 }
 
 func TestCountersAdd(t *testing.T) {
-	a := Counters{Attempts: 1, OptionsChecked: 2, ResourceChecks: 3}
-	a.Add(Counters{Attempts: 10, OptionsChecked: 20, ResourceChecks: 30})
-	if a.Attempts != 11 || a.OptionsChecked != 22 || a.ResourceChecks != 33 {
+	a := Counters{Attempts: 1, OptionsChecked: 2, ResourceChecks: 3, Conflicts: 4, Backtracks: 5}
+	a.Add(Counters{Attempts: 10, OptionsChecked: 20, ResourceChecks: 30, Conflicts: 40, Backtracks: 50})
+	if a != (Counters{Attempts: 11, OptionsChecked: 22, ResourceChecks: 33, Conflicts: 44, Backtracks: 55}) {
 		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestCountersConflictsAndBacktracks(t *testing.T) {
+	var zero Counters
+	if zero.ConflictRate() != 0 {
+		t.Fatalf("empty ConflictRate = %v", zero.ConflictRate())
+	}
+	c := Counters{Attempts: 8, Conflicts: 2}
+	if got := c.ConflictRate(); got != 0.25 {
+		t.Fatalf("ConflictRate = %v", got)
+	}
+	if s := c.String(); !strings.Contains(s, "conflicts=2") || strings.Contains(s, "backtracks") {
+		t.Fatalf("String without backtracks = %q", s)
+	}
+	c.Backtracks = 3
+	if s := c.String(); !strings.Contains(s, "backtracks=3") {
+		t.Fatalf("String with backtracks = %q", s)
 	}
 }
 

@@ -1,16 +1,19 @@
 package tools
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"mdes"
 	"mdes/internal/cli"
 	"mdes/internal/experiments"
 	"mdes/internal/machines"
 	"mdes/internal/textutil"
+	"mdes/internal/workload"
 )
 
 // RunMDInfo is the mdinfo tool: inspect a machine description's
@@ -24,8 +27,9 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		machineFlag = fs.String("m", "", "built-in machine name")
 		inFlag      = fs.String("in", "", "path to a high-level MDES source file")
 		schedFlag   = fs.Bool("sched", false, "run the synthetic workload to attribute scheduling attempts (built-in machines only)")
-		opsFlag     = fs.Int("ops", 20000, "workload size for -sched")
-		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched")
+		statsFlag   = fs.Bool("stats", false, "run the synthetic workload under the observability layer and print the metrics tables (built-in machines only)")
+		opsFlag     = fs.Int("ops", 20000, "workload size for -sched/-stats")
+		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched/-stats")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +68,29 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		ot.Row(name, op.Class, m.Classes[op.Class].OptionCount(), casc, op.Latency)
 	}
 	fmt.Fprintln(stdout, ot.String())
+
+	if *statsFlag {
+		if *machineFlag == "" {
+			return fmt.Errorf("-stats requires a built-in machine (-m)")
+		}
+		name := machines.Name(strings.ToLower(*machineFlag))
+		compiled := mdes.Compile(m, mdes.FormAndOr)
+		mdes.Optimize(compiled, mdes.LevelFull)
+		metrics := mdes.NewMetrics(compiled)
+		eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics))
+		if err != nil {
+			return err
+		}
+		prog, err := workload.Generate(workload.Config{Machine: name, NumOps: *opsFlag, Seed: *seedFlag})
+		if err != nil {
+			return err
+		}
+		if _, _, err := eng.ScheduleBlocks(context.Background(), prog.Blocks, 0); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, mdes.FormatMetrics(metrics))
+		return nil
+	}
 
 	if *schedFlag {
 		if *machineFlag == "" {

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"mdes"
@@ -14,7 +15,8 @@ import (
 )
 
 // RunSchedbench is the schedbench tool: regenerate the paper's tables and
-// Figure 2.
+// Figure 2, or (with -metrics/-trace/-report) run one machine's workload
+// under the observability layer.
 func RunSchedbench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("schedbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -26,6 +28,14 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		parallelFlag = fs.Int("parallel", 0, "run the concurrent-serving benchmark sweeping parallelism up to N over one shared frozen MDES")
 		opsFlag      = fs.Int("ops", 20000, "static operations per machine")
 		seedFlag     = fs.Int64("seed", 1996, "workload seed")
+
+		machineFlag = fs.String("machine", string(machines.K5), "machine for the observability run (-metrics/-trace/-report)")
+		metricsFlag = fs.String("metrics", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run (e.g. :8080)")
+		traceFlag   = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
+		sampleFlag  = fs.Int("tracesample", 1, "trace 1 in N blocks")
+		reportFlag  = fs.Bool("report", false, "print the metrics registry as tables after the run")
+		repeatFlag  = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
+		workersFlag = fs.Int("workers", 8, "scheduling goroutines for the observability run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,6 +43,17 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
 
+	if *metricsFlag != "" || *traceFlag != "" || *reportFlag {
+		return runObserve(stdout, p, observeConfig{
+			machine: machines.Name(*machineFlag),
+			metrics: *metricsFlag,
+			trace:   *traceFlag,
+			sample:  *sampleFlag,
+			report:  *reportFlag,
+			repeat:  *repeatFlag,
+			workers: *workersFlag,
+		})
+	}
 	if *parallelFlag > 0 {
 		return runParallel(stdout, p, *parallelFlag)
 	}
@@ -57,6 +78,78 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	return runFig2(stdout, p)
+}
+
+// observeConfig parameterizes the observability run.
+type observeConfig struct {
+	machine machines.Name
+	metrics string
+	trace   string
+	sample  int
+	report  bool
+	repeat  int
+	workers int
+}
+
+// runObserve schedules one machine's workload on an Engine with the
+// observability layer attached: a metrics registry (optionally served
+// over HTTP alongside pprof), a JSONL block tracer, and the
+// human-readable report.
+func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error {
+	machine, err := machines.Load(cfg.machine)
+	if err != nil {
+		return err
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+
+	metrics := mdes.NewMetrics(compiled)
+	opts := []mdes.EngineOption{mdes.WithMetrics(metrics)}
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, mdes.WithTracer(mdes.NewJSONLTracer(f, cfg.sample)))
+	}
+	eng, err := mdes.NewEngine(compiled, opts...)
+	if err != nil {
+		return err
+	}
+	if cfg.metrics != "" {
+		srv, err := mdes.ServeMetrics(cfg.metrics, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "serving http://%s/metrics (+ /metrics.json, /debug/pprof) during the run\n", srv.Addr)
+	}
+
+	prog, err := workload.GenerateParallel(workload.Config{Machine: cfg.machine, NumOps: p.NumOps, Seed: p.Seed}, 4)
+	if err != nil {
+		return err
+	}
+	if cfg.repeat < 1 {
+		cfg.repeat = 1
+	}
+	start := time.Now()
+	for i := 0; i < cfg.repeat; i++ {
+		if _, _, err := eng.ScheduleBlocks(context.Background(), prog.Blocks, cfg.workers); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "%s: scheduled %d blocks x%d (%d ops) with %d workers in %s: %s\n",
+		cfg.machine, len(prog.Blocks), cfg.repeat, p.NumOps, cfg.workers,
+		elapsed.Round(time.Microsecond), eng.Totals())
+	if cfg.trace != "" {
+		fmt.Fprintf(stdout, "trace written to %s\n", cfg.trace)
+	}
+	if cfg.report {
+		fmt.Fprintln(stdout, mdes.FormatMetrics(metrics))
+	}
+	return nil
 }
 
 // runParallel is the concurrent-serving benchmark: one frozen compiled

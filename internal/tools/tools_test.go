@@ -228,3 +228,38 @@ func TestMDVizCustomFileAndBadForm(t *testing.T) {
 		t.Fatalf("unknown machine accepted")
 	}
 }
+
+func TestSchedbenchObserve(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	out := runTool(t, schedbench,
+		"-machine", "k5", "-ops", "1700",
+		"-trace", trace, "-metrics", "127.0.0.1:0", "-report")
+	for _, want := range []string{
+		"serving http://127.0.0.1:",
+		"trace written to",
+		"Per-phase scheduling metrics",
+		"Conflicts by blocking resource",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in observe output:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	if lines < 100 {
+		t.Fatalf("trace has %d block records, want >= 100 at -ops 1700", lines)
+	}
+}
+
+func TestMDInfoStats(t *testing.T) {
+	out := runTool(t, mdinfo, "-m", "k5", "-stats", "-ops", "1500")
+	for _, want := range []string{"Per-phase scheduling metrics", "Hottest opcode classes", "rop1_alu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -stats output:\n%s", want, out)
+		}
+	}
+}

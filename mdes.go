@@ -53,11 +53,13 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mdes/internal/hmdes"
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
 	"mdes/internal/machines"
+	"mdes/internal/obs"
 	"mdes/internal/opt"
 	"mdes/internal/query"
 	"mdes/internal/resctx"
@@ -210,6 +212,84 @@ func NewScheduler(c *Compiled) *Scheduler {
 	return sched.New(c)
 }
 
+// Metrics is a lock-free observability registry: per-phase attempt,
+// conflict, and backtrack counters with log2 Check-latency histograms,
+// per-opcode-class attempt/option/check counters, and conflicts by
+// blocking resource. Attach one to an Engine with WithMetrics; read it
+// with Metrics.Snapshot, FormatMetrics, or ServeMetrics.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a consistent point-in-time read of a Metrics
+// registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer receives structured scheduling trace records; attach one to an
+// Engine with WithTracer. Build one with NewJSONLTracer or NewRingTracer,
+// or implement obs-level sinks directly.
+type Tracer = obs.Tracer
+
+// TraceRecord is one block's complete trace: every issue attempt with
+// its candidate cycle and chosen option, conflict attributions naming
+// the blocking resource, and the block's final length and counters.
+type TraceRecord = obs.BlockRecord
+
+// TraceRing is an in-memory flight recorder retaining the most recent
+// trace records.
+type TraceRing = obs.RingSink
+
+// NewMetrics returns an observability registry sized for the compiled
+// description's opcode classes and resources.
+func NewMetrics(c *Compiled) *Metrics {
+	return obs.NewRegistry(c.ConstraintNames(), c.ResourceNames)
+}
+
+// NewJSONLTracer returns a tracer writing one JSON line per scheduled
+// block to w. sampleEvery keeps 1 in n blocks (<= 1 keeps every block).
+// Records are written under a mutex, so lines from concurrent scheduling
+// goroutines never interleave.
+func NewJSONLTracer(w io.Writer, sampleEvery int) Tracer {
+	return obs.New(obs.NewJSONLSink(w), obs.SampleEvery(sampleEvery))
+}
+
+// NewRingTracer returns a tracer retaining the last n block records in
+// memory, plus the ring to inspect them with.
+func NewRingTracer(n int, sampleEvery int) (Tracer, *TraceRing) {
+	ring := obs.NewRingSink(n)
+	return obs.New(ring, obs.SampleEvery(sampleEvery)), ring
+}
+
+// FormatMetrics renders a registry's current state as human-readable
+// tables (per-phase counters, hottest opcode classes, conflicts by
+// resource, Check-latency histograms).
+func FormatMetrics(m *Metrics) string {
+	return obs.FormatRegistry(m)
+}
+
+// ServeMetrics starts an HTTP server on addr exposing the registry at
+// /metrics (Prometheus text format) and /metrics.json (expvar JSON),
+// plus the standard pprof profiles under /debug/pprof/. Close the
+// returned server to stop it.
+func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) {
+	return obs.ServeMetrics(addr, m)
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithMetrics attaches an observability registry: every context the
+// engine borrows carries a local metrics buffer merged into m on
+// release, and m's in-flight gauge tracks live sessions. The registry
+// should be sized for the same compiled description (NewMetrics).
+func WithMetrics(m *Metrics) EngineOption {
+	return func(e *Engine) { e.metrics = m }
+}
+
+// WithTracer attaches a structured tracer: every scheduled block emits
+// one TraceRecord (subject to the tracer's sampling).
+func WithTracer(t Tracer) EngineOption {
+	return func(e *Engine) { e.tracer = t }
+}
+
 // Engine serves one frozen compiled machine description to any number of
 // concurrent clients — the session layer between the paper's
 // compile-once artifact and a production service's many inner loops.
@@ -219,33 +299,56 @@ func NewScheduler(c *Compiled) *Scheduler {
 // pooled per-goroutine context holding all mutable state (RU map,
 // counters, scratch), so the steady state allocates no per-block
 // scheduling structures and needs no locks on the hot path.
+//
+// Observability is opt-in per engine (WithMetrics, WithTracer) and costs
+// nothing when absent: with neither option the scheduling hot path
+// performs only nil checks.
 type Engine struct {
 	compiled *Compiled
 	pool     *resctx.Pool
+	metrics  *obs.Registry
+	tracer   obs.Tracer
+	blockSeq atomic.Int64
 }
 
 // NewEngine freezes the compiled description and returns an engine
 // serving it. The description must be fully optimized before this call:
 // Optimize panics on a frozen MDES.
-func NewEngine(c *Compiled) (*Engine, error) {
+func NewEngine(c *Compiled, opts ...EngineOption) (*Engine, error) {
 	if err := c.Freeze(); err != nil {
 		return nil, err
 	}
-	return &Engine{compiled: c, pool: resctx.NewPool(c.NumResources)}, nil
+	e := &Engine{compiled: c, pool: resctx.NewPool(c.NumResources)}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.metrics != nil {
+		e.pool.SetMetrics(e.metrics)
+	}
+	return e, nil
 }
 
 // Compiled returns the engine's frozen description.
 func (e *Engine) Compiled() *Compiled { return e.compiled }
 
+// Metrics returns the registry attached with WithMetrics, or nil.
+func (e *Engine) Metrics() *Metrics { return e.pool.Metrics() }
+
 // Totals returns the instrumentation counters aggregated across every
 // completed session (scheduling call or closed query) so far.
 func (e *Engine) Totals() Counters { return e.pool.Totals() }
 
-// ScheduleBlock schedules one block on a borrowed context.
+// ScheduleBlock schedules one block on a borrowed context. Trace records
+// from this entry point are numbered by a per-engine sequence.
 func (e *Engine) ScheduleBlock(b *Block) (*Result, error) {
 	cx := e.pool.Get()
 	defer cx.Release()
-	return sched.NewWithContext(e.compiled, cx).ScheduleBlock(b)
+	s := sched.NewWithContext(e.compiled, cx)
+	if e.tracer != nil {
+		s.Tracer = e.tracer
+		s.BlockID = e.blockSeq.Add(1) - 1
+	}
+	return s.ScheduleBlock(b)
 }
 
 // ScheduleBlocks schedules every block, fanning the work out over a pool
@@ -292,7 +395,9 @@ func (e *Engine) ScheduleBlocks(ctx context.Context, blocks []*Block, parallelis
 			cx := e.pool.Get()
 			defer cx.Release()
 			s := sched.NewWithContext(e.compiled, cx)
+			s.Tracer = e.tracer
 			for bi := range next {
+				s.BlockID = int64(bi)
 				r, err := s.ScheduleBlock(blocks[bi])
 				if err != nil {
 					fail(fmt.Errorf("block %d: %w", bi, err))

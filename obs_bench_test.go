@@ -1,0 +1,70 @@
+package mdes_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"mdes"
+	"mdes/internal/workload"
+)
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the parallel scheduling hot path, relative to the disabled baseline:
+//
+//	disabled     no metrics, no tracer — the nil fast path; must stay
+//	             within 2% of the pre-observability engine (EXPERIMENTS.md
+//	             records the comparison against BenchmarkScheduleBlocksParallel)
+//	metrics      per-phase/per-class registry attached (timestamps + local
+//	             counter bumps per Check, one merge per context release)
+//	trace-ring   full tracing into an in-memory ring on top of metrics
+//	trace-jsonl  full tracing serialized to a discarded JSONL stream
+func BenchmarkObsOverhead(b *testing.B) {
+	machine, err := mdes.Builtin(mdes.K5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	prog, err := workload.GenerateParallel(workload.Config{Machine: mdes.K5, NumOps: 20000, Seed: 1996}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := make([]*mdes.Block, len(prog.Blocks))
+	copy(blocks, prog.Blocks)
+
+	variants := []struct {
+		name string
+		opts func() []mdes.EngineOption
+	}{
+		{"disabled", func() []mdes.EngineOption { return nil }},
+		{"metrics", func() []mdes.EngineOption {
+			return []mdes.EngineOption{mdes.WithMetrics(mdes.NewMetrics(compiled))}
+		}},
+		{"trace-ring", func() []mdes.EngineOption {
+			tracer, _ := mdes.NewRingTracer(1024, 1)
+			return []mdes.EngineOption{
+				mdes.WithMetrics(mdes.NewMetrics(compiled)),
+				mdes.WithTracer(tracer),
+			}
+		}},
+		{"trace-jsonl", func() []mdes.EngineOption {
+			return []mdes.EngineOption{mdes.WithTracer(mdes.NewJSONLTracer(io.Discard, 1))}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			eng, err := mdes.NewEngine(compiled, v.opts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(blocks))*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}

@@ -1,0 +1,307 @@
+package mdes_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"mdes"
+	"mdes/internal/obs"
+	"mdes/internal/sched"
+)
+
+// Totals must reflect completed sessions exactly once: borrowing and
+// releasing idle sessions after a scheduling run must not change them,
+// and re-running the same blocks must exactly double them.
+func TestEngineTotalsStableAcrossSessionReuse(t *testing.T) {
+	eng := newTestEngine(t, mdes.K5)
+	blocks := testBlocks(t, mdes.K5, 1500)
+
+	if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 4); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Totals()
+	if after.Attempts == 0 {
+		t.Fatal("no attempts recorded")
+	}
+
+	// Idle sessions (borrow + release with no work) must not disturb the
+	// totals, no matter how often contexts are recycled.
+	for i := 0; i < 10; i++ {
+		eng.Query().Close()
+	}
+	if got := eng.Totals(); got != after {
+		t.Fatalf("idle sessions changed totals: %+v -> %+v", after, got)
+	}
+
+	if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Totals()
+	want := after
+	want.Add(after)
+	if got != want {
+		t.Fatalf("second identical run: totals %+v, want exactly double %+v", got, want)
+	}
+}
+
+// Under the 8-goroutine stress run, every JSONL trace line must parse,
+// carry its block ID, and describe exactly one block: records from
+// concurrent goroutines may appear in any order but must never
+// interleave within one record.
+func TestTraceOrderingUnderParallelStress(t *testing.T) {
+	machine, err := mdes.Builtin(mdes.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+
+	var buf syncBuffer
+	eng, err := mdes.NewEngine(compiled, mdes.WithTracer(mdes.NewJSONLTracer(&buf, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := testBlocks(t, mdes.K5, 2000)
+
+	results, _, err := eng.ScheduleBlocks(context.Background(), blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[int64]int)
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec mdes.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("trace line does not parse (interleaved write?): %v\n%s", err, sc.Text())
+		}
+		seen[rec.Block]++
+		if rec.Block < 0 || rec.Block >= int64(len(blocks)) {
+			t.Fatalf("record names unknown block %d", rec.Block)
+		}
+		if rec.Ops != len(blocks[rec.Block].Ops) {
+			t.Fatalf("block %d record has %d ops, block has %d", rec.Block, rec.Ops, len(blocks[rec.Block].Ops))
+		}
+		if rec.Length != results[rec.Block].Length {
+			t.Fatalf("block %d record length %d, result %d", rec.Block, rec.Length, results[rec.Block].Length)
+		}
+		if rec.Counters != results[rec.Block].Counters {
+			t.Fatalf("block %d record counters %+v, result %+v", rec.Block, rec.Counters, results[rec.Block].Counters)
+		}
+		// Internal consistency: the successful attempts must place every
+		// op exactly once, all events must belong to this block's ops, and
+		// the attempt events must sum to the record's counters.
+		issued := make(map[int]bool)
+		var attempts, options int64
+		for _, ev := range rec.Events {
+			if ev.Op < 0 || ev.Op >= rec.Ops {
+				t.Fatalf("block %d event for op %d outside 0..%d", rec.Block, ev.Op, rec.Ops-1)
+			}
+			switch ev.Kind {
+			case "attempt":
+				attempts++
+				options += int64(ev.Options)
+				if ev.OK {
+					if issued[ev.Op] {
+						t.Fatalf("block %d op %d issued twice", rec.Block, ev.Op)
+					}
+					issued[ev.Op] = true
+				}
+			case "conflict":
+				if ev.Res == "" {
+					t.Fatalf("block %d conflict event without resource", rec.Block)
+				}
+			default:
+				t.Fatalf("block %d unknown event kind %q", rec.Block, ev.Kind)
+			}
+		}
+		if len(issued) != rec.Ops {
+			t.Fatalf("block %d: %d ops issued in trace, want %d", rec.Block, len(issued), rec.Ops)
+		}
+		if attempts != rec.Counters.Attempts || options != rec.Counters.OptionsChecked {
+			t.Fatalf("block %d: trace events sum to attempts=%d options=%d, counters say %+v",
+				rec.Block, attempts, options, rec.Counters)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(blocks) {
+		t.Fatalf("trace covers %d blocks, want %d", len(seen), len(blocks))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d traced %d times", id, n)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the stress test's shared
+// JSONL writer (the sink serializes records, but Write itself must also be
+// safe for the race detector).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Bytes()
+}
+
+// Figure 2's per-attempt options-checked distribution must be
+// reconstructible from trace events alone: rebuilding the histogram from
+// the attempt events of a fully-sampled trace must match the scheduler's
+// own OptionsHist sample for sample.
+func TestFigure2FromTraceEvents(t *testing.T) {
+	machine, err := mdes.Builtin(mdes.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	blocks := testBlocks(t, mdes.K5, 1500)
+
+	// Reference distribution: the scheduler's own Figure 2 sampling.
+	ref := mdes.NewHistogram()
+	s := mdes.NewScheduler(compiled)
+	s.OptionsHist = ref
+	for _, b := range blocks {
+		if _, err := s.ScheduleBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same workload through a traced engine; rebuild from events alone.
+	tracer, ring := mdes.NewRingTracer(len(blocks), 1)
+	eng, err := mdes.NewEngine(compiled, mdes.WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 8); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := mdes.NewHistogram()
+	for _, rec := range ring.Snapshot() {
+		for _, ev := range rec.Events {
+			if ev.Kind == "attempt" {
+				rebuilt.Observe(ev.Options)
+			}
+		}
+	}
+
+	if rebuilt.Total() != ref.Total() {
+		t.Fatalf("rebuilt %d samples, reference %d", rebuilt.Total(), ref.Total())
+	}
+	for v := 0; v <= ref.Max(); v++ {
+		if rebuilt.Count(v) != ref.Count(v) {
+			t.Fatalf("options=%d: rebuilt count %d, reference %d", v, rebuilt.Count(v), ref.Count(v))
+		}
+	}
+}
+
+// Metrics attached with WithMetrics must agree with the engine's counter
+// totals and attribute every scheduling attempt to the list phase.
+func TestEngineMetricsAgreeWithTotals(t *testing.T) {
+	machine, err := mdes.Builtin(mdes.SuperSPARC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	metrics := mdes.NewMetrics(compiled)
+	eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := testBlocks(t, mdes.SuperSPARC, 1000)
+	if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 4); err != nil {
+		t.Fatal(err)
+	}
+	totals := eng.Totals()
+	snap := metrics.Snapshot()
+	list := snap.Phases[obs.PhaseList]
+	if list.Attempts != totals.Attempts || list.OptionsChecked != totals.OptionsChecked ||
+		list.ResourceChecks != totals.ResourceChecks || list.Conflicts != totals.Conflicts {
+		t.Fatalf("list phase %+v disagrees with totals %+v", list, totals)
+	}
+	if snap.InFlight != 0 {
+		t.Fatalf("in-flight after run = %d", snap.InFlight)
+	}
+	var classAttempts int64
+	for _, c := range snap.Classes {
+		classAttempts += c.Attempts
+	}
+	if classAttempts != totals.Attempts {
+		t.Fatalf("class attribution sums to %d, totals %d", classAttempts, totals.Attempts)
+	}
+	var resConflicts int64
+	for _, r := range snap.Resources {
+		resConflicts += r.Conflicts
+	}
+	if resConflicts != totals.Conflicts {
+		t.Fatalf("resource attribution sums to %d conflicts, totals %d", resConflicts, totals.Conflicts)
+	}
+	if out := mdes.FormatMetrics(metrics); len(out) == 0 {
+		t.Fatal("FormatMetrics returned nothing")
+	}
+}
+
+// With observability disabled (no WithMetrics, no WithTracer), the engine
+// path must allocate exactly what the raw scheduler allocates per block —
+// the nil fast path adds zero allocations.
+func TestDisabledObservabilityAllocs(t *testing.T) {
+	machine, err := mdes.Builtin(mdes.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	eng, err := mdes.NewEngine(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := testBlocks(t, mdes.K5, 500)
+	block := blocks[0]
+	for _, b := range blocks {
+		if len(b.Ops) > len(block.Ops) {
+			block = b
+		}
+	}
+
+	// Warm the pool so steady-state measurements exclude pool growth.
+	if _, err := eng.ScheduleBlock(block); err != nil {
+		t.Fatal(err)
+	}
+	raw := sched.New(compiled)
+	if _, err := raw.ScheduleBlock(block); err != nil {
+		t.Fatal(err)
+	}
+
+	engineAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := eng.ScheduleBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rawAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := raw.ScheduleBlock(block); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if engineAllocs > rawAllocs {
+		t.Fatalf("disabled-observability engine allocates %.1f/op, raw scheduler %.1f/op",
+			engineAllocs, rawAllocs)
+	}
+}
