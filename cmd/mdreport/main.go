@@ -1,0 +1,28 @@
+// Command mdreport renders the translator's pass ledger and the paper's
+// per-machine tables (5, 7-12) for any machine description, emits the
+// report as JSON, and gates optimized MDES size and resource-check counts
+// against checked-in budgets — the CI size-regression gate.
+//
+// Usage:
+//
+//	mdreport                                  # all builtin machines, tables
+//	mdreport -m k5 -json                      # one machine, JSON report
+//	mdreport -in mymachine.mdes               # any user description
+//	mdreport -check budgets.json              # fail on size/check regression
+//	mdreport -seed-budgets budgets.json       # (re)derive budgets with headroom
+//	mdreport -out artifacts/                  # per-machine JSON ledgers for CI
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdes/internal/tools"
+)
+
+func main() {
+	if err := tools.RunMDReport(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Budget caps one machine's budget-gated quantities: the AND/OR
+// LevelFull accounted size and (builtin machines) the deterministic
+// workload's total resource checks at that cell. Zero means "not gated".
+type Budget struct {
+	MaxBytes          int   `json:"max_bytes"`
+	MaxResourceChecks int64 `json:"max_resource_checks,omitempty"`
+}
+
+// Budgets maps machine name to its budget (the budgets.json schema).
+type Budgets map[string]Budget
+
+// LoadBudgets reads a budgets.json file.
+func LoadBudgets(path string) (Budgets, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budgets
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("budgets: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// SeedBudgets derives budgets from measured reports with fractional
+// headroom (0.05 = 5%), rounding up so the measured values themselves
+// always pass.
+func SeedBudgets(reports []*MachineReport, headroom float64) Budgets {
+	pad := func(v float64) float64 { return math.Ceil(v * (1 + headroom)) }
+	b := Budgets{}
+	for _, r := range reports {
+		b[r.Machine] = Budget{
+			MaxBytes:          int(pad(float64(r.OptimizedBytes))),
+			MaxResourceChecks: int64(pad(float64(r.ResourceChecks))),
+		}
+	}
+	return b
+}
+
+// MarshalIndent renders the budgets deterministically (sorted keys).
+func (b Budgets) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// CheckBudgets compares reports against budgets and returns one
+// violation message per exceeded cap (empty = all within budget). A
+// machine missing from the budgets file is a violation too: every
+// shipped machine must be gated.
+func CheckBudgets(b Budgets, reports []*MachineReport) []string {
+	var out []string
+	for _, r := range reports {
+		bud, ok := b[r.Machine]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: no budget entry (run -seed-budgets to add one)", r.Machine))
+			continue
+		}
+		if bud.MaxBytes > 0 && r.OptimizedBytes > bud.MaxBytes {
+			out = append(out, fmt.Sprintf("%s: optimized size %d bytes exceeds budget %d",
+				r.Machine, r.OptimizedBytes, bud.MaxBytes))
+		}
+		if bud.MaxResourceChecks > 0 && r.ResourceChecks > bud.MaxResourceChecks {
+			out = append(out, fmt.Sprintf("%s: %d resource checks exceed budget %d",
+				r.Machine, r.ResourceChecks, bud.MaxResourceChecks))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/obs"
+	"mdes/internal/opt"
+	"mdes/internal/textutil"
+)
+
+// SizeCell is one (form, level) cell of a machine's size grid, measured
+// from the pass ledger's After metrics.
+type SizeCell struct {
+	Form  string          `json:"form"`
+	Level string          `json:"level"`
+	Size  obs.SizeMetrics `json:"size"`
+	// CompileNs is the ledger's total pipeline wall time for the cell.
+	CompileNs int64 `json:"compile_ns"`
+}
+
+// MachineReport is everything mdreport renders for one machine: the full
+// form x level size grid with pass ledgers, and — for builtin machines,
+// where the deterministic synthetic workload exists — the machine's rows
+// of the paper's Tables 5 and 7-12. The builtin rows are produced by the
+// exact RunConfig cells tables.go uses, so they reproduce the
+// whole-experiment tables number for number.
+type MachineReport struct {
+	Machine string `json:"machine"`
+	Builtin bool   `json:"builtin"`
+	Params  Params `json:"params"`
+
+	// Grid is the size of every form x level combination; Ledgers holds
+	// the full pass ledger of the LevelFull pipeline for each form.
+	Grid    []SizeCell    `json:"grid"`
+	Ledgers []*obs.Ledger `json:"ledgers"`
+
+	// OptimizedBytes is the AND/OR LevelFull accounted size and
+	// ResourceChecks the workload's total resource checks at that cell
+	// (builtin only) — the two budget-gated quantities.
+	OptimizedBytes int   `json:"optimized_bytes"`
+	ResourceChecks int64 `json:"resource_checks,omitempty"`
+
+	Table5  *Table5Row      `json:"table5,omitempty"`
+	Table7  *SizeRow        `json:"table7,omitempty"`
+	Table8  *Table8Row      `json:"table8,omitempty"`
+	Table9  *BeforeAfterRow `json:"table9,omitempty"`
+	Table10 *BeforeAfterRow `json:"table10,omitempty"`
+	Table11 *BeforeAfterRow `json:"table11,omitempty"`
+	Table12 *Table12Row     `json:"table12,omitempty"`
+}
+
+// allLevels lists the pipeline levels in order.
+var allLevels = []opt.Level{
+	opt.LevelNone, opt.LevelRedundancy, opt.LevelBitVector,
+	opt.LevelTimeShift, opt.LevelFull,
+}
+
+var bothForms = []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr}
+
+// BuildMachineReport compiles machine m (display name name) at every
+// form x level combination, recording pass ledgers, and — when builtin
+// is a known builtin machine name — schedules the deterministic workload
+// to fill in the paper's per-machine table rows.
+func BuildMachineReport(name string, m *hmdes.Machine, builtin machines.Name, p Params) (*MachineReport, error) {
+	if p.NumOps == 0 {
+		p = Defaults()
+	}
+	r := &MachineReport{Machine: name, Builtin: builtin != "", Params: p}
+
+	for _, form := range bothForms {
+		for _, level := range allLevels {
+			ll := lowlevel.Compile(m, form)
+			led, _ := opt.ApplyLedger(ll, level, opt.Forward)
+			led.Machine = name
+			if err := ll.Validate(); err != nil {
+				return nil, fmt.Errorf("report: %s %s/%s: %w", name, form, level, err)
+			}
+			r.Grid = append(r.Grid, SizeCell{
+				Form:      form.String(),
+				Level:     level.String(),
+				Size:      led.After,
+				CompileNs: led.WallNs,
+			})
+			if level == opt.LevelFull {
+				r.Ledgers = append(r.Ledgers, led)
+				if form == lowlevel.FormAndOr {
+					r.OptimizedBytes = led.After.TotalBytes
+				}
+			}
+		}
+	}
+
+	r.Table7 = &SizeRow{Machine: machines.Name(name)}
+	fill := func(form lowlevel.Form, level opt.Level) obs.SizeMetrics {
+		return r.cell(form.String(), level.String()).Size
+	}
+	s7o, s7a := fill(lowlevel.FormOR, opt.LevelRedundancy), fill(lowlevel.FormAndOr, opt.LevelRedundancy)
+	r.Table7.ORTrees, r.Table7.OROptions, r.Table7.ORBytes = s7o.Trees, s7o.Options, s7o.TotalBytes
+	r.Table7.AOTrees, r.Table7.AOOptions, r.Table7.AOBytes = s7a.Trees, s7a.Options, s7a.TotalBytes
+	r.Table9 = &BeforeAfterRow{
+		Machine:  machines.Name(name),
+		ORBefore: float64(fill(lowlevel.FormOR, opt.LevelRedundancy).TotalBytes),
+		ORAfter:  float64(fill(lowlevel.FormOR, opt.LevelBitVector).TotalBytes),
+		AOBefore: float64(fill(lowlevel.FormAndOr, opt.LevelRedundancy).TotalBytes),
+		AOAfter:  float64(fill(lowlevel.FormAndOr, opt.LevelBitVector).TotalBytes),
+	}
+	r.Table11 = &BeforeAfterRow{
+		Machine:  machines.Name(name),
+		ORBefore: float64(fill(lowlevel.FormOR, opt.LevelBitVector).TotalBytes),
+		ORAfter:  float64(fill(lowlevel.FormOR, opt.LevelTimeShift).TotalBytes),
+		AOBefore: float64(fill(lowlevel.FormAndOr, opt.LevelBitVector).TotalBytes),
+		AOAfter:  float64(fill(lowlevel.FormAndOr, opt.LevelTimeShift).TotalBytes),
+	}
+
+	if builtin == "" {
+		return r, nil
+	}
+	if err := r.fillScheduled(builtin, p); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// cell returns the grid cell for (form, level); the grid always holds
+// every combination.
+func (r *MachineReport) cell(form, level string) SizeCell {
+	for _, c := range r.Grid {
+		if c.Form == form && c.Level == level {
+			return c
+		}
+	}
+	return SizeCell{}
+}
+
+// fillScheduled runs the deterministic workload cells behind the
+// scheduling tables (5, 8, 10, 12), mirroring tables.go's RunConfigs so
+// the single-machine rows equal the whole-experiment tables.
+func (r *MachineReport) fillScheduled(name machines.Name, p Params) error {
+	run := func(form lowlevel.Form, level opt.Level, extra ...func(*lowlevel.MDES) opt.Report) (*RunResult, error) {
+		return Run(RunConfig{Machine: name, Form: form, Level: level, ExtraPasses: extra, Params: p})
+	}
+
+	orNone, err := run(lowlevel.FormOR, opt.LevelNone)
+	if err != nil {
+		return err
+	}
+	aoNone, err := run(lowlevel.FormAndOr, opt.LevelNone)
+	if err != nil {
+		return err
+	}
+	r.Table5 = &Table5Row{
+		Machine:       name,
+		TotalOps:      orNone.TotalOps,
+		AttemptsPerOp: orNone.AttemptsPerOp(),
+		OROptions:     orNone.Counters.OptionsPerAttempt(),
+		ORChecks:      orNone.Counters.ChecksPerAttempt(),
+		AOOptions:     aoNone.Counters.OptionsPerAttempt(),
+		AOChecks:      aoNone.Counters.ChecksPerAttempt(),
+	}
+
+	// Table 8 generalized: dominated-option pruning in isolation (the
+	// paper shows the PA7100; the same measurement is valid anywhere).
+	pruned, err := run(lowlevel.FormAndOr, opt.LevelNone, opt.PruneDominatedOptions)
+	if err != nil {
+		return err
+	}
+	r.Table8 = &Table8Row{
+		TotalOps:      aoNone.TotalOps,
+		AttemptsPerOp: aoNone.AttemptsPerOp(),
+		OptionsBefore: aoNone.Counters.OptionsPerAttempt(),
+		ChecksBefore:  aoNone.Counters.ChecksPerAttempt(),
+		OptionsAfter:  pruned.Counters.OptionsPerAttempt(),
+		ChecksAfter:   pruned.Counters.ChecksPerAttempt(),
+	}
+
+	checks := map[[2]int]*RunResult{}
+	for _, form := range bothForms {
+		for _, level := range []opt.Level{opt.LevelRedundancy, opt.LevelBitVector, opt.LevelTimeShift} {
+			res, err := run(form, level)
+			if err != nil {
+				return err
+			}
+			checks[[2]int{int(form), int(level)}] = res
+		}
+	}
+	at := func(form lowlevel.Form, level opt.Level) *RunResult {
+		return checks[[2]int{int(form), int(level)}]
+	}
+	r.Table10 = &BeforeAfterRow{
+		Machine:  name,
+		ORBefore: at(lowlevel.FormOR, opt.LevelRedundancy).Counters.ChecksPerAttempt(),
+		ORAfter:  at(lowlevel.FormOR, opt.LevelBitVector).Counters.ChecksPerAttempt(),
+		AOBefore: at(lowlevel.FormAndOr, opt.LevelRedundancy).Counters.ChecksPerAttempt(),
+		AOAfter:  at(lowlevel.FormAndOr, opt.LevelBitVector).Counters.ChecksPerAttempt(),
+	}
+	r.Table12 = &Table12Row{
+		BeforeAfterRow: BeforeAfterRow{
+			Machine:  name,
+			ORBefore: at(lowlevel.FormOR, opt.LevelBitVector).Counters.ChecksPerAttempt(),
+			ORAfter:  at(lowlevel.FormOR, opt.LevelTimeShift).Counters.ChecksPerAttempt(),
+			AOBefore: at(lowlevel.FormAndOr, opt.LevelBitVector).Counters.ChecksPerAttempt(),
+			AOAfter:  at(lowlevel.FormAndOr, opt.LevelTimeShift).Counters.ChecksPerAttempt(),
+		},
+		ORChecksPerOption: at(lowlevel.FormOR, opt.LevelTimeShift).Counters.ChecksPerOption(),
+		AOChecksPerOption: at(lowlevel.FormAndOr, opt.LevelTimeShift).Counters.ChecksPerOption(),
+	}
+
+	full, err := run(lowlevel.FormAndOr, opt.LevelFull)
+	if err != nil {
+		return err
+	}
+	r.ResourceChecks = full.Counters.ResourceChecks
+	return nil
+}
+
+// FormatMachineReport renders the report: pass ledgers, the size grid,
+// and (builtin machines) the paper's per-machine table rows, reusing the
+// same formatters as the whole-experiment harness.
+func FormatMachineReport(r *MachineReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mdreport: %s (builtin=%v, ops=%d, seed=%d)\n\n",
+		r.Machine, r.Builtin, r.Params.NumOps, r.Params.Seed)
+
+	for _, led := range r.Ledgers {
+		b.WriteString(obs.FormatLedger(led))
+		b.WriteByte('\n')
+	}
+
+	gt := textutil.NewTable("Form", "Level", "Options", "Trees", "Usages", "Words", "Bytes", "Compile µs")
+	for _, c := range r.Grid {
+		gt.Row(c.Form, c.Level, c.Size.Options, c.Size.Trees,
+			c.Size.ScalarUsages, c.Size.MaskWords, c.Size.TotalBytes,
+			fmt.Sprintf("%.1f", float64(c.CompileNs)/1e3))
+	}
+	b.WriteString("Size grid (all forms and optimization levels)\n")
+	b.WriteString(gt.String())
+	b.WriteByte('\n')
+
+	if r.Table5 != nil {
+		b.WriteString(FormatTable5([]Table5Row{*r.Table5}))
+		b.WriteByte('\n')
+	}
+	if r.Table7 != nil {
+		b.WriteString(FormatSizeRows("Table 7: memory after redundancy elimination", []SizeRow{*r.Table7}))
+		b.WriteByte('\n')
+	}
+	if r.Table8 != nil {
+		t := textutil.NewTable("MDES", "Ops", "Att/Op", "Opt/Att before", "Chk/Att before", "Opt/Att after", "Chk/Att after")
+		t.Row(r.Machine, r.Table8.TotalOps, r.Table8.AttemptsPerOp,
+			r.Table8.OptionsBefore, r.Table8.ChecksBefore,
+			r.Table8.OptionsAfter, r.Table8.ChecksAfter)
+		b.WriteString("Table 8: dominated-option pruning in isolation\n" + t.String())
+		b.WriteByte('\n')
+	}
+	if r.Table9 != nil {
+		b.WriteString(FormatBeforeAfter("Table 9: bit-vector packing", "MDES bytes", []BeforeAfterRow{*r.Table9}))
+		b.WriteByte('\n')
+	}
+	if r.Table10 != nil {
+		b.WriteString(FormatBeforeAfter("Table 10: bit-vector packing", "checks/attempt", []BeforeAfterRow{*r.Table10}))
+		b.WriteByte('\n')
+	}
+	if r.Table11 != nil {
+		b.WriteString(FormatBeforeAfter("Table 11: usage-time transformation", "MDES bytes", []BeforeAfterRow{*r.Table11}))
+		b.WriteByte('\n')
+	}
+	if r.Table12 != nil {
+		b.WriteString(FormatTable12([]Table12Row{*r.Table12}))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "budget quantities: optimized_bytes=%d resource_checks=%d\n",
+		r.OptimizedBytes, r.ResourceChecks)
+	return b.String()
+}

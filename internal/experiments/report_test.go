@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/machines"
+)
+
+// buildK5 builds the K5 machine report once per test binary; the golden
+// and budget tests share it.
+func buildK5(t *testing.T) *MachineReport {
+	t.Helper()
+	m, err := machines.Load(machines.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildMachineReport(string(machines.K5), m, machines.K5, testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestMachineReportGolden checks that the single-machine report
+// reproduces the K5 rows of the whole-experiment tables number for
+// number: the report issues the identical deterministic RunConfig cells,
+// so every value must match exactly, not approximately.
+func TestMachineReportGolden(t *testing.T) {
+	r := buildK5(t)
+
+	t5, err := Table5(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t5 {
+		if row.Machine == machines.K5 && row != *r.Table5 {
+			t.Fatalf("Table 5 mismatch:\nreport %+v\ntable  %+v", *r.Table5, row)
+		}
+	}
+
+	t7, err := Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t7 {
+		if row.Machine == machines.K5 && row != *r.Table7 {
+			t.Fatalf("Table 7 mismatch:\nreport %+v\ntable  %+v", *r.Table7, row)
+		}
+	}
+
+	t9, err := Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t9 {
+		if row.Machine == machines.K5 && row != *r.Table9 {
+			t.Fatalf("Table 9 mismatch:\nreport %+v\ntable  %+v", *r.Table9, row)
+		}
+	}
+
+	t10, err := Table10(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t10 {
+		if row.Machine == machines.K5 && row != *r.Table10 {
+			t.Fatalf("Table 10 mismatch:\nreport %+v\ntable  %+v", *r.Table10, row)
+		}
+	}
+
+	t11, err := Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t11 {
+		if row.Machine == machines.K5 && row != *r.Table11 {
+			t.Fatalf("Table 11 mismatch:\nreport %+v\ntable  %+v", *r.Table11, row)
+		}
+	}
+
+	t12, err := Table12(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t12 {
+		if row.Machine == machines.K5 && row != *r.Table12 {
+			t.Fatalf("Table 12 mismatch:\nreport %+v\ntable  %+v", *r.Table12, row)
+		}
+	}
+
+	// The grid covers every form x level combination, validated.
+	if want := len(bothForms) * len(allLevels); len(r.Grid) != want {
+		t.Fatalf("grid has %d cells, want %d", len(r.Grid), want)
+	}
+	if len(r.Ledgers) != len(bothForms) {
+		t.Fatalf("%d ledgers, want one per form", len(r.Ledgers))
+	}
+	if r.OptimizedBytes <= 0 || r.ResourceChecks <= 0 {
+		t.Fatalf("budget quantities not measured: bytes=%d checks=%d",
+			r.OptimizedBytes, r.ResourceChecks)
+	}
+
+	out := FormatMachineReport(r)
+	for _, want := range []string{"Translator ledger", "Size grid", "Table 5", "Table 12", "budget quantities"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBudgetsSeedAndCheck checks the budget gate end to end: seeded
+// budgets pass, an injected regression (budget one unit under the
+// measurement) fails with a named violation, and a machine missing from
+// the budgets file is itself a violation.
+func TestBudgetsSeedAndCheck(t *testing.T) {
+	r := buildK5(t)
+	reports := []*MachineReport{r}
+
+	b := SeedBudgets(reports, 0.05)
+	if v := CheckBudgets(b, reports); len(v) != 0 {
+		t.Fatalf("seeded budgets violated: %v", v)
+	}
+	// Zero headroom must still pass: seeding rounds up.
+	if v := CheckBudgets(SeedBudgets(reports, 0), reports); len(v) != 0 {
+		t.Fatalf("zero-headroom budgets violated: %v", v)
+	}
+
+	tight := Budgets{r.Machine: Budget{
+		MaxBytes:          r.OptimizedBytes - 1,
+		MaxResourceChecks: r.ResourceChecks - 1,
+	}}
+	v := CheckBudgets(tight, reports)
+	if len(v) != 2 {
+		t.Fatalf("injected regression: got %d violations, want 2: %v", len(v), v)
+	}
+	for _, msg := range v {
+		if !strings.Contains(msg, r.Machine) || !strings.Contains(msg, "exceed") {
+			t.Fatalf("violation message %q lacks machine or cause", msg)
+		}
+	}
+
+	if v := CheckBudgets(Budgets{}, reports); len(v) != 1 || !strings.Contains(v[0], "no budget entry") {
+		t.Fatalf("missing machine: %v", v)
+	}
+}

@@ -20,7 +20,7 @@ import (
 // changes.
 var encodeMagic = [4]byte{'M', 'D', 'E', 'S'}
 
-const encodeVersion = 2
+const encodeVersion = 3
 
 type writer struct {
 	w   *bufio.Writer
@@ -79,6 +79,7 @@ func (m *MDES) Encode(dst io.Writer) error {
 	// Options, pool order; IDs are implicit.
 	w.uvarint(uint64(len(m.Options)))
 	for _, o := range m.Options {
+		w.str(o.Src)
 		w.uvarint(uint64(len(o.Usages)))
 		for _, u := range o.Usages {
 			w.varint(int64(u.Time))
@@ -105,6 +106,7 @@ func (m *MDES) Encode(dst io.Writer) error {
 	w.uvarint(uint64(len(m.Trees)))
 	for _, t := range m.Trees {
 		w.str(t.Name)
+		w.str(t.Src)
 		w.uvarint(uint64(t.SharedBy))
 		w.uvarint(uint64(len(t.Options)))
 		for _, o := range t.Options {
@@ -240,7 +242,7 @@ func Decode(src io.Reader) (*MDES, error) {
 
 	nOpts := r.count("option", 1<<24)
 	for i := 0; i < nOpts && r.err == nil; i++ {
-		o := &Option{ID: i}
+		o := &Option{ID: i, Src: r.str()}
 		nU := r.count("usage", 1<<16)
 		for j := 0; j < nU && r.err == nil; j++ {
 			o.Usages = append(o.Usages, Usage{Time: int32(r.varint()), Res: int32(r.varint())})
@@ -259,7 +261,7 @@ func Decode(src io.Reader) (*MDES, error) {
 
 	nTrees := r.count("tree", 1<<24)
 	for i := 0; i < nTrees && r.err == nil; i++ {
-		t := &Tree{ID: i, Name: r.str(), SharedBy: int(r.uvarint())}
+		t := &Tree{ID: i, Name: r.str(), Src: r.str(), SharedBy: int(r.uvarint())}
 		nO := r.count("tree-option", 1<<24)
 		for j := 0; j < nO && r.err == nil; j++ {
 			idx := int(r.uvarint())

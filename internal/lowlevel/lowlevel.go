@@ -62,6 +62,15 @@ type Option struct {
 	ID     int
 	Usages []Usage     // scalar form, sorted by (Time, Res)
 	Masks  []CycleMask // packed form, in check order; nil until packed
+	// Src is the option's HMDES provenance: "<tree>[<index>]" for the
+	// originating table option within its high-level reservation tree,
+	// extended with "!expand" (OR-form cross products), "!hoist" (hoisted
+	// common usages) or "/f", "/r" (recovered factors) as transformations
+	// derive new options. After CSE an option merged from several
+	// identical sources keeps the first source's name. The scheduler hot
+	// path never reads Src; only the slow-path conflict attribution
+	// (rumap.ExplainConflict) and reporting tools do.
+	Src string
 }
 
 // NumChecks returns the number of resource checks one test of this option
@@ -104,6 +113,10 @@ type Tree struct {
 	// SharedBy counts the constraints referencing this tree; it is the
 	// "shared by the most AND/OR-trees" metric of the §8 sort heuristic.
 	SharedBy int
+	// Src is the tree's HMDES provenance: the high-level reservation
+	// tree (or generated clause) it was compiled from, with the same
+	// derivation suffixes as Option.Src.
+	Src string
 }
 
 // EarliestTime returns the minimum usage time across the tree's options.
@@ -232,10 +245,13 @@ func Compile(m *hmdes.Machine, form Form) *MDES {
 		var trees []*Tree
 		switch form {
 		case FormOR:
-			trees = []*Tree{b.addTree(class.Expand(), nil)}
+			// Expanded cross-product trees carry the class name plus an
+			// "!expand" provenance marker: their options have no single
+			// authored source.
+			trees = []*Tree{b.addTree(class.Expand(), nil, cname+"!expand")}
 		case FormAndOr:
 			for _, t := range class.Trees {
-				trees = append(trees, b.addTree(t, t))
+				trees = append(trees, b.addTree(t, t, t.Name))
 			}
 		}
 		for _, t := range trees {
@@ -272,17 +288,18 @@ type builder struct {
 	treeBySrc map[*restable.ORTree]*Tree
 }
 
-// addTree compiles one OR-tree. src is the identity key for author sharing;
-// nil means never shared (expanded OR-form trees).
-func (b *builder) addTree(t *restable.ORTree, src *restable.ORTree) *Tree {
+// addTree compiles one OR-tree. src is the identity key for author sharing
+// (nil means never shared — expanded OR-form trees); srcName is the HMDES
+// provenance label recorded on the tree and its options.
+func (b *builder) addTree(t *restable.ORTree, src *restable.ORTree, srcName string) *Tree {
 	if src != nil {
 		if existing, ok := b.treeBySrc[src]; ok {
 			return existing
 		}
 	}
-	lt := &Tree{ID: len(b.mdes.Trees), Name: t.Name}
-	for _, o := range t.Options {
-		lt.Options = append(lt.Options, b.addOption(o))
+	lt := &Tree{ID: len(b.mdes.Trees), Name: t.Name, Src: srcName}
+	for i, o := range t.Options {
+		lt.Options = append(lt.Options, b.addOption(o, fmt.Sprintf("%s[%d]", srcName, i)))
 	}
 	b.mdes.Trees = append(b.mdes.Trees, lt)
 	if src != nil {
@@ -291,8 +308,8 @@ func (b *builder) addTree(t *restable.ORTree, src *restable.ORTree) *Tree {
 	return lt
 }
 
-func (b *builder) addOption(o *restable.Option) *Option {
-	lo := &Option{ID: len(b.mdes.Options)}
+func (b *builder) addOption(o *restable.Option, srcName string) *Option {
+	lo := &Option{ID: len(b.mdes.Options), Src: srcName}
 	for _, u := range o.Usages {
 		lo.Usages = append(lo.Usages, Usage{Time: int32(u.Time), Res: int32(u.Res)})
 	}

@@ -18,10 +18,22 @@ package lowlevel
 // Pooled (shared) options and trees are counted once — exactly the memory
 // effect that sharing buys in the paper.
 
-// SizeStats breaks an MDES's memory requirement into its components.
+// SizeStats breaks an MDES's memory requirement into its components, and
+// counts the interned (pooled) entities the translator's pass ledger
+// attributes deltas to: options, trees, classes, scalar usage pairs, and
+// packed cycle-mask words.
 type SizeStats struct {
 	NumTrees   int
 	NumOptions int
+	NumClasses int
+
+	// ScalarUsages counts (time, resource) usage pairs across the pooled
+	// options; MaskWords counts packed (cycle, word) mask entries. Before
+	// bit-vector packing MaskWords is zero; after it both are populated
+	// (the scalar form is retained for unpacking) but only the packed
+	// form is byte-accounted, matching NumChecks.
+	ScalarUsages int
+	MaskWords    int
 
 	OptionBytes  int
 	TreeBytes    int
@@ -46,7 +58,10 @@ func (m *MDES) Size() SizeStats {
 	var s SizeStats
 	s.NumTrees = len(m.Trees)
 	s.NumOptions = len(m.Options)
+	s.NumClasses = len(m.Constraints)
 	for _, o := range m.Options {
+		s.ScalarUsages += len(o.Usages)
+		s.MaskWords += len(o.Masks)
 		s.OptionBytes += bytesPerHeader + o.NumChecks()*bytesPerUsagePair
 	}
 	for _, t := range m.Trees {

@@ -66,6 +66,37 @@ func WritePrometheus(b *strings.Builder, s Snapshot) {
 	fmt.Fprintf(b, "mdes_contexts_in_flight %d\n", s.InFlight)
 	b.WriteString("# TYPE mdes_context_merges_total counter\n")
 	fmt.Fprintf(b, "mdes_context_merges_total %d\n", s.Merges)
+
+	if l := s.Translator; l != nil {
+		b.WriteString("# TYPE mdes_translator_pass_duration_ns gauge\n")
+		b.WriteString("# TYPE mdes_translator_pass_delta_bytes gauge\n")
+		for _, p := range l.Passes {
+			fmt.Fprintf(b, "mdes_translator_pass_duration_ns{pass=%q} %d\n", p.Pass, p.WallNs)
+			fmt.Fprintf(b, "mdes_translator_pass_delta_bytes{pass=%q} %d\n", p.Pass, p.DeltaBytes())
+		}
+		b.WriteString("# TYPE mdes_translator_duration_ns gauge\n")
+		fmt.Fprintf(b, "mdes_translator_duration_ns{level=%q} %d\n", l.Level, l.WallNs)
+		b.WriteString("# TYPE mdes_translator_size gauge\n")
+		for _, side := range []struct {
+			when string
+			m    SizeMetrics
+		}{{"before", l.Before}, {"after", l.After}} {
+			for _, v := range []struct {
+				metric string
+				n      int
+			}{
+				{"options", side.m.Options},
+				{"trees", side.m.Trees},
+				{"classes", side.m.Classes},
+				{"scalar_usages", side.m.ScalarUsages},
+				{"mask_words", side.m.MaskWords},
+				{"total_bytes", side.m.TotalBytes},
+			} {
+				fmt.Fprintf(b, "mdes_translator_size{when=%q,metric=%q} %d\n",
+					side.when, v.metric, v.n)
+			}
+		}
+	}
 }
 
 // ExpvarVar returns an expvar.Var rendering the registry's snapshot as

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mdes/internal/textutil"
+)
+
+// SizeMetrics is a point-in-time size measurement of a machine
+// description under the byte-accounting model of lowlevel/size.go,
+// copied into plain data so the ledger (and everything importing obs)
+// carries no dependency on the representation packages.
+type SizeMetrics struct {
+	Options      int `json:"options"`
+	Trees        int `json:"trees"`
+	Classes      int `json:"classes"`
+	ScalarUsages int `json:"scalar_usages"`
+	MaskWords    int `json:"mask_words"`
+	OptionBytes  int `json:"option_bytes"`
+	TreeBytes    int `json:"tree_bytes"`
+	AndBytes     int `json:"and_bytes"`
+	BindingBytes int `json:"binding_bytes"`
+	TotalBytes   int `json:"total_bytes"`
+}
+
+// PassMetrics is one optimization pass's ledger entry: wall time, the
+// size measured immediately before and after the pass, and the pass's
+// own change attribution (nonzero opt.Report counts).
+type PassMetrics struct {
+	Pass    string         `json:"pass"`
+	WallNs  int64          `json:"wall_ns"`
+	Before  SizeMetrics    `json:"before"`
+	After   SizeMetrics    `json:"after"`
+	Changes map[string]int `json:"changes,omitempty"`
+}
+
+// DeltaBytes is the pass's size effect in accounted bytes (negative =
+// shrink).
+func (p PassMetrics) DeltaBytes() int { return p.After.TotalBytes - p.Before.TotalBytes }
+
+// Ledger is the translator's pass ledger: everything one opt.Apply run
+// did to a description, with per-pass wall time and size attribution.
+// It is pure data — safe to marshal, copy, and publish into a Registry.
+type Ledger struct {
+	// Machine is the description name as reported by the caller ("" when
+	// unknown); Form is "OR" or "AND/OR" at Apply entry.
+	Machine   string `json:"machine,omitempty"`
+	Form      string `json:"form"`
+	Level     string `json:"level"`
+	Direction string `json:"direction"`
+
+	WallNs int64         `json:"wall_ns"`
+	Before SizeMetrics   `json:"before"`
+	After  SizeMetrics   `json:"after"`
+	Passes []PassMetrics `json:"passes"`
+}
+
+// DeltaBytes is the whole run's size effect in accounted bytes.
+func (l *Ledger) DeltaBytes() int { return l.After.TotalBytes - l.Before.TotalBytes }
+
+// MarshalJSON is the stable export form; it is the plain struct (the
+// method exists to pin that contract in one place).
+func (l *Ledger) MarshalJSON() ([]byte, error) {
+	type plain Ledger
+	return json.Marshal((*plain)(l))
+}
+
+// FormatLedger renders the ledger as an aligned table: one row per pass
+// with wall time, the running size, and the per-pass delta, then a
+// summary line. This is the renderer behind mdreport, mdinfo -stats,
+// and schedbench -report.
+func FormatLedger(l *Ledger) string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	name := l.Machine
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "Translator ledger: %s form=%s level=%s dir=%s\n",
+		name, l.Form, l.Level, l.Direction)
+	t := textutil.NewTable("Pass", "µs", "Options", "Trees", "Usages", "Words", "Bytes", "ΔBytes", "Changes")
+	t.Row("(input)", "", l.Before.Options, l.Before.Trees,
+		l.Before.ScalarUsages, l.Before.MaskWords, l.Before.TotalBytes, "", "")
+	for _, p := range l.Passes {
+		t.Row(p.Pass, fmt.Sprintf("%.1f", float64(p.WallNs)/1e3),
+			p.After.Options, p.After.Trees, p.After.ScalarUsages, p.After.MaskWords,
+			p.After.TotalBytes, p.DeltaBytes(), changesString(p.Changes))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "total: %.1fµs, %d -> %d bytes (%s)\n",
+		float64(l.WallNs)/1e3, l.Before.TotalBytes, l.After.TotalBytes,
+		textutil.Percent(float64(l.Before.TotalBytes), float64(l.After.TotalBytes)))
+	return b.String()
+}
+
+// changesString flattens a Changes map deterministically (sorted keys).
+func changesString(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// SetTranslator publishes the translator's pass ledger into the
+// registry, making it part of every Snapshot and exporter output.
+// Passing nil clears it. The scheduler hot path never touches this.
+func (r *Registry) SetTranslator(l *Ledger) { r.translator.Store(l) }
+
+// Translator returns the published ledger, or nil.
+func (r *Registry) Translator() *Ledger { return r.translator.Load() }

@@ -67,6 +67,11 @@ type Registry struct {
 	resConflicts []atomic.Int64
 	merges       atomic.Int64
 	inFlight     atomic.Int64
+
+	// translator is the published pass ledger (see SetTranslator): a
+	// single pointer swap, written once at compile time and only read by
+	// exporters, never by the scheduler hot path.
+	translator atomic.Pointer[Ledger]
 }
 
 // AddInFlight adjusts the gauge of currently-borrowed contexts observing
@@ -270,11 +275,17 @@ type Snapshot struct {
 	Merges    int64              `json:"merges"`
 	// InFlight is the gauge of currently-borrowed observing contexts.
 	InFlight int64 `json:"in_flight"`
+	// Translator is the published pass ledger, when one was set.
+	Translator *Ledger `json:"translator,omitempty"`
 }
 
 // Snapshot reads the registry into plain values for export.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Merges: r.merges.Load(), InFlight: r.inFlight.Load()}
+	s := Snapshot{
+		Merges:     r.merges.Load(),
+		InFlight:   r.inFlight.Load(),
+		Translator: r.translator.Load(),
+	}
 	for p := 0; p < int(NumPhases); p++ {
 		rp := &r.phases[p]
 		ps := PhaseSnapshot{

@@ -287,3 +287,95 @@ func TestFormatRegistry(t *testing.T) {
 		}
 	}
 }
+
+// testLedger builds a small two-pass ledger for exporter tests.
+func testLedger() *Ledger {
+	return &Ledger{
+		Machine: "mini", Form: "AND/OR", Level: "full", Direction: "forward",
+		WallNs: 3000,
+		Before: SizeMetrics{Options: 10, Trees: 4, TotalBytes: 1000},
+		After:  SizeMetrics{Options: 6, Trees: 4, TotalBytes: 700},
+		Passes: []PassMetrics{
+			{
+				Pass: "redundancy/eliminate-redundant", WallNs: 2000,
+				Before:  SizeMetrics{Options: 10, Trees: 4, TotalBytes: 1000},
+				After:   SizeMetrics{Options: 6, Trees: 4, TotalBytes: 800},
+				Changes: map[string]int{"optionsRemoved": 4},
+			},
+			{
+				Pass: "bit-vector/pack", WallNs: 1000,
+				Before: SizeMetrics{Options: 6, Trees: 4, TotalBytes: 800},
+				After:  SizeMetrics{Options: 6, Trees: 4, TotalBytes: 700},
+			},
+		},
+	}
+}
+
+func TestTranslatorLedgerInRegistry(t *testing.T) {
+	r := NewRegistry([]string{"alu"}, []string{"r0"})
+	if s := r.Snapshot(); s.Translator != nil {
+		t.Fatal("fresh registry has a translator ledger")
+	}
+	led := testLedger()
+	r.SetTranslator(led)
+	if r.Translator() != led {
+		t.Fatal("Translator() did not return the set ledger")
+	}
+	s := r.Snapshot()
+	if s.Translator == nil || s.Translator.Machine != "mini" {
+		t.Fatalf("snapshot translator: %+v", s.Translator)
+	}
+
+	// JSON round trip (the /metrics.json exporter path).
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"translator"`) ||
+		!strings.Contains(string(data), `"redundancy/eliminate-redundant"`) {
+		t.Fatalf("snapshot JSON lacks ledger:\n%s", data)
+	}
+
+	// Prometheus exposition.
+	var b strings.Builder
+	WritePrometheus(&b, s)
+	out := b.String()
+	for _, want := range []string{
+		`mdes_translator_pass_duration_ns{pass="redundancy/eliminate-redundant"} 2000`,
+		`mdes_translator_pass_delta_bytes{pass="bit-vector/pack"} -100`,
+		`mdes_translator_duration_ns{level="full"} 3000`,
+		`mdes_translator_size{when="before",metric="total_bytes"} 1000`,
+		`mdes_translator_size{when="after",metric="total_bytes"} 700`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	// Human-readable report leads with the ledger.
+	text := FormatSnapshot(s)
+	if !strings.Contains(text, "Translator ledger: mini") ||
+		!strings.Contains(text, "optionsRemoved=4") {
+		t.Fatalf("FormatSnapshot lacks ledger section:\n%s", text)
+	}
+}
+
+func TestLedgerDeltaAccounting(t *testing.T) {
+	led := testLedger()
+	if led.DeltaBytes() != -300 {
+		t.Fatalf("ledger delta %d", led.DeltaBytes())
+	}
+	sum := 0
+	for _, p := range led.Passes {
+		sum += p.DeltaBytes()
+	}
+	if sum != led.DeltaBytes() {
+		t.Fatalf("pass deltas sum to %d, total %d", sum, led.DeltaBytes())
+	}
+	out := FormatLedger(led)
+	for _, want := range []string{"(input)", "redundancy/eliminate-redundant", "1000 -> 700 bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatLedger missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,11 @@ func FormatRegistry(r *Registry) string {
 func FormatSnapshot(s Snapshot) string {
 	var b strings.Builder
 
+	if s.Translator != nil {
+		b.WriteString(FormatLedger(s.Translator))
+		b.WriteByte('\n')
+	}
+
 	pt := textutil.NewTable("Phase", "Attempts", "Opt/att", "Chk/att", "Conflicts", "Backtracks", "ns/check")
 	active := 0
 	for _, p := range s.Phases {

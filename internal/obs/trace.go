@@ -28,6 +28,10 @@ type Event struct {
 	Res string `json:"res,omitempty"`
 	// Time is the blocking usage's time relative to the issue cycle.
 	Time int `json:"time,omitempty"`
+	// Src is the HMDES provenance of the blocked option — which
+	// reservation/table option the conflicting usage was compiled from
+	// (lowlevel.Option.Src syntax).
+	Src string `json:"src,omitempty"`
 }
 
 // BlockRecord is one block's complete trace. A record is accumulated
@@ -79,12 +83,12 @@ func (t *BlockTrace) Attempt(op int, opcode string, cycle, options, choice int, 
 	})
 }
 
-// Conflict records the blocking resource and relative usage time of a
-// failed attempt.
-func (t *BlockTrace) Conflict(op int, opcode string, cycle int, res string, time int) {
+// Conflict records the blocking resource, relative usage time, and HMDES
+// provenance of a failed attempt's blocked option.
+func (t *BlockTrace) Conflict(op int, opcode string, cycle int, res string, time int, src string) {
 	t.rec.Events = append(t.rec.Events, Event{
 		Kind: "conflict", Op: op, Opcode: opcode, Cycle: cycle,
-		Res: res, Time: time,
+		Res: res, Time: time, Src: src,
 	})
 }
 

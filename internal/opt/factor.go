@@ -22,7 +22,7 @@ import (
 // schedule) is unchanged. The pass requires the scalar usage form (run it
 // before bit-vector packing).
 func FactorORTrees(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "factor-or-trees"}
+	rep := Report{Pass: PassFactorORTrees}
 	if m.Packed {
 		return rep
 	}
@@ -156,18 +156,18 @@ func trySplit(t *lowlevel.Tree, sets []map[lowlevel.Usage]bool, p int) (first, r
 			}
 		}
 	}
-	first = &lowlevel.Tree{Name: t.Name + "/f", SharedBy: 1}
+	first = &lowlevel.Tree{Name: t.Name + "/f", Src: t.Src + "/f", SharedBy: 1}
 	for j := 0; j < p; j++ {
-		first.Options = append(first.Options, optionFromSet(F[j]))
+		first.Options = append(first.Options, optionFromSet(F[j], first.Src))
 	}
-	rest = &lowlevel.Tree{Name: t.Name + "/r", SharedBy: 1}
+	rest = &lowlevel.Tree{Name: t.Name + "/r", Src: t.Src + "/r", SharedBy: 1}
 	for b := 0; b < nb; b++ {
-		rest.Options = append(rest.Options, optionFromSet(R[b]))
+		rest.Options = append(rest.Options, optionFromSet(R[b], rest.Src))
 	}
 	return first, rest, true
 }
 
-func optionFromSet(s map[lowlevel.Usage]bool) *lowlevel.Option {
+func optionFromSet(s map[lowlevel.Usage]bool, src string) *lowlevel.Option {
 	usages := make([]lowlevel.Usage, 0, len(s))
 	for u := range s {
 		usages = append(usages, u)
@@ -178,7 +178,7 @@ func optionFromSet(s map[lowlevel.Usage]bool) *lowlevel.Option {
 		}
 		return usages[i].Res < usages[j].Res
 	})
-	return &lowlevel.Option{Usages: usages}
+	return &lowlevel.Option{Usages: usages, Src: src}
 }
 
 // registerFactors pools freshly created trees and options.

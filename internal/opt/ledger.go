@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"time"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/obs"
+)
+
+// sizeMetrics measures m under lowlevel's byte-accounting model and
+// copies the result into the ledger's plain form.
+func sizeMetrics(m *lowlevel.MDES) obs.SizeMetrics {
+	s := m.Size()
+	return obs.SizeMetrics{
+		Options:      s.NumOptions,
+		Trees:        s.NumTrees,
+		Classes:      s.NumClasses,
+		ScalarUsages: s.ScalarUsages,
+		MaskWords:    s.MaskWords,
+		OptionBytes:  s.OptionBytes,
+		TreeBytes:    s.TreeBytes,
+		AndBytes:     s.AndBytes,
+		BindingBytes: s.BindingBytes,
+		TotalBytes:   s.Total(),
+	}
+}
+
+// ApplyLedger runs the same pipeline as Apply and additionally returns a
+// pass ledger: per-pass wall time, the size measured after every pass
+// (each pass's Before is the previous pass's After, so per-pass deltas
+// telescope exactly to the whole run's size change), and each pass's
+// Report counts. Optional extra passes run after the level's pipeline
+// and are ledgered identically (Table 8 measures dominated-option
+// pruning in isolation this way).
+//
+// Like Apply, it panics if the description has been frozen.
+func ApplyLedger(m *lowlevel.MDES, level Level, dir Direction, extra ...func(*lowlevel.MDES) Report) (*obs.Ledger, []Report) {
+	if m.Frozen() {
+		panic("opt: cannot transform a frozen MDES; run Optimize before Freeze/NewEngine")
+	}
+	led := &obs.Ledger{
+		Form:      m.Form.String(),
+		Level:     level.String(),
+		Direction: dir.String(),
+		Before:    sizeMetrics(m),
+	}
+	var reports []Report
+	prev := led.Before
+	start := time.Now()
+	run := func(pass func() Report) {
+		t0 := time.Now()
+		rep := pass()
+		wall := time.Since(t0).Nanoseconds()
+		after := sizeMetrics(m)
+		led.Passes = append(led.Passes, obs.PassMetrics{
+			Pass:    rep.Pass,
+			WallNs:  wall,
+			Before:  prev,
+			After:   after,
+			Changes: rep.Changes(),
+		})
+		prev = after
+		reports = append(reports, rep)
+	}
+	if level >= LevelRedundancy {
+		run(func() Report { return EliminateRedundant(m) })
+		run(func() Report { return PruneDominatedOptions(m) })
+	}
+	if level >= LevelBitVector {
+		run(func() Report { return PackBitVectors(m) })
+	}
+	if level >= LevelTimeShift {
+		run(func() Report { return ShiftUsageTimes(m, dir) })
+		run(func() Report { return SortUsagesTimeZeroFirst(m) })
+	}
+	if level >= LevelFull {
+		run(func() Report { return SortORTrees(m) })
+		run(func() Report { return HoistCommonUsages(m) })
+	}
+	for _, pass := range extra {
+		p := pass
+		run(func() Report { return p(m) })
+	}
+	led.WallNs = time.Since(start).Nanoseconds()
+	led.After = prev
+	return led, reports
+}

@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+)
+
+// TestLedgerInvariantBuiltins checks the ledger's accounting contract on
+// every builtin machine at every level and form: per-pass deltas
+// telescope exactly to the whole run's size change, each pass's Before is
+// the previous pass's After, and the ledger's After matches a fresh
+// measurement of the transformed description.
+func TestLedgerInvariantBuiltins(t *testing.T) {
+	for _, name := range machines.AllExtended {
+		m, err := machines.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			for lvl := LevelNone; lvl <= LevelFull; lvl++ {
+				ll := lowlevel.Compile(m, form)
+				led, reports := ApplyLedger(ll, lvl, Forward)
+				if led.Level != lvl.String() || led.Form != form.String() {
+					t.Fatalf("%s %s/%v: ledger labels %q/%q", name, form, lvl, led.Form, led.Level)
+				}
+				if len(led.Passes) != len(reports) {
+					t.Fatalf("%s %s/%v: %d ledger entries, %d reports",
+						name, form, lvl, len(led.Passes), len(reports))
+				}
+				sum := 0
+				prev := led.Before
+				for i, p := range led.Passes {
+					if p.Before != prev {
+						t.Fatalf("%s %s/%v pass %s: Before != previous After", name, form, lvl, p.Pass)
+					}
+					if p.Pass != reports[i].Pass {
+						t.Fatalf("%s %s/%v: ledger pass %q vs report %q", name, form, lvl, p.Pass, reports[i].Pass)
+					}
+					sum += p.DeltaBytes()
+					prev = p.After
+				}
+				if led.After != prev {
+					t.Fatalf("%s %s/%v: ledger After != last pass After", name, form, lvl)
+				}
+				if sum != led.DeltaBytes() {
+					t.Fatalf("%s %s/%v: per-pass deltas sum to %d, total delta %d",
+						name, form, lvl, sum, led.DeltaBytes())
+				}
+				got := sizeMetrics(ll)
+				if got != led.After {
+					t.Fatalf("%s %s/%v: ledger After %+v != measured %+v", name, form, lvl, led.After, got)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyPassNamesMatchLevels checks the satellite contract: every pass
+// name Apply reports is prefixed with the Level.String() of the pipeline
+// level that runs it, and only levels up to the requested one appear.
+func TestApplyPassNamesMatchLevels(t *testing.T) {
+	for lvl := LevelNone; lvl <= LevelFull; lvl++ {
+		m := compileFixture(t, lowlevel.FormAndOr)
+		reports := Apply(m, lvl, Forward)
+		for _, r := range reports {
+			i := strings.IndexByte(r.Pass, '/')
+			if i < 0 {
+				t.Fatalf("level %v: pass %q has no level prefix", lvl, r.Pass)
+			}
+			prefix := r.Pass[:i]
+			var passLevel Level = -1
+			for l := LevelRedundancy; l <= LevelFull; l++ {
+				if l.String() == prefix {
+					passLevel = l
+				}
+			}
+			if passLevel < 0 {
+				t.Fatalf("level %v: pass %q prefix %q is not a Level.String()", lvl, r.Pass, prefix)
+			}
+			if passLevel > lvl {
+				t.Fatalf("level %v ran pass %q of higher level %v", lvl, r.Pass, passLevel)
+			}
+		}
+	}
+}
+
+// TestLedgerExtraPasses checks that extra passes are ledgered like
+// pipeline passes (the Table 8 prune-in-isolation measurement).
+func TestLedgerExtraPasses(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	led, reports := ApplyLedger(m, LevelNone, Forward, PruneDominatedOptions)
+	if len(reports) != 1 || len(led.Passes) != 1 {
+		t.Fatalf("extra pass not ledgered: %d reports, %d entries", len(reports), len(led.Passes))
+	}
+	if led.Passes[0].Pass != PassPruneDominated {
+		t.Fatalf("extra pass name %q", led.Passes[0].Pass)
+	}
+	if led.Passes[0].DeltaBytes() >= 0 {
+		t.Fatalf("fixture's dominated options should shrink the MDES, delta %d", led.Passes[0].DeltaBytes())
+	}
+}
+
+// TestPackMultiWordRoundTrip packs usages spanning more than 64 cycles
+// and more than 64 resources — multi-word CycleMasks on both axes — and
+// checks the scalar form is recovered exactly.
+func TestPackMultiWordRoundTrip(t *testing.T) {
+	var usages []lowlevel.Usage
+	// 80 cycles; at each cycle hit three resources across two words,
+	// including word boundaries (63, 64) and a high resource (130).
+	for c := int32(0); c < 80; c++ {
+		usages = append(usages,
+			lowlevel.Usage{Time: c, Res: c % 67},
+			lowlevel.Usage{Time: c, Res: 63 + (c % 3)},
+			lowlevel.Usage{Time: c, Res: 130},
+		)
+	}
+	o := &lowlevel.Option{Usages: dedupSorted(usages)}
+	o.Masks = packUsages(o.Usages)
+	for _, m := range o.Masks {
+		if m.Mask == 0 {
+			t.Fatalf("empty mask word at time %d word %d", m.Time, m.Word)
+		}
+	}
+	multi := map[int32]map[int32]bool{}
+	for _, m := range o.Masks {
+		if multi[m.Time] == nil {
+			multi[m.Time] = map[int32]bool{}
+		}
+		multi[m.Time][m.Word] = true
+	}
+	sawMultiWord := false
+	for _, words := range multi {
+		if len(words) > 1 {
+			sawMultiWord = true
+		}
+	}
+	if !sawMultiWord {
+		t.Fatal("test did not exercise multi-word cycles")
+	}
+	back := unpackOption(o)
+	if len(back) != len(o.Usages) {
+		t.Fatalf("round trip: %d usages -> %d", len(o.Usages), len(back))
+	}
+	for i := range back {
+		if back[i] != o.Usages[i] {
+			t.Fatalf("round trip mismatch at %d: %v != %v", i, back[i], o.Usages[i])
+		}
+	}
+}
+
+// dedupSorted sorts usages (time, res) and drops duplicates, matching the
+// canonical option layout.
+func dedupSorted(usages []lowlevel.Usage) []lowlevel.Usage {
+	seen := map[lowlevel.Usage]bool{}
+	var out []lowlevel.Usage
+	for _, u := range usages {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Time < b.Time || (a.Time == b.Time && a.Res < b.Res) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// TestReportStringAlignment checks the satellite fix: the pass-name
+// column is padded, so metric text starts at the same offset for every
+// pass name and counts over six digits render in full.
+func TestReportStringAlignment(t *testing.T) {
+	big := Report{Pass: PassPackBitVectors, OptionsPacked: 12345678}
+	long := Report{Pass: PassPruneDominated, OptionsPruned: 1}
+	bs, ls := big.String(), long.String()
+	if !strings.Contains(bs, "optionsPacked=12345678") {
+		t.Fatalf("seven-digit count truncated: %s", bs)
+	}
+	if strings.Index(bs, "optionsPacked") != strings.Index(ls, "optionsPruned") {
+		t.Fatalf("metric columns misaligned:\n%s\n%s", bs, ls)
+	}
+	table := FormatReports([]Report{big, long})
+	if !strings.Contains(table, "12345678") || !strings.Contains(table, PassPruneDominated) {
+		t.Fatalf("FormatReports missing data:\n%s", table)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" || Direction(9).String() != "unknown" {
+		t.Fatal("Direction.String mismatch")
+	}
+}

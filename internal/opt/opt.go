@@ -26,7 +26,29 @@ import (
 	"strings"
 
 	"mdes/internal/lowlevel"
+	"mdes/internal/textutil"
 )
+
+// Pass names, as recorded in Report.Pass and the pass ledger. Each name is
+// prefixed with the Level.String() of the pipeline level that runs the
+// pass, so reports, ledger rows, and the tables in internal/experiments
+// group under one consistent naming scheme.
+const (
+	PassEliminateRedundant = "redundancy/eliminate-redundant"
+	PassPruneDominated     = "redundancy/prune-dominated-options"
+	PassPackBitVectors     = "bit-vector/pack"
+	PassShiftUsageTimes    = "time-shift/shift-usage-times"
+	PassSortZeroFirst      = "time-shift/sort-zero-first"
+	PassSortORTrees        = "full/sort-or-trees"
+	PassHoistCommonUsages  = "full/hoist-common-usages"
+	// PassFactorORTrees is the extension pass (not part of Apply's
+	// pipeline); it runs before redundancy elimination when requested.
+	PassFactorORTrees = "factor/or-trees"
+)
+
+// passNameWidth pads Report.String's pass column so consecutive reports
+// align regardless of the pass name or count magnitudes.
+var passNameWidth = len(PassPruneDominated)
 
 // Report summarizes what a pass changed; each field is a count of removed
 // or rewritten entities (zero fields mean the pass was a no-op).
@@ -43,10 +65,41 @@ type Report struct {
 	TreesFactored   int
 }
 
+// Changes returns the report's nonzero counts keyed by metric name, the
+// stable flattening used by the pass ledger's JSON form.
+func (r Report) Changes() map[string]int {
+	out := map[string]int{}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"optionsRemoved", r.OptionsRemoved},
+		{"treesRemoved", r.TreesRemoved},
+		{"classesRemoved", r.ClassesRemoved},
+		{"optionsPruned", r.OptionsPruned},
+		{"optionsPacked", r.OptionsPacked},
+		{"resourcesShifted", r.ResourcesShifed},
+		{"treesReordered", r.TreesReordered},
+		{"usagesHoisted", r.UsagesHoisted},
+		{"treesFactored", r.TreesFactored},
+	} {
+		if c.v != 0 {
+			out[c.name] = c.v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 func (r Report) String() string {
 	var parts []string
 	add := func(name string, v int) {
 		if v != 0 {
+			// %d, never a fixed-width verb: counts beyond six digits must
+			// render in full rather than disturb the column layout, which
+			// is carried entirely by the padded pass-name column.
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
 		}
 	}
@@ -62,7 +115,53 @@ func (r Report) String() string {
 	if len(parts) == 0 {
 		parts = append(parts, "no-op")
 	}
-	return fmt.Sprintf("%s: %s", r.Pass, strings.Join(parts, " "))
+	return fmt.Sprintf("%-*s  %s", passNameWidth, r.Pass, strings.Join(parts, " "))
+}
+
+// FormatReports renders a pass-report list with one aligned column per
+// metric that any report touched; counts of any magnitude (seven digits
+// and beyond included) keep the columns aligned because widths are
+// computed from the rendered values.
+func FormatReports(reports []Report) string {
+	cols := []struct {
+		name string
+		get  func(Report) int
+	}{
+		{"optRemoved", func(r Report) int { return r.OptionsRemoved }},
+		{"treeRemoved", func(r Report) int { return r.TreesRemoved }},
+		{"classRemoved", func(r Report) int { return r.ClassesRemoved }},
+		{"optPruned", func(r Report) int { return r.OptionsPruned }},
+		{"optPacked", func(r Report) int { return r.OptionsPacked }},
+		{"resShifted", func(r Report) int { return r.ResourcesShifed }},
+		{"treeSorted", func(r Report) int { return r.TreesReordered }},
+		{"hoisted", func(r Report) int { return r.UsagesHoisted }},
+		{"factored", func(r Report) int { return r.TreesFactored }},
+	}
+	used := make([]bool, len(cols))
+	for _, r := range reports {
+		for i, c := range cols {
+			if c.get(r) != 0 {
+				used[i] = true
+			}
+		}
+	}
+	header := []string{"Pass"}
+	for i, c := range cols {
+		if used[i] {
+			header = append(header, c.name)
+		}
+	}
+	t := textutil.NewTable(header...)
+	for _, r := range reports {
+		row := []interface{}{r.Pass}
+		for i, c := range cols {
+			if used[i] {
+				row = append(row, c.get(r))
+			}
+		}
+		t.Row(row...)
+	}
+	return t.String()
 }
 
 // optionKey returns a canonical content key for hash-consing.
@@ -98,7 +197,7 @@ func treeKey(t *lowlevel.Tree, canon map[*lowlevel.Option]*lowlevel.Option) stri
 // referenced by any operation's class — including whole classes — are
 // dropped from the pools.
 func EliminateRedundant(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "eliminate-redundant"}
+	rep := Report{Pass: PassEliminateRedundant}
 
 	// 1. Drop classes referenced by no operation (dead-code removal).
 	liveClass := make([]bool, len(m.Constraints))
@@ -142,6 +241,12 @@ func EliminateRedundant(m *lowlevel.MDES) Report {
 		}
 		k := optionKey(o)
 		if c, ok := byKey[k]; ok {
+			// Provenance: CSE keeps the canonical copy's source; if the
+			// canonical copy predates provenance (e.g. a pass-created
+			// option), it inherits the merged option's source.
+			if c.Src == "" {
+				c.Src = o.Src
+			}
 			canonOpt[o] = c
 			return c
 		}
@@ -166,6 +271,9 @@ func EliminateRedundant(m *lowlevel.MDES) Report {
 		}
 		k := treeKey(t, canonOpt)
 		if c, ok := treeByKey[k]; ok {
+			if c.Src == "" {
+				c.Src = t.Src
+			}
 			canonTree[t] = c
 			return c
 		}
@@ -234,7 +342,7 @@ func subset(a, b map[[2]int32]uint64) bool {
 // higher-priority option is always selected whenever the dominated one
 // could be (§5; the duplicated PA7100 memory-operation option, Table 8).
 func PruneDominatedOptions(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "prune-dominated-options"}
+	rep := Report{Pass: PassPruneDominated}
 	for _, t := range m.Trees {
 		sets := make([]map[[2]int32]uint64, len(t.Options))
 		for i, o := range t.Options {
@@ -288,7 +396,7 @@ func sweep(m *lowlevel.MDES) {
 // words (§6), so all of a cycle's usages are checked (and reserved) with a
 // single AND (OR) operation.
 func PackBitVectors(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "pack-bit-vectors"}
+	rep := Report{Pass: PassPackBitVectors}
 	for _, o := range m.Options {
 		if o.Masks != nil {
 			continue
@@ -367,6 +475,16 @@ const (
 	Backward
 )
 
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	}
+	return "unknown"
+}
+
 // ShiftUsageTimes subtracts, for every resource, a constant from all of its
 // usage times: the resource's earliest (Forward) or latest (Backward) usage
 // time across every option in the MDES. Constant per-resource shifts
@@ -374,7 +492,7 @@ const (
 // usages concentrate at time zero, where the bit-vector representation and
 // early conflict detection profit.
 func ShiftUsageTimes(m *lowlevel.MDES, dir Direction) Report {
-	rep := Report{Pass: "shift-usage-times"}
+	rep := Report{Pass: PassShiftUsageTimes}
 	shift := map[int32]int32{}
 	seen := map[int32]bool{}
 	for _, o := range m.Options {
@@ -423,7 +541,7 @@ func ShiftUsageTimes(m *lowlevel.MDES, dir Direction) Report {
 // concentrate, so a forward scheduler detects conflicts with the fewest
 // probes.
 func SortUsagesTimeZeroFirst(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "sort-usages-zero-first"}
+	rep := Report{Pass: PassSortZeroFirst}
 	key := func(t int32) int32 {
 		if t == 0 {
 			return -1 << 30
@@ -448,7 +566,7 @@ func SortUsagesTimeZeroFirst(m *lowlevel.MDES) Report {
 // by earliest usage time, then fewest options, then most shared (heavily
 // used resources), then original order. No-op for FormOR.
 func SortORTrees(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "sort-or-trees"}
+	rep := Report{Pass: PassSortORTrees}
 	if m.Form != lowlevel.FormAndOr {
 		return rep
 	}
@@ -496,7 +614,7 @@ func SortORTrees(m *lowlevel.MDES) Report {
 // constraints are unaffected; run EliminateRedundant afterwards to re-merge
 // any now-identical trees. No-op for FormOR.
 func HoistCommonUsages(m *lowlevel.MDES) Report {
-	rep := Report{Pass: "hoist-common-usages"}
+	rep := Report{Pass: PassHoistCommonUsages}
 	if m.Form != lowlevel.FormAndOr {
 		return rep
 	}
@@ -524,11 +642,12 @@ func HoistCommonUsages(m *lowlevel.MDES) Report {
 					target = clone
 				}
 				if target == nil {
-					opt := &lowlevel.Option{ID: len(m.Options)}
+					opt := &lowlevel.Option{ID: len(m.Options), Src: t.Src + "!hoist"}
 					m.Options = append(m.Options, opt)
 					target = &lowlevel.Tree{
 						ID:       len(m.Trees),
 						Name:     fmt.Sprintf("%s!hoist", t.Name),
+						Src:      t.Src + "!hoist",
 						Options:  []*lowlevel.Option{opt},
 						SharedBy: 1,
 					}
@@ -610,11 +729,12 @@ func onlyUsageAtItsTime(t *lowlevel.Tree, u lowlevel.Usage) bool {
 // cloneTree deep-copies a tree (and its options) into the pools and adjusts
 // sharing counts.
 func cloneTree(m *lowlevel.MDES, t *lowlevel.Tree) *lowlevel.Tree {
-	nt := &lowlevel.Tree{ID: len(m.Trees), Name: t.Name, SharedBy: 1}
+	nt := &lowlevel.Tree{ID: len(m.Trees), Name: t.Name, Src: t.Src, SharedBy: 1}
 	t.SharedBy--
 	for _, o := range t.Options {
 		no := &lowlevel.Option{
 			ID:     len(m.Options),
+			Src:    o.Src,
 			Usages: append([]lowlevel.Usage(nil), o.Usages...),
 		}
 		if o.Masks != nil {
@@ -646,7 +766,7 @@ func removeUsageFromTree(m *lowlevel.MDES, t *lowlevel.Tree, u lowlevel.Usage) {
 				usages = append(usages, x)
 			}
 		}
-		t.Options[i] = newOption(m, usages, o.Masks != nil)
+		t.Options[i] = newOption(m, usages, o.Masks != nil, o.Src)
 	}
 }
 
@@ -659,12 +779,12 @@ func addUsageToOption(m *lowlevel.MDES, o *lowlevel.Option, u lowlevel.Usage) *l
 		}
 		return usages[i].Res < usages[j].Res
 	})
-	return newOption(m, usages, o.Masks != nil || m.Packed)
+	return newOption(m, usages, o.Masks != nil || m.Packed, o.Src)
 }
 
-// newOption pools a fresh option with the given usages.
-func newOption(m *lowlevel.MDES, usages []lowlevel.Usage, packed bool) *lowlevel.Option {
-	o := &lowlevel.Option{ID: len(m.Options), Usages: usages}
+// newOption pools a fresh option with the given usages and provenance.
+func newOption(m *lowlevel.MDES, usages []lowlevel.Usage, packed bool, src string) *lowlevel.Option {
+	o := &lowlevel.Option{ID: len(m.Options), Usages: usages, Src: src}
 	if packed {
 		o.Masks = packUsages(usages)
 	}

@@ -50,25 +50,6 @@ func (l Level) String() string {
 // and transforming it in place would be a data race. Run the pipeline
 // before Freeze.
 func Apply(m *lowlevel.MDES, level Level, dir Direction) []Report {
-	if m.Frozen() {
-		panic("opt: cannot transform a frozen MDES; run Optimize before Freeze/NewEngine")
-	}
-	var reports []Report
-	run := func(r Report) { reports = append(reports, r) }
-	if level >= LevelRedundancy {
-		run(EliminateRedundant(m))
-		run(PruneDominatedOptions(m))
-	}
-	if level >= LevelBitVector {
-		run(PackBitVectors(m))
-	}
-	if level >= LevelTimeShift {
-		run(ShiftUsageTimes(m, dir))
-		run(SortUsagesTimeZeroFirst(m))
-	}
-	if level >= LevelFull {
-		run(SortORTrees(m))
-		run(HoistCommonUsages(m))
-	}
+	_, reports := ApplyLedger(m, level, dir)
 	return reports
 }

@@ -76,8 +76,8 @@ func (q *Q) check(opIdx, issue int) (rumap.Selection, bool) {
 		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
 		time.Since(t0).Nanoseconds(), ok)
 	if !ok {
-		if res, _, found := q.cx.RU.ExplainConflict(con, issue); found {
-			local.ConflictAt(res)
+		if conf, found := q.cx.RU.ExplainConflict(con, issue); found {
+			local.ConflictAt(conf.Res)
 		}
 	}
 	return sel, ok

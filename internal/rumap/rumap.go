@@ -247,15 +247,32 @@ func (m *Map) optionBlocker(o *lowlevel.Option, issue int) (res, time int, found
 	return 0, 0, false
 }
 
+// Conflict attributes one failed Check: which resource, at which relative
+// usage time, kept the preferred reservation from issuing, in which
+// low-level tree — and, through the provenance map, which HMDES source
+// (reservation/table option, lowlevel.Option.Src syntax) that blocking
+// usage was compiled from.
+type Conflict struct {
+	// Res and Time are the blocking resource index and the relative usage
+	// time of the blocked probe.
+	Res  int
+	Time int
+	// Tree is the name of the unsatisfiable tree; Src is the HMDES
+	// provenance of its highest-priority (blocked) option, falling back
+	// to the tree's own provenance when the option predates it.
+	Tree string
+	Src  string
+}
+
 // ExplainConflict attributes a failed Check: for the first tree of the
 // constraint with no available option at issue, it returns the blocking
-// (resource, relative usage time) of that tree's highest-priority option
-// — "which resource, at which time, kept the preferred reservation from
-// issuing", the conflict detail the trace and the conflicts-by-resource
-// metric report. It performs no accounting (the failed Check already
-// counted the probes) and runs only on the observability slow path.
-// found is false when the constraint is satisfiable.
-func (m *Map) ExplainConflict(con *lowlevel.Constraint, issue int) (res, time int, found bool) {
+// slot of that tree's highest-priority option together with the tree's
+// name and the option's HMDES provenance — the conflict detail the trace
+// and the conflicts-by-resource metric report. It performs no accounting
+// (the failed Check already counted the probes) and runs only on the
+// observability slow path. found is false when the constraint is
+// satisfiable.
+func (m *Map) ExplainConflict(con *lowlevel.Constraint, issue int) (c Conflict, found bool) {
 	for _, tree := range con.Trees {
 		satisfiable := false
 		for _, o := range tree.Options {
@@ -265,10 +282,19 @@ func (m *Map) ExplainConflict(con *lowlevel.Constraint, issue int) (res, time in
 			}
 		}
 		if !satisfiable {
-			return m.optionBlocker(tree.Options[0], issue)
+			blocked := tree.Options[0]
+			res, time, ok := m.optionBlocker(blocked, issue)
+			if !ok {
+				return Conflict{}, false
+			}
+			src := blocked.Src
+			if src == "" {
+				src = tree.Src
+			}
+			return Conflict{Res: res, Time: time, Tree: tree.Name, Src: src}, true
 		}
 	}
-	return 0, 0, false
+	return Conflict{}, false
 }
 
 // ReservedSlots returns every (resource, cycle) currently reserved, for

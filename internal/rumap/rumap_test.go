@@ -336,3 +336,44 @@ func TestAppendReservedSlotsNoAlloc(t *testing.T) {
 		t.Fatalf("AppendReservedSlots into a sized buffer allocates %.1f times per call, want 0", allocs)
 	}
 }
+
+func TestExplainConflictAttribution(t *testing.T) {
+	ll := compileMini(t, lowlevel.FormAndOr)
+	m := New(ll.NumResources)
+	con := ll.Constraints[0]
+	var c stats.Counters
+
+	if _, found := m.ExplainConflict(con, 0); found {
+		t.Fatalf("empty map reported a conflict")
+	}
+	sel, ok := m.Check(con, 0, &c)
+	if !ok {
+		t.Fatalf("empty map check failed")
+	}
+	m.Reserve(sel)
+
+	conf, found := m.ExplainConflict(con, 0)
+	if !found {
+		t.Fatalf("reserved map reported no conflict")
+	}
+	// The first unsatisfiable tree is the single-option M @ 0 use.
+	mRes := -1
+	for i, name := range ll.ResourceNames {
+		if name == "M" {
+			mRes = i
+		}
+	}
+	if conf.Res != mRes || conf.Time != 0 {
+		t.Fatalf("conflict = %+v, want res M (%d) at time 0", conf, mRes)
+	}
+	if conf.Tree == "" || conf.Src == "" {
+		t.Fatalf("conflict lacks provenance: %+v", conf)
+	}
+	blocked := con.Trees[0]
+	if conf.Tree != blocked.Name {
+		t.Fatalf("conflict tree %q, want %q", conf.Tree, blocked.Name)
+	}
+	if conf.Src != blocked.Options[0].Src {
+		t.Fatalf("conflict src %q, want %q", conf.Src, blocked.Options[0].Src)
+	}
+}

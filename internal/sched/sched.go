@@ -121,12 +121,12 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 			opts, c.ResourceChecks-beforeChecks, time.Since(t0).Nanoseconds(), ok)
 	}
 	if !ok {
-		if res, at, found := s.cx.RU.ExplainConflict(con, cycle); found {
+		if conf, found := s.cx.RU.ExplainConflict(con, cycle); found {
 			if local != nil {
-				local.ConflictAt(res)
+				local.ConflictAt(conf.Res)
 			}
 			if bt != nil {
-				bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[res], at)
+				bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[conf.Res], conf.Time, conf.Src)
 			}
 		}
 	}

@@ -28,6 +28,7 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		inFlag      = fs.String("in", "", "path to a high-level MDES source file")
 		schedFlag   = fs.Bool("sched", false, "run the synthetic workload to attribute scheduling attempts (built-in machines only)")
 		statsFlag   = fs.Bool("stats", false, "run the synthetic workload under the observability layer and print the metrics tables (built-in machines only)")
+		optFlag     = fs.String("opt", "", "optimization level (none|redundancy|bit-vector|time-shift|full): print the translator's per-pass ledger; with -stats, included in the metrics report")
 		opsFlag     = fs.Int("ops", 20000, "workload size for -sched/-stats")
 		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched/-stats")
 	)
@@ -38,6 +39,13 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 	m, err := cli.LoadMachine(*machineFlag, *inFlag)
 	if err != nil {
 		return err
+	}
+
+	level := mdes.LevelFull
+	if *optFlag != "" {
+		if level, err = cli.ParseLevel(*optFlag); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(stdout, "machine %s: %d resources, %d shared trees, %d classes, %d operations\n\n",
@@ -75,8 +83,14 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		}
 		name := machines.Name(strings.ToLower(*machineFlag))
 		compiled := mdes.Compile(m, mdes.FormAndOr)
-		mdes.Optimize(compiled, mdes.LevelFull)
+		led, _ := mdes.OptimizeWithLedger(compiled, level, mdes.Forward)
+		led.Machine = m.Name
 		metrics := mdes.NewMetrics(compiled)
+		if *optFlag != "" {
+			// The ledger rides along in the registry, so FormatMetrics
+			// prints it ahead of the runtime tables.
+			metrics.SetTranslator(led)
+		}
 		eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics))
 		if err != nil {
 			return err
@@ -103,6 +117,16 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, experiments.FormatBreakdown(name, rows))
 		fmt.Fprintf(stdout, "scheduled %d ops, %.2f attempts/op\n", res.TotalOps, res.AttemptsPerOp())
+		return nil
+	}
+
+	if *optFlag != "" {
+		// Ledger-only mode: compile at the requested level and print the
+		// per-pass ledger (works for -in machines too).
+		compiled := mdes.Compile(m, mdes.FormAndOr)
+		led, _ := mdes.OptimizeWithLedger(compiled, level, mdes.Forward)
+		led.Machine = m.Name
+		fmt.Fprintln(stdout, mdes.FormatLedger(led))
 		return nil
 	}
 

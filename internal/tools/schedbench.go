@@ -101,9 +101,13 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		return err
 	}
 	compiled := mdes.Compile(machine, mdes.FormAndOr)
-	mdes.Optimize(compiled, mdes.LevelFull)
+	led, _ := mdes.OptimizeWithLedger(compiled, mdes.LevelFull, mdes.Forward)
+	led.Machine = string(cfg.machine)
 
 	metrics := mdes.NewMetrics(compiled)
+	// Publish the translator's pass ledger so -report and the HTTP
+	// exporters cover compile time and run time in one pipe.
+	metrics.SetTranslator(led)
 	opts := []mdes.EngineOption{mdes.WithMetrics(metrics)}
 	if cfg.trace != "" {
 		f, err := os.Create(cfg.trace)

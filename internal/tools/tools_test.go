@@ -263,3 +263,87 @@ func TestMDInfoStats(t *testing.T) {
 		}
 	}
 }
+
+func mdreport(args []string, buf *bytes.Buffer) error { return RunMDReport(args, buf) }
+
+func TestMDReportSingleMachine(t *testing.T) {
+	out := runTool(t, mdreport, "-m", "k5", "-ops", "2000")
+	for _, want := range []string{
+		"mdreport: k5", "Translator ledger", "Size grid",
+		"Table 5", "Table 7", "Table 8", "Table 9", "Table 10", "Table 11", "Table 12",
+		"budget quantities",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMDReportJSONAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	out := runTool(t, mdreport, "-m", "pa7100", "-ops", "2000", "-json", "-out", dir)
+	if !strings.Contains(out, `"machine": "pa7100"`) || !strings.Contains(out, `"ledgers"`) {
+		t.Fatalf("JSON output:\n%s", out)
+	}
+	if st, err := os.Stat(filepath.Join(dir, "pa7100.json")); err != nil || st.Size() == 0 {
+		t.Fatalf("artifact not written: %v", err)
+	}
+}
+
+func TestMDReportBudgetGate(t *testing.T) {
+	dir := t.TempDir()
+	budgets := filepath.Join(dir, "budgets.json")
+
+	// Seed budgets from a measurement, then check against them: passes.
+	runTool(t, mdreport, "-m", "k5", "-ops", "2000", "-seed-budgets", budgets)
+	out := runTool(t, mdreport, "-m", "k5", "-ops", "2000", "-check", budgets)
+	if !strings.Contains(out, "within") {
+		t.Fatalf("seeded check output:\n%s", out)
+	}
+
+	// Inject a regression: a budget below the measurement must fail.
+	if err := os.WriteFile(budgets, []byte(`{"k5": {"max_bytes": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := RunMDReport([]string{"-m", "k5", "-ops", "2000", "-check", budgets}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "budget violation") {
+		t.Fatalf("tightened budget did not fail: err=%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BUDGET EXCEEDED") {
+		t.Fatalf("no violation line in:\n%s", buf.String())
+	}
+}
+
+func TestMDReportSourceFile(t *testing.T) {
+	// Non-builtin machines get the size grid and ledgers but no
+	// scheduling tables (the deterministic workload is builtin-keyed).
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tiny.mdes")
+	tiny := `machine F { resource R; class c { use R @ 0; } operation X class c; }`
+	if err := os.WriteFile(src, []byte(tiny), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, mdreport, "-in", src)
+	if !strings.Contains(out, "mdreport: tiny (builtin=false") ||
+		!strings.Contains(out, "Size grid") {
+		t.Fatalf("source-file report:\n%s", out)
+	}
+	if strings.Contains(out, "Table 5") {
+		t.Fatalf("non-builtin report has scheduling tables:\n%s", out)
+	}
+}
+
+func TestMDInfoOptLedger(t *testing.T) {
+	out := runTool(t, mdinfo, "-m", "k5", "-opt", "full")
+	if !strings.Contains(out, "Translator ledger") || !strings.Contains(out, "redundancy/eliminate-redundant") {
+		t.Fatalf("mdinfo -opt output:\n%s", out)
+	}
+}
+
+func TestSchedbenchReportHasTranslatorSection(t *testing.T) {
+	out := runTool(t, schedbench, "-machine", "k5", "-ops", "2000", "-report")
+	if !strings.Contains(out, "Translator ledger") {
+		t.Fatalf("schedbench -report lacks translator section:\n%s", out)
+	}
+}

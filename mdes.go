@@ -115,6 +115,16 @@ const (
 // Report summarizes one optimization pass's effect.
 type Report = opt.Report
 
+// Ledger is the translator's pass ledger: per-pass wall time, before and
+// after size metrics, and change attribution for one Optimize run.
+type Ledger = obs.Ledger
+
+// PassMetrics is one pass's ledger entry.
+type PassMetrics = obs.PassMetrics
+
+// SizeMetrics is the ledger's plain-data size measurement.
+type SizeMetrics = obs.SizeMetrics
+
 // Scheduler is the MDES-driven list scheduler.
 type Scheduler = sched.Scheduler
 
@@ -195,6 +205,20 @@ func Optimize(c *Compiled, level Level) []Report {
 // usage-time shift (§7).
 func OptimizeFor(c *Compiled, level Level, dir Direction) []Report {
 	return opt.Apply(c, level, dir)
+}
+
+// OptimizeWithLedger is Optimize additionally returning the translator's
+// pass ledger: per-pass wall time, before/after size metrics, and change
+// attribution. Publish it into a Metrics registry with
+// Metrics.SetTranslator to ship it through every exporter, or render it
+// directly with FormatLedger.
+func OptimizeWithLedger(c *Compiled, level Level, dir Direction) (*Ledger, []Report) {
+	return opt.ApplyLedger(c, level, dir)
+}
+
+// FormatLedger renders a pass ledger as an aligned table.
+func FormatLedger(l *Ledger) string {
+	return obs.FormatLedger(l)
 }
 
 // DecodeCompiled reads a compiled description serialized with
