@@ -1,0 +1,123 @@
+package mdes_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mdes"
+)
+
+func newCheckerEngine(t testing.TB, name mdes.BuiltinName, kind mdes.CheckerKind) *mdes.Engine {
+	t.Helper()
+	machine, err := mdes.Builtin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	eng, err := mdes.NewEngine(compiled, mdes.WithChecker(kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Every checker backend is a drop-in replacement for the default RU map:
+// the greedy list scheduler must produce byte-identical schedules (same
+// per-op issue cycles, same lengths) and identical attempt/conflict
+// counters on every built-in machine, whichever backend performs the
+// conflict probes. ResourceChecks legitimately differ — that counter
+// measures backend work, which is the point of the ablation.
+func TestCheckerBackendsEquivalent(t *testing.T) {
+	for _, name := range []mdes.BuiltinName{mdes.PA7100, mdes.Pentium, mdes.SuperSPARC, mdes.K5} {
+		blocks := testBlocks(t, name, 2000)
+
+		ref := newCheckerEngine(t, name, mdes.CheckerRUMap)
+		want, wantTotal, err := ref.ScheduleBlocks(context.Background(), blocks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, kind := range mdes.CheckerKinds() {
+			if kind == mdes.CheckerRUMap {
+				continue
+			}
+			eng := newCheckerEngine(t, name, kind)
+			if eng.CheckerKind() != kind {
+				t.Fatalf("%s: engine reports kind %s, want %s", name, eng.CheckerKind(), kind)
+			}
+			got, total, err := eng.ScheduleBlocks(context.Background(), blocks, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kind, err)
+			}
+			if total.Attempts != wantTotal.Attempts || total.Conflicts != wantTotal.Conflicts {
+				t.Fatalf("%s/%s: attempts=%d conflicts=%d, rumap attempts=%d conflicts=%d",
+					name, kind, total.Attempts, total.Conflicts,
+					wantTotal.Attempts, wantTotal.Conflicts)
+			}
+			for bi, r := range got {
+				if r.Length != want[bi].Length {
+					t.Fatalf("%s/%s block %d: length %d, rumap %d",
+						name, kind, bi, r.Length, want[bi].Length)
+				}
+				for oi, c := range r.Issue {
+					if c != want[bi].Issue[oi] {
+						t.Fatalf("%s/%s block %d op %d: cycle %d, rumap %d",
+							name, kind, bi, oi, c, want[bi].Issue[oi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The checker must also be equivalent under concurrent scheduling: the
+// automaton backend shares one memoized transition table across pooled
+// contexts, and racing builders must not perturb results.
+func TestCheckerBackendsEquivalentParallel(t *testing.T) {
+	name := mdes.SuperSPARC
+	blocks := testBlocks(t, name, 2000)
+
+	ref := newCheckerEngine(t, name, mdes.CheckerRUMap)
+	want, _, err := ref.ScheduleBlocks(context.Background(), blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := newCheckerEngine(t, name, mdes.CheckerAutomaton)
+	got, _, err := eng.ScheduleBlocks(context.Background(), blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, r := range got {
+		if r.Length != want[bi].Length {
+			t.Fatalf("block %d: automaton length %d, rumap %d", bi, r.Length, want[bi].Length)
+		}
+	}
+}
+
+// BenchmarkChecker is the backend ablation: the same workload scheduled
+// through each conflict-checker backend. The rumap case must stay within
+// noise of the pre-refactor scheduler (the interface is devirtualized for
+// the default backend); the automaton case trades table-build time for
+// memoized O(1) probes.
+func BenchmarkChecker(b *testing.B) {
+	for _, name := range []mdes.BuiltinName{mdes.SuperSPARC, mdes.K5} {
+		blocks := testBlocks(b, name, 2000)
+		for _, kind := range mdes.CheckerKinds() {
+			eng := newCheckerEngine(b, name, kind)
+			b.Run(fmt.Sprintf("%s/%s", name, kind), func(b *testing.B) {
+				var total mdes.Counters
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, total, err = eng.ScheduleBlocks(context.Background(), blocks, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(total.ResourceChecks)/float64(total.Attempts), "checks/attempt")
+			})
+		}
+	}
+}

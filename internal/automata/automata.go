@@ -20,6 +20,8 @@ package automata
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mdes/internal/lowlevel"
 )
@@ -60,6 +62,10 @@ type Automaton struct {
 type issueEdge struct {
 	ok   bool
 	next int
+	// chosen[i] is the option index greedily selected in the class's
+	// tree i when the edge was constructed (nil for infeasible edges).
+	// Immutable after construction, so concurrent readers may share it.
+	chosen []int
 }
 
 // New builds an empty automaton for the compiled MDES. It returns an
@@ -85,23 +91,10 @@ func New(m *lowlevel.MDES) (*Automaton, error) {
 	return a, nil
 }
 
+// usagesOf expands packed options back to scalar usages for construction;
+// the automaton's runtime never touches them again.
 func usagesOf(o *lowlevel.Option) []lowlevel.Usage {
-	if o.Masks == nil {
-		return o.Usages
-	}
-	// Packed options: expand masks back to usages for construction; the
-	// automaton's runtime never touches them again.
-	var out []lowlevel.Usage
-	for _, m := range o.Masks {
-		mask := m.Mask
-		for bit := 0; mask != 0; bit++ {
-			if mask&1 != 0 {
-				out = append(out, lowlevel.Usage{Time: m.Time, Res: m.Word*64 + int32(bit)})
-			}
-			mask >>= 1
-		}
-	}
-	return out
+	return o.ExpandedUsages()
 }
 
 func (a *Automaton) intern(s state) int {
@@ -145,40 +138,50 @@ func (a *Automaton) TryIssue(id, class int) (int, bool) {
 		return e.next, e.ok
 	}
 	a.Misses++
+	e := a.buildIssue(id, class)
+	return e.next, e.ok
+}
+
+// buildIssue constructs and memoizes the issue edge for (state, class).
+// Callers must have checked the memo first (and, when shared across
+// goroutines, must hold the write lock).
+func (a *Automaton) buildIssue(id, class int) issueEdge {
 	con := a.mdes.Constraints[class]
 	cur := a.byID[id]
 	next := append(state(nil), cur...)
-	ok := a.commit(next, con)
-	e := issueEdge{ok: ok}
+	chosen, ok := a.commit(next, con)
+	e := issueEdge{ok: ok, chosen: chosen}
 	if ok {
 		e.next = a.intern(next)
 	} else {
 		e.next = id
 	}
 	a.issue[id][class] = e
-	return e.next, e.ok
+	return e
 }
 
 // commit performs greedy per-tree option selection against the window,
 // identical to the reservation-table checker's semantics, mutating s on
-// success.
-func (a *Automaton) commit(s state, con *lowlevel.Constraint) bool {
-	for _, tree := range con.Trees {
-		chosen := -1
+// success and returning the per-tree option choices.
+func (a *Automaton) commit(s state, con *lowlevel.Constraint) ([]int, bool) {
+	chosen := make([]int, len(con.Trees))
+	for ti, tree := range con.Trees {
+		found := -1
 		for oi, o := range tree.Options {
 			if a.fits(s, o) {
-				chosen = oi
+				found = oi
 				break
 			}
 		}
-		if chosen < 0 {
-			return false
+		if found < 0 {
+			return nil, false
 		}
-		for _, u := range usagesOf(tree.Options[chosen]) {
+		chosen[ti] = found
+		for _, u := range usagesOf(tree.Options[found]) {
 			s[u.Time] |= 1 << uint(u.Res)
 		}
 	}
-	return true
+	return chosen, true
 }
 
 func (a *Automaton) fits(s state, o *lowlevel.Option) bool {
@@ -198,6 +201,13 @@ func (a *Automaton) Advance(id int) int {
 		return n
 	}
 	a.Misses++
+	return a.buildAdvance(id)
+}
+
+// buildAdvance constructs and memoizes the advance edge for a state.
+// Callers must have checked the memo first (and, when shared across
+// goroutines, must hold the write lock).
+func (a *Automaton) buildAdvance(id int) int {
 	cur := a.byID[id]
 	next := make(state, a.window)
 	copy(next, cur[1:])
@@ -205,3 +215,91 @@ func (a *Automaton) Advance(id int) int {
 	a.advance[id] = n
 	return n
 }
+
+// Shared wraps an Automaton for concurrent use by many checker contexts
+// over one frozen MDES: memoized transitions are read under a shared lock
+// (the steady state once the reachable DFA is built), and only a memo miss
+// takes the write lock to construct the new edge. The underlying MDES is
+// immutable per the Freeze contract; all automaton mutation happens here,
+// under the lock. Counters are atomic so they can be read while schedulers
+// run.
+type Shared struct {
+	mu sync.RWMutex
+	a  *Automaton
+
+	lookups atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewShared builds an empty concurrent automaton over the compiled MDES,
+// with the same eligibility rules as New (<= 64 resources, non-negative
+// usage times).
+func NewShared(m *lowlevel.MDES) (*Shared, error) {
+	a, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{a: a}, nil
+}
+
+// TryIssue is the concurrent analog of Automaton.TryIssue, additionally
+// returning the per-tree option choices recorded on the edge (shared,
+// immutable — callers must not modify it).
+func (s *Shared) TryIssue(id, class int) (next int, chosen []int, ok bool) {
+	s.lookups.Add(1)
+	s.mu.RLock()
+	e, hit := s.a.issue[id][class]
+	s.mu.RUnlock()
+	if hit {
+		return e.next, e.chosen, e.ok
+	}
+	s.misses.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, hit := s.a.issue[id][class]; hit {
+		return e.next, e.chosen, e.ok
+	}
+	e = s.a.buildIssue(id, class)
+	return e.next, e.chosen, e.ok
+}
+
+// Advance is the concurrent analog of Automaton.Advance.
+func (s *Shared) Advance(id int) int {
+	s.lookups.Add(1)
+	s.mu.RLock()
+	n := s.a.advance[id]
+	s.mu.RUnlock()
+	if n >= 0 {
+		return n
+	}
+	s.misses.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.a.advance[id]; n >= 0 {
+		return n
+	}
+	return s.a.buildAdvance(id)
+}
+
+// Start returns the empty-window start state.
+func (s *Shared) Start() int { return 0 }
+
+// States returns the number of DFA states constructed so far.
+func (s *Shared) States() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.a.States()
+}
+
+// MemoryBytes estimates the shared automaton's memory.
+func (s *Shared) MemoryBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.a.MemoryBytes()
+}
+
+// Lookups returns the total memoized transition queries so far.
+func (s *Shared) Lookups() int64 { return s.lookups.Load() }
+
+// Misses returns the queries that had to construct a new transition.
+func (s *Shared) Misses() int64 { return s.misses.Load() }

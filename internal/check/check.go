@@ -1,0 +1,190 @@
+// Package check is the pluggable conflict-detection layer: one interface
+// behind which every answer to "can this operation issue at cycle c?" lives.
+//
+// The paper's contribution is making that inner-loop question fast; this
+// repository grew three independent implementations of it — the packed
+// AND/OR-tree RU map (internal/rumap), the §10 finite-state-automaton
+// baseline (internal/automata), and the modulo scheduler's wrapped map.
+// This package unifies them behind the Checker interface so schedulers,
+// the query layer, and the Engine select a backend by Kind instead of
+// hard-coding a representation, and so future backends (sharded maps,
+// SIMD masks, remote query services) plug into the same seam.
+//
+// Backends are not interchangeable in every role: the automaton answers
+// probes fast but cannot release a reservation or attribute a conflict to
+// a blocking operation (the §10 limitation), so unscheduling-based
+// techniques must reject it. The Capabilities report encodes exactly that
+// matrix; consumers gate on it rather than on concrete types.
+package check
+
+import (
+	"fmt"
+
+	"mdes/internal/automata"
+	"mdes/internal/lowlevel"
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// Kind names a selectable checker backend.
+type Kind int
+
+const (
+	// KindRUMap is the default backend: the paper's packed AND/OR-tree
+	// reservation-table check against the per-cycle RU map.
+	KindRUMap Kind = iota
+	// KindAutomaton is the §10 related-work backend: memoized transitions
+	// of a lazily-built collision DFA shared across all contexts.
+	KindAutomaton
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRUMap:
+		return "rumap"
+	case KindAutomaton:
+		return "automaton"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns every selectable backend, default first.
+func Kinds() []Kind { return []Kind{KindRUMap, KindAutomaton} }
+
+// ParseKind resolves a backend name ("rumap", "automaton").
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("check: unknown checker backend %q (valid: rumap, automaton)", s)
+}
+
+// Capabilities reports what a backend can and cannot do, so consumers gate
+// on abilities instead of concrete types. The capability matrix follows
+// the paper's §10 comparison: reservation tables keep the identity of
+// every reservation (release, eviction, conflict attribution are
+// straightforward), while the automaton folds reservations into opaque
+// DFA states and loses it.
+type Capabilities struct {
+	// Backend is the backend's name, as reported in tool output and the
+	// observability layer.
+	Backend string
+	// CanRelease reports whether Release undoes a Reserve — the ability
+	// unscheduling-based techniques (iterative modulo scheduling) require.
+	CanRelease bool
+	// CanExplain reports whether Explain can attribute a failed Check to
+	// the blocking resource slot.
+	CanExplain bool
+	// MonotonicOnly restricts probes to non-decreasing issue cycles
+	// (cycle-driven forward scheduling); backward and operation-driven
+	// scheduling need random access and must reject such backends.
+	MonotonicOnly bool
+	// Modulo reports that issue cycles wrap modulo the initiation
+	// interval (the modulo-map backend used by software pipelining).
+	Modulo bool
+}
+
+// Caps returns the static capability report for a selectable Kind.
+func Caps(k Kind) Capabilities {
+	switch k {
+	case KindAutomaton:
+		return Capabilities{Backend: "automaton", MonotonicOnly: true}
+	default:
+		return Capabilities{Backend: "rumap", CanRelease: true, CanExplain: true}
+	}
+}
+
+// Selection identifies the per-tree option choices of one successful
+// Check, so the reservation can be applied and (on backends that support
+// it) later released. The embedded rumap.Selection carries the constraint,
+// issue cycle, and chosen option indices for every backend; next is the
+// automaton backend's successor state.
+type Selection struct {
+	rumap.Selection
+	next int
+}
+
+// Conflict attributes one failed Check to the blocking resource slot and
+// its HMDES provenance (see rumap.Conflict).
+type Conflict = rumap.Conflict
+
+// Checker answers issue-time resource-constraint probes for one borrowed
+// context over one frozen compiled MDES. A Checker holds per-client
+// mutable state and must not be used from more than one goroutine at a
+// time; backends share read-only (or internally synchronized) structures
+// across instances.
+type Checker interface {
+	// Check tests whether the constraint can be satisfied with the
+	// operation issued at cycle issue, accounting one Attempt plus the
+	// options and resource probes performed into c. Nothing is reserved
+	// until Reserve is called with the returned Selection.
+	Check(con *lowlevel.Constraint, issue int, c *stats.Counters) (Selection, bool)
+	// Reserve applies a successful Selection.
+	Reserve(sel Selection)
+	// Release undoes a previous Reserve. Backends with
+	// Capabilities.CanRelease == false panic.
+	Release(sel Selection)
+	// Reset clears all reservations, retaining storage.
+	Reset()
+	// Explain attributes a failed Check to its blocking resource slot; it
+	// runs only on the observability slow path and performs no
+	// accounting. Backends with Capabilities.CanExplain == false report
+	// found == false.
+	Explain(con *lowlevel.Constraint, issue int) (Conflict, bool)
+	// Capabilities reports what this backend supports.
+	Capabilities() Capabilities
+}
+
+// Factory builds per-context Checker instances of one Kind for one frozen
+// compiled MDES, owning whatever state the backend shares across contexts
+// (the automaton's memoized DFA). One Factory serves any number of
+// concurrent contexts.
+type Factory struct {
+	kind Kind
+	mdes *lowlevel.MDES
+
+	// shared is the lazily-populated DFA every automaton checker walks.
+	shared *automata.Shared
+	// classOf maps constraint pointers back to their index (the
+	// automaton's class alphabet).
+	classOf map[*lowlevel.Constraint]int
+}
+
+// NewFactory validates that the backend can drive the compiled description
+// and returns a factory for it. The automaton backend requires at most 64
+// resources and non-negative usage times (run the usage-time shift first),
+// exactly as the §10 construction assumes.
+func NewFactory(m *lowlevel.MDES, kind Kind) (*Factory, error) {
+	f := &Factory{kind: kind, mdes: m}
+	if kind == KindAutomaton {
+		sh, err := automata.NewShared(m)
+		if err != nil {
+			return nil, err
+		}
+		f.shared = sh
+		f.classOf = make(map[*lowlevel.Constraint]int, len(m.Constraints))
+		for i, con := range m.Constraints {
+			f.classOf[con] = i
+		}
+	}
+	return f, nil
+}
+
+// Kind returns the backend the factory builds.
+func (f *Factory) Kind() Kind { return f.kind }
+
+// Capabilities returns the capability report of the factory's backend.
+func (f *Factory) Capabilities() Capabilities { return Caps(f.kind) }
+
+// New returns a fresh per-context checker instance.
+func (f *Factory) New() Checker {
+	switch f.kind {
+	case KindAutomaton:
+		return &Automaton{shared: f.shared, classOf: f.classOf}
+	default:
+		return NewRUMap(f.mdes.NumResources)
+	}
+}

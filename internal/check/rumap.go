@@ -1,0 +1,47 @@
+package check
+
+import (
+	"mdes/internal/lowlevel"
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// RUMap is the default checker backend: the paper's reservation-table
+// check against the packed per-cycle RU map. It is a thin adapter over
+// rumap.Map; consumers that know they hold this backend may use Map
+// directly — the devirtualized fast path the schedulers take.
+type RUMap struct {
+	ru *rumap.Map
+}
+
+// NewRUMap returns an RU-map checker for a machine with numRes resources.
+func NewRUMap(numRes int) *RUMap {
+	return &RUMap{ru: rumap.New(numRes)}
+}
+
+// Map exposes the underlying RU map for devirtualized hot paths and
+// snapshot-based tooling.
+func (r *RUMap) Map() *rumap.Map { return r.ru }
+
+// Check implements Checker.
+func (r *RUMap) Check(con *lowlevel.Constraint, issue int, c *stats.Counters) (Selection, bool) {
+	sel, ok := r.ru.Check(con, issue, c)
+	return Selection{Selection: sel}, ok
+}
+
+// Reserve implements Checker.
+func (r *RUMap) Reserve(sel Selection) { r.ru.Reserve(sel.Selection) }
+
+// Release implements Checker.
+func (r *RUMap) Release(sel Selection) { r.ru.Release(sel.Selection) }
+
+// Reset implements Checker.
+func (r *RUMap) Reset() { r.ru.Reset() }
+
+// Explain implements Checker.
+func (r *RUMap) Explain(con *lowlevel.Constraint, issue int) (Conflict, bool) {
+	return r.ru.ExplainConflict(con, issue)
+}
+
+// Capabilities implements Checker.
+func (r *RUMap) Capabilities() Capabilities { return Caps(KindRUMap) }

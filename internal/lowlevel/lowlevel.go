@@ -73,6 +73,30 @@ type Option struct {
 	Src string
 }
 
+// ExpandedUsages returns the option's usages in scalar form regardless of
+// packing: Usages when the option is unpacked, or the masks expanded back
+// to (time, resource) pairs when it is packed. Checker backends that need
+// per-slot identity (modulo owner tracking, automaton window commits,
+// footprint reporting) share this one expansion instead of each keeping a
+// private copy. The expansion allocates; hot check paths use Masks
+// directly.
+func (o *Option) ExpandedUsages() []Usage {
+	if o.Masks == nil {
+		return o.Usages
+	}
+	var out []Usage
+	for _, m := range o.Masks {
+		mask := m.Mask
+		for bit := int32(0); mask != 0; bit++ {
+			if mask&1 != 0 {
+				out = append(out, Usage{Time: m.Time, Res: m.Word*64 + bit})
+			}
+			mask >>= 1
+		}
+	}
+	return out
+}
+
 // NumChecks returns the number of resource checks one test of this option
 // performs: one per usage in scalar form, one per cycle-mask when packed.
 func (o *Option) NumChecks() int {

@@ -14,9 +14,9 @@ package modsched
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"mdes/internal/check"
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
@@ -109,6 +109,19 @@ func NewWithContext(m *lowlevel.MDES, cx *resctx.Context) *Scheduler {
 	return &Scheduler{mdes: m, cx: cx, Budget: 6}
 }
 
+// NewWithKind returns a modulo scheduler for a session configured with the
+// given checker backend, refusing backends that cannot unschedule:
+// iterative modulo scheduling evicts and replaces placements, which needs
+// Capabilities.CanRelease — "straightforward with reservation tables ...
+// but unclear ... with finite-state automata" (§10). The modulo map itself
+// is always the bit-packed check.Modulo; the kind only gates eligibility.
+func NewWithKind(m *lowlevel.MDES, cx *resctx.Context, kind check.Kind) (*Scheduler, error) {
+	if caps := check.Caps(kind); !caps.CanRelease {
+		return nil, fmt.Errorf("modsched: the %s backend cannot release reservations; iterative modulo scheduling requires unscheduling (paper §10)", caps.Backend)
+	}
+	return NewWithContext(m, cx), nil
+}
+
 // deps builds the full dependence set: intra-iteration from the IR graph
 // plus the loop's carried edges.
 func (s *Scheduler) deps(l *Loop) ([]Dep, error) {
@@ -154,7 +167,7 @@ func (s *Scheduler) ResMII(l *Loop) int {
 				// bound: charge the least-used resource only when unique.
 				continue
 			}
-			for _, u := range optionUsages(best) {
+			for _, u := range best.ExpandedUsages() {
 				usage[u.Res]++
 			}
 		}
@@ -166,23 +179,6 @@ func (s *Scheduler) ResMII(l *Loop) int {
 		}
 	}
 	return mii
-}
-
-func optionUsages(o *lowlevel.Option) []lowlevel.Usage {
-	if o.Masks == nil {
-		return o.Usages
-	}
-	var out []lowlevel.Usage
-	for _, m := range o.Masks {
-		mask := m.Mask
-		for bit := int32(0); mask != 0; bit++ {
-			if mask&1 != 0 {
-				out = append(out, lowlevel.Usage{Time: m.Time, Res: m.Word*64 + bit})
-			}
-			mask >>= 1
-		}
-	}
-	return out
 }
 
 // RecMII computes the recurrence-constrained lower bound: the smallest II
@@ -263,9 +259,13 @@ func (s *Scheduler) Schedule(l *Loop) (*Schedule, error) {
 		maxII = 4 * (mii + len(l.Body.Ops))
 	}
 	result := &Schedule{}
+	// One bit-packed modulo map serves the whole II search; Configure
+	// clears it and grows rows as II increases.
+	mm := check.NewModulo(s.mdes.NumResources, mii)
 	for ii := mii; ii <= maxII; ii++ {
 		result.TriedIIs++
-		if s.tryII(l, deps, ii, result) {
+		mm.Configure(ii)
+		if s.tryII(mm, l, deps, ii, result) {
 			result.II = ii
 			s.cx.Counters.Add(result.Counters)
 			if s.cx.Obs != nil {
@@ -282,15 +282,15 @@ func (s *Scheduler) Schedule(l *Loop) (*Schedule, error) {
 // borrowed context carries an obs.Local. Each probe of a candidate slot
 // is one scheduling attempt — the inflation the paper attributes to
 // iterative modulo scheduling shows up directly in this phase's counters.
-func (s *Scheduler) attempt(mm *modMap, classIdx int, con *lowlevel.Constraint, issue int, c *stats.Counters) (selection, bool) {
+func (s *Scheduler) attempt(mm *check.Modulo, classIdx int, con *lowlevel.Constraint, issue int, c *stats.Counters) (check.Selection, bool) {
 	local := s.cx.Obs
 	if local == nil {
-		return mm.check(con, issue, c)
+		return mm.Check(con, issue, c)
 	}
 	t0 := time.Now()
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
-	se, ok := mm.check(con, issue, c)
+	se, ok := mm.Check(con, issue, c)
 	local.Attempt(obs.PhaseModulo, classIdx,
 		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
 		time.Since(t0).Nanoseconds(), ok)
@@ -298,17 +298,16 @@ func (s *Scheduler) attempt(mm *modMap, classIdx int, con *lowlevel.Constraint, 
 }
 
 // tryII is one iteration of Rau's algorithm at a fixed II.
-func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
+func (s *Scheduler) tryII(mm *check.Modulo, l *Loop, deps []Dep, ii int, out *Schedule) bool {
 	n := len(l.Body.Ops)
 	budget := s.Budget * n
 
 	// Height-based priority from the dependence set (acyclic part).
 	height := heights(n, deps, ii)
 
-	mm := newModMap(s.mdes.NumResources, ii)
 	issue := make([]int, n)
 	placed := make([]bool, n)
-	sel := make([]selection, n)
+	sel := make([]check.Selection, n)
 	neverScheduled := make([]bool, n)
 	for i := range neverScheduled {
 		neverScheduled[i] = true
@@ -374,7 +373,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 
 		// Try II consecutive slots; each try is a scheduling attempt.
 		chosen := -1
-		var chosenSel selection
+		var chosenSel check.Selection
 		for t := estart; t < estart+ii; t++ {
 			se, ok := s.attempt(mm, classIdx, con, t, &out.Counters)
 			if ok {
@@ -389,7 +388,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 			if !neverScheduled[opIdx] && chosen <= lastTried[opIdx] {
 				chosen = lastTried[opIdx] + 1
 			}
-			evicted := mm.evictConflicts(con, chosen)
+			evicted := mm.EvictConflicts(con, chosen)
 			for _, v := range evicted {
 				if v != opIdx && placed[v] {
 					placed[v] = false
@@ -402,12 +401,11 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 			if !ok {
 				// The constraint conflicts with itself at this II (modulo
 				// self-collision); this II is infeasible for this op.
-				mm.restore(evicted, sel, issue)
 				return false
 			}
 			chosenSel = se
 		}
-		mm.reserve(chosenSel, opIdx)
+		mm.ReserveFor(chosenSel, int32(opIdx))
 		issue[opIdx] = chosen
 		sel[opIdx] = chosenSel
 		placed[opIdx] = true
@@ -420,7 +418,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 				continue
 			}
 			if issue[d.To] < chosen+d.MinDist-d.Omega*ii {
-				mm.release(sel[d.To], d.To)
+				mm.ReleaseFor(sel[d.To], int32(d.To))
 				placed[d.To] = false
 				out.Evictions++
 				out.Counters.Backtracks++
@@ -432,7 +430,7 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 				continue
 			}
 			if chosen < issue[d.From]+d.MinDist-d.Omega*ii {
-				mm.release(sel[d.From], d.From)
+				mm.ReleaseFor(sel[d.From], int32(d.From))
 				placed[d.From] = false
 				out.Evictions++
 				out.Counters.Backtracks++
@@ -441,7 +439,6 @@ func (s *Scheduler) tryII(l *Loop, deps []Dep, ii int, out *Schedule) bool {
 		}
 	}
 	if len(list) > 0 {
-		mm.reset()
 		return false
 	}
 	out.Issue = issue
@@ -469,167 +466,3 @@ func heights(n int, deps []Dep, ii int) []int {
 	}
 	return h
 }
-
-// selection mirrors rumap.Selection for the modulo map.
-type selection struct {
-	con    *lowlevel.Constraint
-	issue  int
-	chosen []int
-	valid  bool
-}
-
-// modMap is the modulo resource-usage map: II rows of slot owners; slot
-// (res, cycle) maps to row cycle mod II. Owners enable eviction.
-type modMap struct {
-	ii    int
-	nres  int
-	owner [][]int // [row][res] -> op index or -1
-	// taken and seen are reusable scratch for check/optionFree, cleared
-	// per use so the hot search loop allocates no maps.
-	taken map[[2]int]bool
-	seen  map[[2]int]bool
-}
-
-func newModMap(nres, ii int) *modMap {
-	m := &modMap{ii: ii, nres: nres, taken: map[[2]int]bool{}, seen: map[[2]int]bool{}}
-	m.owner = make([][]int, ii)
-	for i := range m.owner {
-		row := make([]int, nres)
-		for j := range row {
-			row[j] = -1
-		}
-		m.owner[i] = row
-	}
-	return m
-}
-
-func (m *modMap) reset() {
-	for _, row := range m.owner {
-		for j := range row {
-			row[j] = -1
-		}
-	}
-}
-
-func (m *modMap) row(t int32, issue int) []int {
-	r := (issue + int(t)) % m.ii
-	if r < 0 {
-		r += m.ii
-	}
-	return m.owner[r]
-}
-
-// check performs the same greedy AND-of-OR-trees algorithm as rumap.Check,
-// against the modulo map, also rejecting options that fold onto the same
-// slot twice (a modulo self-collision at this II).
-func (m *modMap) check(con *lowlevel.Constraint, issue int, c *stats.Counters) (selection, bool) {
-	c.Attempts++
-	sel := selection{con: con, issue: issue, chosen: make([]int, len(con.Trees)), valid: true}
-	// Track slots taken by earlier trees of this same selection so the
-	// AND-combination cannot double-book a folded slot.
-	taken := m.taken
-	clear(taken)
-	for ti, tree := range con.Trees {
-		found := -1
-		for oi, o := range tree.Options {
-			c.OptionsChecked++
-			if m.optionFree(o, issue, taken, c) {
-				found = oi
-				break
-			}
-		}
-		if found < 0 {
-			c.Conflicts++
-			return selection{}, false
-		}
-		sel.chosen[ti] = found
-		for _, u := range optionUsages(tree.Options[found]) {
-			r := (issue + int(u.Time)) % m.ii
-			if r < 0 {
-				r += m.ii
-			}
-			taken[[2]int{r, int(u.Res)}] = true
-		}
-	}
-	return sel, true
-}
-
-func (m *modMap) optionFree(o *lowlevel.Option, issue int, taken map[[2]int]bool, c *stats.Counters) bool {
-	seen := m.seen
-	clear(seen)
-	for _, u := range optionUsages(o) {
-		c.ResourceChecks++
-		r := (issue + int(u.Time)) % m.ii
-		if r < 0 {
-			r += m.ii
-		}
-		key := [2]int{r, int(u.Res)}
-		if m.owner[r][u.Res] >= 0 || taken[key] || seen[key] {
-			return false
-		}
-		seen[key] = true
-	}
-	return true
-}
-
-func (m *modMap) reserve(sel selection, op int) {
-	for ti, tree := range sel.con.Trees {
-		for _, u := range optionUsages(tree.Options[sel.chosen[ti]]) {
-			m.row(u.Time, sel.issue)[u.Res] = op
-		}
-	}
-}
-
-func (m *modMap) release(sel selection, op int) {
-	if !sel.valid {
-		return
-	}
-	for ti, tree := range sel.con.Trees {
-		for _, u := range optionUsages(tree.Options[sel.chosen[ti]]) {
-			row := m.row(u.Time, sel.issue)
-			if row[u.Res] == op {
-				row[u.Res] = -1
-			}
-		}
-	}
-}
-
-// evictConflicts frees every slot any option combination of con could need
-// at the forced issue time, returning the owners removed. Following Rau,
-// the forced placement displaces the current holders of the
-// highest-priority option's slots.
-func (m *modMap) evictConflicts(con *lowlevel.Constraint, issue int) []int {
-	victims := map[int]bool{}
-	for _, tree := range con.Trees {
-		o := tree.Options[0]
-		for _, u := range optionUsages(o) {
-			row := m.row(u.Time, issue)
-			if owner := row[u.Res]; owner >= 0 {
-				victims[owner] = true
-			}
-		}
-	}
-	var out []int
-	for v := range victims {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	for _, v := range out {
-		m.evictOp(v)
-	}
-	return out
-}
-
-func (m *modMap) evictOp(op int) {
-	for _, row := range m.owner {
-		for j, owner := range row {
-			if owner == op {
-				row[j] = -1
-			}
-		}
-	}
-}
-
-// restore is a no-op placeholder kept for symmetry: a failed II attempt
-// discards the whole map rather than repairing it.
-func (m *modMap) restore([]int, []selection, []int) {}

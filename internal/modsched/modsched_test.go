@@ -1,13 +1,16 @@
 package modsched
 
 import (
+	"strings"
 	"testing"
 
+	"mdes/internal/check"
 	"mdes/internal/hmdes"
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
 	"mdes/internal/machines"
 	"mdes/internal/opt"
+	"mdes/internal/resctx"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
@@ -413,36 +416,36 @@ func TestForcedPlacementAndEviction(t *testing.T) {
 func TestModMapEvictionPrimitives(t *testing.T) {
 	ll := pipeMDES(t, opt.LevelNone)
 	con := ll.Constraints[ll.ClassIndex["load"]] // M@0
-	m := newModMap(ll.NumResources, 1)
+	m := check.NewModulo(ll.NumResources, 1)
 	var c stats.Counters
 
-	sel, ok := m.check(con, 0, &c)
+	sel, ok := m.Check(con, 0, &c)
 	if !ok {
 		t.Fatalf("empty map check failed")
 	}
-	m.reserve(sel, 7)
+	m.ReserveFor(sel, 7)
 	// At II=1 every issue cycle folds onto slot 0: any second load collides.
-	if _, ok := m.check(con, 1, &c); ok {
+	if _, ok := m.Check(con, 1, &c); ok {
 		t.Fatalf("modulo collision missed")
 	}
 	// Evicting for a forced placement at issue 1 removes op 7.
-	victims := m.evictConflicts(con, 1)
+	victims := m.EvictConflicts(con, 1)
 	if len(victims) != 1 || victims[0] != 7 {
 		t.Fatalf("victims = %v", victims)
 	}
-	if _, ok := m.check(con, 1, &c); !ok {
+	if _, ok := m.Check(con, 1, &c); !ok {
 		t.Fatalf("slots not freed by eviction")
 	}
-	// release is a no-op for invalid selections and removes valid ones.
-	m.release(selection{}, 3)
-	sel2, _ := m.check(con, 1, &c)
-	m.reserve(sel2, 9)
-	m.release(sel2, 9)
-	if _, ok := m.check(con, 1, &c); !ok {
+	// Release is a no-op for zero selections and removes valid ones.
+	m.ReleaseFor(check.Selection{}, 3)
+	sel2, _ := m.Check(con, 1, &c)
+	m.ReserveFor(sel2, 9)
+	m.ReleaseFor(sel2, 9)
+	if _, ok := m.Check(con, 1, &c); !ok {
 		t.Fatalf("release did not free slots")
 	}
-	m.reset()
-	if _, ok := m.check(con, 0, &c); !ok {
+	m.Reset()
+	if _, ok := m.Check(con, 0, &c); !ok {
 		t.Fatalf("reset did not clear")
 	}
 }
@@ -460,13 +463,13 @@ func TestModMapSelfCollision(t *testing.T) {
 		t.Fatal(err)
 	}
 	ll := lowlevel.Compile(mach, lowlevel.FormAndOr)
-	m := newModMap(ll.NumResources, 1)
+	m := check.NewModulo(ll.NumResources, 1)
 	var c stats.Counters
-	if _, ok := m.check(ll.Constraints[0], 0, &c); ok {
+	if _, ok := m.Check(ll.Constraints[0], 0, &c); ok {
 		t.Fatalf("self-colliding option accepted at II=1")
 	}
-	m2 := newModMap(ll.NumResources, 2)
-	if _, ok := m2.check(ll.Constraints[0], 0, &c); !ok {
+	m2 := check.NewModulo(ll.NumResources, 2)
+	if _, ok := m2.Check(ll.Constraints[0], 0, &c); !ok {
 		t.Fatalf("option rejected at II=2")
 	}
 	// The scheduler finds II=2 for one divide per iteration.
@@ -488,5 +491,24 @@ func TestTimingLatencyAdapter(t *testing.T) {
 	tm := mdesTiming{m: ll}
 	if tm.Latency("MUL") != 2 || tm.Latency("NOPE") != 1 {
 		t.Fatalf("Latency adapter wrong: %d %d", tm.Latency("MUL"), tm.Latency("NOPE"))
+	}
+}
+
+// NewWithKind enforces the capability gate: iterative modulo scheduling
+// unschedules operations, so backends that cannot release must be refused
+// up front with an actionable error.
+func TestNewWithKindCapabilityGate(t *testing.T) {
+	ll := pipeMDES(t, opt.LevelFull)
+	cx := resctx.New(ll.NumResources)
+
+	if _, err := NewWithKind(ll, cx, check.KindRUMap); err != nil {
+		t.Fatalf("rumap backend refused: %v", err)
+	}
+	_, err := NewWithKind(ll, cx, check.KindAutomaton)
+	if err == nil {
+		t.Fatalf("automaton backend accepted for modulo scheduling")
+	}
+	if !strings.Contains(err.Error(), "release") {
+		t.Fatalf("error does not name the missing capability: %v", err)
 	}
 }

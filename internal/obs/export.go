@@ -66,6 +66,10 @@ func WritePrometheus(b *strings.Builder, s Snapshot) {
 	fmt.Fprintf(b, "mdes_contexts_in_flight %d\n", s.InFlight)
 	b.WriteString("# TYPE mdes_context_merges_total counter\n")
 	fmt.Fprintf(b, "mdes_context_merges_total %d\n", s.Merges)
+	if s.Backend != "" {
+		b.WriteString("# TYPE mdes_checker_backend gauge\n")
+		fmt.Fprintf(b, "mdes_checker_backend{backend=%q} 1\n", s.Backend)
+	}
 
 	if l := s.Translator; l != nil {
 		b.WriteString("# TYPE mdes_translator_pass_duration_ns gauge\n")

@@ -72,6 +72,23 @@ type Registry struct {
 	// single pointer swap, written once at compile time and only read by
 	// exporters, never by the scheduler hot path.
 	translator atomic.Pointer[Ledger]
+
+	// backend is the name of the conflict-checker backend the observed
+	// engine runs (see SetBackend); written once at construction.
+	backend atomic.Pointer[string]
+}
+
+// SetBackend records which conflict-checker backend produced the metrics
+// (mdes.NewEngine sets it from the selected check.Kind); exporters and
+// FormatSnapshot report it so ablation runs are attributable.
+func (r *Registry) SetBackend(name string) { r.backend.Store(&name) }
+
+// Backend returns the recorded checker-backend name, or "".
+func (r *Registry) Backend() string {
+	if p := r.backend.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // AddInFlight adjusts the gauge of currently-borrowed contexts observing
@@ -233,13 +250,13 @@ func (l *Local) Reset() {
 
 // PhaseSnapshot is one phase's metrics at snapshot time.
 type PhaseSnapshot struct {
-	Phase          string               `json:"phase"`
-	Attempts       int64                `json:"attempts"`
-	OptionsChecked int64                `json:"options_checked"`
-	ResourceChecks int64                `json:"resource_checks"`
-	Conflicts      int64                `json:"conflicts"`
-	Backtracks     int64                `json:"backtracks"`
-	CheckNsSum     int64                `json:"check_ns_sum"`
+	Phase          string                   `json:"phase"`
+	Attempts       int64                    `json:"attempts"`
+	OptionsChecked int64                    `json:"options_checked"`
+	ResourceChecks int64                    `json:"resource_checks"`
+	Conflicts      int64                    `json:"conflicts"`
+	Backtracks     int64                    `json:"backtracks"`
+	CheckNsSum     int64                    `json:"check_ns_sum"`
 	CheckNs        [NumLatencyBuckets]int64 `json:"check_ns_log2,omitempty"`
 }
 
@@ -275,6 +292,8 @@ type Snapshot struct {
 	Merges    int64              `json:"merges"`
 	// InFlight is the gauge of currently-borrowed observing contexts.
 	InFlight int64 `json:"in_flight"`
+	// Backend names the conflict-checker backend, when one was recorded.
+	Backend string `json:"backend,omitempty"`
 	// Translator is the published pass ledger, when one was set.
 	Translator *Ledger `json:"translator,omitempty"`
 }
@@ -284,6 +303,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Merges:     r.merges.Load(),
 		InFlight:   r.inFlight.Load(),
+		Backend:    r.Backend(),
 		Translator: r.translator.Load(),
 	}
 	for p := 0; p < int(NumPhases); p++ {

@@ -25,6 +25,10 @@ func FormatSnapshot(s Snapshot) string {
 		b.WriteByte('\n')
 	}
 
+	if s.Backend != "" {
+		fmt.Fprintf(&b, "Checker backend: %s\n\n", s.Backend)
+	}
+
 	pt := textutil.NewTable("Phase", "Attempts", "Opt/att", "Chk/att", "Conflicts", "Backtracks", "ns/check")
 	active := 0
 	for _, p := range s.Phases {

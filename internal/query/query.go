@@ -9,12 +9,13 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"mdes/internal/check"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
 	"mdes/internal/resctx"
-	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
 
@@ -61,26 +62,40 @@ func (q *Q) Counters() stats.Counters { return q.cx.Counters }
 // obs.Local. Every query probe is one scheduling attempt in the paper's
 // accounting, so the observability layer attributes it exactly like a
 // scheduler attempt.
-func (q *Q) check(opIdx, issue int) (rumap.Selection, bool) {
+func (q *Q) check(opIdx, issue int) (check.Selection, bool) {
 	con := q.mdes.ConstraintFor(opIdx, false)
 	local := q.cx.Obs
 	if local == nil {
-		return q.cx.RU.Check(con, issue, &q.cx.Counters)
+		return q.cx.Check(con, issue, &q.cx.Counters)
 	}
 	t0 := time.Now()
 	c := &q.cx.Counters
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
-	sel, ok := q.cx.RU.Check(con, issue, c)
+	sel, ok := q.cx.Check(con, issue, c)
 	local.Attempt(obs.PhaseQuery, q.mdes.ConstraintIndexFor(opIdx, false),
 		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
 		time.Since(t0).Nanoseconds(), ok)
 	if !ok {
-		if conf, found := q.cx.RU.ExplainConflict(con, issue); found {
+		if conf, found := q.cx.Explain(con, issue); found {
 			local.ConflictAt(conf.Res)
 		}
 	}
 	return sel, ok
+}
+
+// releaseAll undoes the probe reservations in sels: slot-by-slot on
+// backends that can release, or by clearing the whole window otherwise
+// (every query method resets before probing, so the two are equivalent
+// here).
+func (q *Q) releaseAll(sels []check.Selection) {
+	if q.cx.Checker.Capabilities().CanRelease {
+		for _, s := range sels {
+			q.cx.ReleaseSel(s)
+		}
+		return
+	}
+	q.cx.Checker.Reset()
 }
 
 // Latency returns an opcode's result latency.
@@ -121,12 +136,10 @@ func (q *Q) FlowDistance(producer, consumer string) (int, error) {
 // for if-conversion and height reduction: merging two paths is only
 // profitable if the merged cycle's operations actually fit.
 func (q *Q) CanIssueTogether(opcodes ...string) (bool, error) {
-	q.cx.RU.Reset()
+	q.cx.Checker.Reset()
 	sels := q.cx.Sels[:0]
 	defer func() {
-		for _, s := range sels {
-			q.cx.RU.Release(s)
-		}
+		q.releaseAll(sels)
 		q.cx.Sels = sels[:0]
 	}()
 	for _, opc := range opcodes {
@@ -138,7 +151,7 @@ func (q *Q) CanIssueTogether(opcodes ...string) (bool, error) {
 		if !ok2 {
 			return false, nil
 		}
-		q.cx.RU.Reserve(sel)
+		q.cx.Reserve(sel)
 		sels = append(sels, sel)
 	}
 	return true, nil
@@ -151,12 +164,10 @@ func (q *Q) MaxPerCycle(opcode string, limit int) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("query: unknown opcode %q", opcode)
 	}
-	q.cx.RU.Reset()
+	q.cx.Checker.Reset()
 	sels := q.cx.Sels[:0]
 	defer func() {
-		for _, s := range sels {
-			q.cx.RU.Release(s)
-		}
+		q.releaseAll(sels)
 		q.cx.Sels = sels[:0]
 	}()
 	n := 0
@@ -165,7 +176,7 @@ func (q *Q) MaxPerCycle(opcode string, limit int) (int, error) {
 		if !ok {
 			break
 		}
-		q.cx.RU.Reserve(sel)
+		q.cx.Reserve(sel)
 		sels = append(sels, sel)
 		n++
 	}
@@ -188,13 +199,13 @@ func (q *Q) MinIssueDistance(first, second string, limit int) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("query: unknown opcode %q", second)
 	}
-	q.cx.RU.Reset()
+	q.cx.Checker.Reset()
 	sel, ok := q.check(fi, 0)
 	if !ok {
 		return 0, fmt.Errorf("query: %q cannot issue on an idle machine", first)
 	}
-	q.cx.RU.Reserve(sel)
-	defer q.cx.RU.Release(sel)
+	q.cx.Reserve(sel)
+	defer q.releaseAll([]check.Selection{sel})
 	for t := 0; t <= limit; t++ {
 		if _, ok := q.check(si, t); ok {
 			return t, nil
@@ -221,7 +232,7 @@ func (q *Q) IssueWidth(limit int) int {
 				continue
 			}
 			count := 0
-			q.cx.RU.Reset()
+			q.cx.Checker.Reset()
 			sels := q.cx.Sels[:0]
 			for count < limit {
 				var idx int
@@ -234,13 +245,11 @@ func (q *Q) IssueWidth(limit int) int {
 				if !ok {
 					break
 				}
-				q.cx.RU.Reserve(sel)
+				q.cx.Reserve(sel)
 				sels = append(sels, sel)
 				count++
 			}
-			for _, s := range sels {
-				q.cx.RU.Release(s)
-			}
+			q.releaseAll(sels)
 			q.cx.Sels = sels[:0]
 			if count > best {
 				best = count
@@ -252,25 +261,28 @@ func (q *Q) IssueWidth(limit int) int {
 
 // ResourceUse reports, for an opcode's highest-priority option choice, the
 // (resource name, relative cycle) slots it would reserve — the footprint
-// a resource-pressure heuristic charges per operation.
+// a resource-pressure heuristic charges per operation. The footprint is
+// derived from the probe's option choices, so it is identical under every
+// checker backend; per-resource cycle lists are sorted ascending.
 func (q *Q) ResourceUse(opcode string) (map[string][]int, error) {
 	idx, ok := q.mdes.OpIndex[opcode]
 	if !ok {
 		return nil, fmt.Errorf("query: unknown opcode %q", opcode)
 	}
-	q.cx.RU.Reset()
+	q.cx.Checker.Reset()
 	sel, ok2 := q.check(idx, 0)
 	if !ok2 {
 		return nil, fmt.Errorf("query: %q cannot issue on an idle machine", opcode)
 	}
-	q.cx.RU.Reserve(sel)
-	defer q.cx.RU.Release(sel)
-	q.cx.Slots = q.cx.RU.AppendReservedSlots(q.cx.Slots[:0])
 	out := map[string][]int{}
-	for _, slot := range q.cx.Slots {
-		res, cycle := slot[0], slot[1]
-		name := q.mdes.ResourceNames[res]
-		out[name] = append(out[name], cycle)
+	for ti, tree := range sel.Constraint.Trees {
+		for _, u := range tree.Options[sel.Chosen[ti]].ExpandedUsages() {
+			name := q.mdes.ResourceNames[u.Res]
+			out[name] = append(out[name], int(u.Time))
+		}
+	}
+	for _, cycles := range out {
+		sort.Ints(cycles)
 	}
 	return out, nil
 }

@@ -6,10 +6,11 @@
 // copy (the paper's premise is that one description serves a compiler's
 // hottest inner loop; in a long-running service the same artifact must
 // serve many inner loops at once). All per-client mutable state — the
-// resource-usage map, the instrumentation counters, the observability
-// buffer, and the selection scratch buffers — lives in a Context instead.
-// Consumers (the list scheduler, the query interface, the modulo
-// scheduler) borrow a Context, run against the shared MDES, and return it.
+// conflict checker (internal/check backend instance), the instrumentation
+// counters, the observability buffer, and the selection scratch buffers —
+// lives in a Context instead. Consumers (the list scheduler, the query
+// interface, the modulo scheduler) borrow a Context, run against the
+// shared MDES, and return it.
 //
 // A Pool recycles Contexts via sync.Pool and aggregates the counters of
 // every returned Context, giving a service both allocation-free steady
@@ -26,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mdes/internal/check"
+	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
@@ -35,7 +38,13 @@ import (
 // against one shared compiled MDES. A Context must not be used from more
 // than one goroutine at a time; borrow one per goroutine instead.
 type Context struct {
-	// RU is the resource-usage map all reservation checks run against.
+	// Checker answers all issue-time conflict probes for this context.
+	Checker check.Checker
+	// RU is non-nil exactly when Checker is the default RU-map backend: it
+	// is the same underlying map, exposed so hot paths and snapshot-based
+	// tooling can skip interface dispatch (the devirtualized fast path).
+	// Alternate backends leave it nil; use the Check/Reserve/Release
+	// helpers, which pick the right path.
 	RU *rumap.Map
 	// Counters accumulates the attempts / options checked / resource
 	// checks performed through this context since it was borrowed.
@@ -50,7 +59,7 @@ type Context struct {
 	// snapshots (rumap.Map.AppendReservedSlots).
 	Slots [][2]int
 	// Sels is a reusable selection scratch for multi-reserve probes.
-	Sels []rumap.Selection
+	Sels []check.Selection
 
 	pool *Pool
 	// released guards the release path: folding a context's counters
@@ -59,17 +68,79 @@ type Context struct {
 	released bool
 }
 
-// New returns a standalone (unpooled) Context for a machine with numRes
-// resources. Release on a standalone Context is a no-op, so single-client
-// code can treat pooled and unpooled Contexts uniformly.
+// New returns a standalone (unpooled) Context with the default RU-map
+// checker for a machine with numRes resources. Release on a standalone
+// Context is a no-op, so single-client code can treat pooled and unpooled
+// Contexts uniformly.
 func New(numRes int) *Context {
-	return &Context{RU: rumap.New(numRes)}
+	c := &Context{}
+	c.adopt(check.NewRUMap(numRes))
+	return c
 }
 
-// Reset clears the reservation map, counters, and observability buffer,
-// retaining all storage.
+// NewFor returns a standalone (unpooled) Context whose checker comes from
+// the factory.
+func NewFor(f *check.Factory) *Context {
+	c := &Context{}
+	c.adopt(f.New())
+	return c
+}
+
+// adopt installs a checker, wiring the devirtualized RU fast path when the
+// backend is the default RU map.
+func (c *Context) adopt(ck check.Checker) {
+	c.Checker = ck
+	if r, ok := ck.(*check.RUMap); ok {
+		c.RU = r.Map()
+	} else {
+		c.RU = nil
+	}
+}
+
+// Check probes the checker, devirtualized for the default backend,
+// accounting into ctr (per-block or per-call counters; callers fold them
+// into c.Counters themselves).
+func (c *Context) Check(con *lowlevel.Constraint, issue int, ctr *stats.Counters) (check.Selection, bool) {
+	if c.RU != nil {
+		sel, ok := c.RU.Check(con, issue, ctr)
+		return check.Selection{Selection: sel}, ok
+	}
+	return c.Checker.Check(con, issue, ctr)
+}
+
+// Reserve applies a successful Selection, devirtualized for the default
+// backend.
+func (c *Context) Reserve(sel check.Selection) {
+	if c.RU != nil {
+		c.RU.Reserve(sel.Selection)
+		return
+	}
+	c.Checker.Reserve(sel)
+}
+
+// ReleaseSel undoes a previous Reserve. Gate on
+// Checker.Capabilities().CanRelease before calling on alternate backends.
+func (c *Context) ReleaseSel(sel check.Selection) {
+	if c.RU != nil {
+		c.RU.Release(sel.Selection)
+		return
+	}
+	c.Checker.Release(sel)
+}
+
+// Explain attributes a failed Check to its blocking resource slot, when
+// the backend can (Capabilities.CanExplain).
+func (c *Context) Explain(con *lowlevel.Constraint, issue int) (check.Conflict, bool) {
+	if c.RU != nil {
+		return c.RU.ExplainConflict(con, issue)
+	}
+	return c.Checker.Explain(con, issue)
+}
+
+// Reset clears the checker's reservations, counters, and observability
+// buffer, retaining all storage.
 func (c *Context) Reset() {
-	c.RU.Reset()
+	c.Checker.Reset()
 	c.Counters = stats.Counters{}
 	if c.Obs != nil {
 		c.Obs.Reset()
@@ -91,8 +162,8 @@ func (c *Context) Release() {
 // Pool recycles Contexts for one compiled MDES and aggregates the
 // instrumentation of every Context returned to it.
 type Pool struct {
-	numRes int
-	p      sync.Pool
+	newChecker func() check.Checker
+	p          sync.Pool
 
 	attempts   atomic.Int64
 	options    atomic.Int64
@@ -103,11 +174,25 @@ type Pool struct {
 	reg *obs.Registry
 }
 
-// NewPool returns a Context pool for a machine with numRes resources.
+// NewPool returns a Context pool with the default RU-map checker for a
+// machine with numRes resources.
 func NewPool(numRes int) *Pool {
-	pl := &Pool{numRes: numRes}
+	return newPool(func() check.Checker { return check.NewRUMap(numRes) })
+}
+
+// NewPoolFor returns a Context pool whose contexts carry checkers built by
+// the factory (one checker instance per pooled context; backend state
+// shared through the factory).
+func NewPoolFor(f *check.Factory) *Pool {
+	return newPool(f.New)
+}
+
+func newPool(newChecker func() check.Checker) *Pool {
+	pl := &Pool{newChecker: newChecker}
 	pl.p.New = func() any {
-		return &Context{RU: rumap.New(pl.numRes), pool: pl}
+		c := &Context{pool: pl}
+		c.adopt(pl.newChecker())
+		return c
 	}
 	return pl
 }

@@ -377,3 +377,87 @@ func TestExplainConflictAttribution(t *testing.T) {
 		t.Fatalf("conflict src %q, want %q", conf.Src, blocked.Options[0].Src)
 	}
 }
+
+// The window grows downward by prepending doubled row blocks; every
+// reservation made before the growth must keep its absolute cycle through
+// the base shift. This drives the growth path far past the original base
+// and then exercises Release, Busy (peek), and snapshots against it.
+func TestNegativeWindowGrowthKeepsReservations(t *testing.T) {
+	ll := compileMini(t, lowlevel.FormAndOr)
+	m := New(ll.NumResources)
+	con := ll.Constraints[0]
+	var c stats.Counters
+
+	// Anchor a reservation near cycle 0 (its Decoder usage sits at -1).
+	sel0, ok := m.Check(con, 0, &c)
+	if !ok {
+		t.Fatalf("anchor check failed")
+	}
+	m.Reserve(sel0)
+	before := m.ReservedSlots()
+
+	// Force several rounds of downward doubling, far below the base.
+	var deep []Selection
+	for _, issue := range []int{-3, -17, -90, -400} {
+		sel, ok := m.Check(con, issue, &c)
+		if !ok {
+			t.Fatalf("check at %d failed", issue)
+		}
+		m.Reserve(sel)
+		deep = append(deep, sel)
+	}
+
+	// The anchor's slots survive every base shift.
+	for s := range before {
+		if !m.Busy(s[0], s[1]) {
+			t.Fatalf("slot %v lost after downward growth", s)
+		}
+	}
+	// peek must not report phantom reservations in the fresh rows.
+	if m.Busy(0, -2) || m.Busy(0, -399) {
+		t.Fatalf("phantom reservation in grown rows")
+	}
+
+	// Release of deep reservations clears exactly their slots.
+	for _, sel := range deep {
+		m.Release(sel)
+	}
+	after := m.ReservedSlots()
+	if len(after) != len(before) {
+		t.Fatalf("slots after deep release = %d, want %d", len(after), len(before))
+	}
+	for s := range before {
+		if !after[s] {
+			t.Fatalf("anchor slot %v missing after deep release", s)
+		}
+	}
+	// The deep cycles must be checkable again.
+	if _, ok := m.Check(con, -400, &c); !ok {
+		t.Fatalf("deep cycle not reusable after release")
+	}
+}
+
+// AppendReservedSlots reports absolute cycles; after the base shifts
+// downward, previously-snapshotted slots must re-appear at identical
+// absolute coordinates.
+func TestAppendReservedSlotsStableAcrossGrowth(t *testing.T) {
+	m := New(3)
+	if !m.reserveBit(1, 4) || !m.reserveBit(2, 0) {
+		t.Fatalf("seed reservations failed")
+	}
+	snap1 := m.AppendReservedSlots(nil)
+	// Grow downward well past the original base.
+	if !m.reserveBit(0, -64) {
+		t.Fatalf("downward reserve failed")
+	}
+	snap2 := m.AppendReservedSlots(snap1[:0])
+	want := map[[2]int]bool{{1, 4}: true, {2, 0}: true, {0, -64}: true}
+	if len(snap2) != len(want) {
+		t.Fatalf("snapshot = %v", snap2)
+	}
+	for _, s := range snap2 {
+		if !want[s] {
+			t.Fatalf("unexpected slot %v after growth", s)
+		}
+	}
+}

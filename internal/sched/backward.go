@@ -28,8 +28,13 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	// Backward scheduling probes at decreasing (negative) cycles, so the
+	// checker needs random access to the reservation window.
+	if caps := s.cx.Checker.Capabilities(); caps.MonotonicOnly {
+		return nil, fmt.Errorf("sched: backward scheduling needs random-access probes; the %s backend is monotonic-only", caps.Backend)
+	}
 	bt := s.startTrace(n)
-	s.cx.RU.Reset()
+	s.cx.Checker.Reset()
 
 	// depth[i]: latency-weighted longest path from any source to i — the
 	// mirror of the forward scheduler's height priority.
@@ -96,7 +101,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			if !ok {
 				continue
 			}
-			s.cx.RU.Reserve(sel)
+			s.cx.Reserve(sel)
 			scheduled[i] = true
 			tau[i] = cycle
 			remaining--

@@ -29,9 +29,15 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	// Operation-driven scheduling probes each operation from its own
+	// earliest start, revisiting cycles earlier ops already passed, so the
+	// checker needs random access to the reservation window.
+	if caps := s.cx.Checker.Capabilities(); caps.MonotonicOnly {
+		return nil, fmt.Errorf("sched: operation-driven scheduling needs random-access probes; the %s backend is monotonic-only", caps.Backend)
+	}
 	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
-	s.cx.RU.Reset()
+	s.cx.Checker.Reset()
 
 	npreds := make([]int, n)
 	estart := make([]int, n)
@@ -67,7 +73,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 				s.OnAttempt(op, opts, ok)
 			}
 			if ok {
-				s.cx.RU.Reserve(sel)
+				s.cx.Reserve(sel)
 				break
 			}
 			cycle++

@@ -11,11 +11,11 @@ import (
 	"sort"
 	"time"
 
+	"mdes/internal/check"
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
 	"mdes/internal/resctx"
-	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
 
@@ -103,7 +103,7 @@ func (s *Scheduler) Latency(opcode string) int {
 // options checked during the attempt (the per-attempt quantity of
 // Figure 2). With observability disabled (nil Local, nil bt) the extra
 // cost is a few nil comparisons and no allocations.
-func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, opIdx int, con *lowlevel.Constraint, cycle int, c *stats.Counters) (rumap.Selection, bool, int64) {
+func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, opIdx int, con *lowlevel.Constraint, cycle int, c *stats.Counters) (check.Selection, bool, int64) {
 	local := s.cx.Obs
 	var t0 time.Time
 	if local != nil {
@@ -111,7 +111,7 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 	}
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
-	sel, ok := s.cx.RU.Check(con, cycle, c)
+	sel, ok := s.cx.Check(con, cycle, c)
 	opts := c.OptionsChecked - beforeOpts
 	if local == nil && bt == nil {
 		return sel, ok, opts
@@ -121,7 +121,7 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 			opts, c.ResourceChecks-beforeChecks, time.Since(t0).Nanoseconds(), ok)
 	}
 	if !ok {
-		if conf, found := s.cx.RU.ExplainConflict(con, cycle); found {
+		if conf, found := s.cx.Explain(con, cycle); found {
 			if local != nil {
 				local.ConflictAt(conf.Res)
 			}
@@ -205,7 +205,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 	}
 	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
-	s.cx.RU.Reset()
+	s.cx.Checker.Reset()
 
 	scheduled := make([]bool, n)
 	npreds := make([]int, n)
@@ -257,7 +257,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			if !ok {
 				continue
 			}
-			s.cx.RU.Reserve(sel)
+			s.cx.Reserve(sel)
 			scheduled[i] = true
 			res.Issue[i] = cycle
 			remaining--

@@ -14,7 +14,13 @@ type Counters struct {
 	Attempts int64
 	// OptionsChecked counts reservation-table options tested.
 	OptionsChecked int64
-	// ResourceChecks counts individual resource-availability probes.
+	// ResourceChecks counts individual resource-availability probes, with
+	// one uniform unit across every checker backend: one probe per packed
+	// cycle-mask or scalar usage tested (the RU map and the modulo map),
+	// or one memoized transition consulted — issue or cycle advance — on
+	// the automaton backend. A packed option therefore costs one check
+	// per CycleMask, not one per expanded usage, which is exactly the
+	// reduction Tables 10 and 15 measure.
 	ResourceChecks int64
 	// Conflicts counts failed scheduling attempts: Check calls that
 	// found no satisfiable option at the candidate cycle.

@@ -31,6 +31,7 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		optFlag     = fs.String("opt", "", "optimization level (none|redundancy|bit-vector|time-shift|full): print the translator's per-pass ledger; with -stats, included in the metrics report")
 		opsFlag     = fs.Int("ops", 20000, "workload size for -sched/-stats")
 		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched/-stats")
+		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for -stats: rumap or automaton")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +92,11 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 			// prints it ahead of the runtime tables.
 			metrics.SetTranslator(led)
 		}
-		eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics))
+		kind, err := mdes.ParseCheckerKind(*checkerFlag)
+		if err != nil {
+			return err
+		}
+		eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics), mdes.WithChecker(kind))
 		if err != nil {
 			return err
 		}

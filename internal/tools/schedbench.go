@@ -34,6 +34,7 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		traceFlag   = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
 		sampleFlag  = fs.Int("tracesample", 1, "trace 1 in N blocks")
 		reportFlag  = fs.Bool("report", false, "print the metrics registry as tables after the run")
+		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap or automaton")
 		repeatFlag  = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
 		workersFlag = fs.Int("workers", 8, "scheduling goroutines for the observability run")
 	)
@@ -44,8 +45,13 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
 
 	if *metricsFlag != "" || *traceFlag != "" || *reportFlag {
+		kind, err := mdes.ParseCheckerKind(*checkerFlag)
+		if err != nil {
+			return err
+		}
 		return runObserve(stdout, p, observeConfig{
 			machine: machines.Name(*machineFlag),
+			checker: kind,
 			metrics: *metricsFlag,
 			trace:   *traceFlag,
 			sample:  *sampleFlag,
@@ -83,6 +89,7 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 // observeConfig parameterizes the observability run.
 type observeConfig struct {
 	machine machines.Name
+	checker mdes.CheckerKind
 	metrics string
 	trace   string
 	sample  int
@@ -108,7 +115,7 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 	// Publish the translator's pass ledger so -report and the HTTP
 	// exporters cover compile time and run time in one pipe.
 	metrics.SetTranslator(led)
-	opts := []mdes.EngineOption{mdes.WithMetrics(metrics)}
+	opts := []mdes.EngineOption{mdes.WithMetrics(metrics), mdes.WithChecker(cfg.checker)}
 	if cfg.trace != "" {
 		f, err := os.Create(cfg.trace)
 		if err != nil {
@@ -144,8 +151,8 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(stdout, "%s: scheduled %d blocks x%d (%d ops) with %d workers in %s: %s\n",
-		cfg.machine, len(prog.Blocks), cfg.repeat, p.NumOps, cfg.workers,
+	fmt.Fprintf(stdout, "%s [checker=%s]: scheduled %d blocks x%d (%d ops) with %d workers in %s: %s\n",
+		cfg.machine, eng.CheckerKind(), len(prog.Blocks), cfg.repeat, p.NumOps, cfg.workers,
 		elapsed.Round(time.Microsecond), eng.Totals())
 	if cfg.trace != "" {
 		fmt.Fprintf(stdout, "trace written to %s\n", cfg.trace)

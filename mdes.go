@@ -55,6 +55,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mdes/internal/check"
 	"mdes/internal/hmdes"
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
@@ -297,8 +298,43 @@ func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) {
 	return obs.ServeMetrics(addr, m)
 }
 
+// CheckerKind selects the conflict-detection backend an Engine's sessions
+// probe (see internal/check): the default packed RU map, or the paper §10
+// finite-state-automaton baseline. Backends differ in capability, not in
+// the schedules they produce — the automaton cannot release reservations,
+// attribute conflicts to a blocking operation, or probe backward, so
+// backward/operation-driven scheduling and modulo scheduling refuse it.
+type CheckerKind = check.Kind
+
+// Selectable checker backends.
+const (
+	// CheckerRUMap is the default backend: the paper's packed AND/OR-tree
+	// reservation-table check against the per-cycle RU map.
+	CheckerRUMap = check.KindRUMap
+	// CheckerAutomaton is the §10 baseline: memoized transitions of a
+	// lazily-built collision DFA shared across all of the engine's
+	// contexts. Requires at most 64 resources and a description optimized
+	// with non-negative usage times.
+	CheckerAutomaton = check.KindAutomaton
+)
+
+// CheckerKinds returns every selectable backend, default first.
+func CheckerKinds() []CheckerKind { return check.Kinds() }
+
+// ParseCheckerKind resolves a backend name ("rumap", "automaton") — the
+// values the tools accept for their -checker flag.
+func ParseCheckerKind(s string) (CheckerKind, error) { return check.ParseKind(s) }
+
 // EngineOption configures NewEngine.
 type EngineOption func(*Engine)
+
+// WithChecker selects the engine's conflict-detection backend. The
+// default is CheckerRUMap; NewEngine fails if the compiled description is
+// not eligible for the requested backend (e.g. the automaton's 64-resource
+// and non-negative-usage-time limits).
+func WithChecker(kind CheckerKind) EngineOption {
+	return func(e *Engine) { e.checker = kind }
+}
 
 // WithMetrics attaches an observability registry: every context the
 // engine borrows carries a local metrics buffer merged into m on
@@ -330,6 +366,7 @@ func WithTracer(t Tracer) EngineOption {
 type Engine struct {
 	compiled *Compiled
 	pool     *resctx.Pool
+	checker  CheckerKind
 	metrics  *obs.Registry
 	tracer   obs.Tracer
 	blockSeq atomic.Int64
@@ -342,15 +379,24 @@ func NewEngine(c *Compiled, opts ...EngineOption) (*Engine, error) {
 	if err := c.Freeze(); err != nil {
 		return nil, err
 	}
-	e := &Engine{compiled: c, pool: resctx.NewPool(c.NumResources)}
+	e := &Engine{compiled: c}
 	for _, o := range opts {
 		o(e)
 	}
+	factory, err := check.NewFactory(c, e.checker)
+	if err != nil {
+		return nil, err
+	}
+	e.pool = resctx.NewPoolFor(factory)
 	if e.metrics != nil {
+		e.metrics.SetBackend(e.checker.String())
 		e.pool.SetMetrics(e.metrics)
 	}
 	return e, nil
 }
+
+// CheckerKind returns the engine's conflict-detection backend.
+func (e *Engine) CheckerKind() CheckerKind { return e.checker }
 
 // Compiled returns the engine's frozen description.
 func (e *Engine) Compiled() *Compiled { return e.compiled }
