@@ -83,6 +83,18 @@ func Load(file, src string) (*Machine, error) {
 	return Analyze(file, f)
 }
 
+// Capacity limits bound how much memory a description can demand during
+// analysis. Without them a 30-byte source can declare a billion resource
+// instances or a combinatorial `choose`, and analysis becomes a denial of
+// service before any semantic check runs (fuzzer-found). Real machine
+// descriptions sit orders of magnitude below both limits.
+const (
+	// maxResourceInstances caps the total resource IDs of one machine.
+	maxResourceInstances = 4096
+	// maxTreeOptions caps the expanded option count of one OR-tree.
+	maxTreeOptions = 1 << 14
+)
+
 // analyzer carries name-resolution state during lowering.
 type analyzer struct {
 	file   string
@@ -177,6 +189,10 @@ func (a *analyzer) addResource(d *ResourceDecl) error {
 	if count < 1 {
 		return a.errf(d.Line, "resource %q count %d must be >= 1", d.Name, count)
 	}
+	if count > maxResourceInstances-a.m.Resources.Len() {
+		return a.errf(d.Line, "resource %q count %d exceeds the machine capacity of %d resource instances",
+			d.Name, count, maxResourceInstances)
+	}
 	if _, dup := a.resCount[d.Name]; dup {
 		return a.errf(d.Line, "duplicate resource %q", d.Name)
 	}
@@ -249,6 +265,10 @@ func (a *analyzer) buildTree(name string, body []TreeItem, line int) (*restable.
 			if k < 1 || k > len(ids) {
 				return nil, a.errf(item.Line, "choose %d of %d resources is invalid", k, len(ids))
 			}
+			if n := binomial(len(ids), k, maxTreeOptions); n > maxTreeOptions {
+				return nil, a.errf(item.Line, "choose %d of %d expands to more than %d options",
+					k, len(ids), maxTreeOptions)
+			}
 			t, err := a.eval(item.Time)
 			if err != nil {
 				return nil, err
@@ -267,7 +287,27 @@ func (a *analyzer) buildTree(name string, body []TreeItem, line int) (*restable.
 	if len(options) == 0 {
 		return nil, a.errf(line, "tree %q has no options", name)
 	}
+	if len(options) > maxTreeOptions {
+		return nil, a.errf(line, "tree %q expands to %d options, over the capacity of %d",
+			name, len(options), maxTreeOptions)
+	}
 	return restable.NewORTree(name, options...), nil
+}
+
+// binomial returns C(n, k), clamped to limit+1 as soon as it exceeds
+// limit so huge combinations are rejected without being computed.
+func binomial(n, k, limit int) int {
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r > limit {
+			return limit + 1
+		}
+	}
+	return r
 }
 
 func (a *analyzer) addClass(d *ClassDecl) error {

@@ -1,0 +1,53 @@
+// Native fuzz target for the front end. The package is hmdes_test (not
+// hmdes) so the corpus can be seeded with the real machine sources from
+// internal/machines without an import cycle.
+package hmdes_test
+
+import (
+	"errors"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/machines"
+)
+
+// FuzzHMDESParse asserts the front end's total-robustness contract on
+// arbitrary input: Load never panics, every rejection is a positioned
+// *hmdes.Error, and every accepted machine survives the Format → Load
+// round trip with Format as a fixpoint.
+func FuzzHMDESParse(f *testing.F) {
+	for _, n := range machines.All {
+		src, err := machines.Source(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add("machine m { resource r; class c { tree { option { r @ 0; } } } operation o class c latency 1; }")
+	f.Add("machine m { resource B[4]; class c { tree { option { B[0] @ -2; B[3] @ 9; } } } operation o class c latency 3 src 1; operation p class c latency 0; bypass o to p adjust -1; }")
+	f.Add("machine m { }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound analyzer work; robustness is not about megabyte inputs
+		}
+		m, err := hmdes.Load("fuzz.mdes", src)
+		if err != nil {
+			var perr *hmdes.Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("rejection without position: %v", err)
+			}
+			if perr.Line < 1 || perr.Col < 1 {
+				t.Fatalf("bad error position %d:%d: %v", perr.Line, perr.Col, err)
+			}
+			return
+		}
+		out := hmdes.Format(m)
+		m2, err := hmdes.Load("fuzz-reload.mdes", out)
+		if err != nil {
+			t.Fatalf("formatted output does not reload: %v\ninput:\n%s\nformatted:\n%s", err, src, out)
+		}
+		if got := hmdes.Format(m2); got != out {
+			t.Fatalf("Format is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out, got)
+		}
+	})
+}

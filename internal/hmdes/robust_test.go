@@ -89,3 +89,114 @@ func TestParserRobustToTruncation(t *testing.T) {
 		}
 	}
 }
+
+// Negative-path diagnostics regressions: each malformed source must be
+// rejected with a stable message at a stable position. These pin the
+// behavior the fuzz target (FuzzHMDESParse) asserts generically — every
+// rejection is a positioned *Error — to exact lines and columns, so a
+// refactor that degrades an error to "syntax error at 0:0" fails here
+// rather than in a fuzzing session.
+func TestDiagnosticsPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		col  int // 0 = only assert col >= 1 (analyzer errors anchor to column 1)
+		msg  string
+	}{
+		{
+			name: "lexer-illegal-char",
+			src:  "machine m {\n    resource r$;\n}",
+			line: 2, col: 15, msg: "unexpected character '$'",
+		},
+		{
+			name: "parser-missing-name",
+			src:  "machine m {\n    resource [3];\n}",
+			line: 2, col: 14, msg: `expected resource name, found "["`,
+		},
+		{
+			name: "parser-missing-expr",
+			src:  "machine m {\n    operation o class c latency;\n}",
+			line: 2, col: 32, msg: `expected expression, found ";"`,
+		},
+		{
+			name: "duplicate-resource",
+			src:  "machine m {\n    resource r;\n    resource r;\n}",
+			line: 3, col: 1, msg: `duplicate resource "r"`,
+		},
+		{
+			name: "resource-capacity",
+			src:  "machine m {\n    resource B[5000];\n}",
+			line: 2, col: 1, msg: "exceeds the machine capacity of 4096 resource instances",
+		},
+		{
+			name: "choose-capacity",
+			src:  "machine m {\n    resource B[24];\n    class c {\n        tree {\n            choose 12 of B @ 0;\n        }\n    }\n}",
+			line: 5, col: 1, msg: "choose 12 of 24 expands to more than 16384 options",
+		},
+		{
+			name: "resource-index-range",
+			src:  "machine m {\n    resource B[2];\n    class c {\n        tree {\n            option { B[5] @ 0; }\n        }\n    }\n    operation o class c latency 1;\n}",
+			line: 5, col: 1, msg: "resource index B[5] out of range [0,2)",
+		},
+		{
+			name: "empty-tree",
+			src:  "machine m {\n    resource r;\n    class c {\n        tree {\n        }\n    }\n    operation o class c latency 1;\n}",
+			line: 4, col: 1, msg: `tree "c#1" has no options`,
+		},
+		{
+			name: "undefined-class",
+			src:  "machine m {\n    resource r;\n    class c {\n        tree {\n            option { r @ 0; }\n        }\n    }\n    operation o class x latency 1;\n}",
+			line: 8, col: 1, msg: `operation "o" references undefined class "x"`,
+		},
+		{
+			name: "negative-latency",
+			src:  "machine m {\n    resource r;\n    class c {\n        tree {\n            option { r @ 0; }\n        }\n    }\n    operation o class c latency 0-1;\n}",
+			line: 8, col: 1, msg: `operation "o" latency -1 must be >= 0`,
+		},
+		{
+			name: "src-exceeds-latency",
+			src:  "machine m {\n    resource r;\n    class c {\n        tree {\n            option { r @ 0; }\n        }\n    }\n    operation o class c latency 2 src 3;\n}",
+			line: 8, col: 1, msg: `operation "o" src time 3 exceeds latency 2`,
+		},
+		{
+			name: "bypass-undefined-op",
+			src:  "machine m {\n    resource r;\n    class c {\n        tree {\n            option { r @ 0; }\n        }\n    }\n    operation o class c latency 1;\n    bypass o to q adjust 1;\n}",
+			line: 9, col: 1, msg: `bypass references undefined operation "q"`,
+		},
+		{
+			name: "no-operations",
+			src:  "machine m {\n    resource r;\n}",
+			line: 1, col: 1, msg: `machine "m" declares no operations`,
+		},
+		{
+			name: "division-by-zero",
+			src:  "machine m {\n    resource r;\n    let q = 1/0;\n    class c { tree { option { r @ 0; } } }\n    operation o class c latency 1;\n}",
+			line: 3, col: 1, msg: "division by zero",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load("diag.mdes", tc.src)
+			if err == nil {
+				t.Fatal("malformed source accepted")
+			}
+			var perr *Error
+			if !errorsAs(err, &perr) {
+				t.Fatalf("rejection without position: %v", err)
+			}
+			if perr.Line != tc.line {
+				t.Errorf("line = %d, want %d (%v)", perr.Line, tc.line, err)
+			}
+			if tc.col > 0 && perr.Col != tc.col {
+				t.Errorf("col = %d, want %d (%v)", perr.Col, tc.col, err)
+			}
+			if perr.Col < 1 {
+				t.Errorf("col %d < 1 (%v)", perr.Col, err)
+			}
+			if !strings.Contains(perr.Msg, tc.msg) {
+				t.Errorf("message %q does not contain %q", perr.Msg, tc.msg)
+			}
+		})
+	}
+}

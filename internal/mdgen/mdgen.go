@@ -1,0 +1,348 @@
+// Package mdgen generates random high-level machine descriptions for the
+// differential correctness harness (internal/verify). Every generated
+// machine is valid by construction — it parses, analyzes, and compiles —
+// while the shape distribution is deliberately biased toward the
+// pathological structures the hand-written machines cannot cover:
+// cross-product-heavy AND/OR classes (hundreds of expanded options),
+// negative decode-stage usage times, late writeback usages, shared named
+// trees, cascaded classes, and bypass edges.
+//
+// Generation is a pure function of the seed: Generate owns a private
+// rand.Rand (never the global source), so the same seed reproduces the
+// same machine on any platform and any run, which is what makes a
+// differential-test failure reproducible from one number.
+//
+// The generator works on a Spec — a structured, renderable description —
+// rather than on source text directly, so failures can be minimized by
+// deleting Spec elements (operations, classes, trees, options, usages)
+// and re-rendering (see Minimize).
+package mdgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mdes/internal/hmdes"
+)
+
+// Usage is one resource usage inside a generated option: instance Res of
+// the owning tree's bank, busy at cycle Time relative to issue.
+type Usage struct {
+	Res  int
+	Time int
+}
+
+// Tree is one OR-tree over a single resource bank. Confining each tree to
+// one bank makes the OR-trees of any class slot-disjoint by construction,
+// which is the well-formedness rule the analyzer enforces
+// (restable.AndOrTree.ValidateDisjoint) and the property that makes
+// per-tree greedy selection equivalent to searching the expanded
+// cross-product table.
+type Tree struct {
+	Bank    int
+	Options [][]Usage
+}
+
+// Class is one execution constraint: an AND over referenced named trees
+// (indices into Spec.Named) and inline trees. All trees of a class sit on
+// distinct banks.
+type Class struct {
+	Refs   []int
+	Inline []Tree
+}
+
+// Op is one operation-table entry. Cascaded is a class index or -1.
+type Op struct {
+	Class    int
+	Cascaded int
+	Latency  int
+	SrcTime  int
+}
+
+// Bypass adjusts the flow-dependence distance between two operations.
+type Bypass struct {
+	From, To, Adjust int
+}
+
+// Spec is a renderable random machine description.
+type Spec struct {
+	Seed    int64
+	Banks   []int // Banks[b] = instance count of resource group B<b>
+	Named   []Tree
+	Classes []Class
+	Ops     []Op
+	Bypass  []Bypass
+}
+
+// Config bounds the generated shapes. The zero value is replaced by
+// Default; the knobs exist so the fuzz targets can shrink machines and the
+// CI differential job can grow them.
+type Config struct {
+	MaxBanks    int // resource groups (each tree lives on one)
+	MaxBankSize int // instances per group
+	MaxNamed    int // shared named trees
+	MaxClasses  int
+	MaxOps      int
+	MaxOptions  int // options per OR-tree
+	MaxUsages   int // usages per option
+	MaxProduct  int // cap on a class's expanded option count
+}
+
+// Default is the shape envelope the differential harness uses. The total
+// resource count stays at or below 24 so every generated machine is
+// eligible for the single-word automaton backend.
+func Default() Config {
+	return Config{
+		MaxBanks:    4,
+		MaxBankSize: 6,
+		MaxNamed:    3,
+		MaxClasses:  5,
+		MaxOps:      8,
+		MaxOptions:  5,
+		MaxUsages:   3,
+		MaxProduct:  400,
+	}
+}
+
+// Generate produces the machine for a seed under the default shape
+// envelope.
+func Generate(seed int64) *Spec { return GenerateConfig(seed, Default()) }
+
+// GenerateConfig produces the machine for a seed under an explicit shape
+// envelope. It is deterministic: all randomness comes from a private
+// rand.Rand seeded with seed.
+func GenerateConfig(seed int64, cfg Config) *Spec {
+	r := rand.New(rand.NewSource(seed))
+	s := &Spec{Seed: seed}
+
+	nBanks := 1 + r.Intn(cfg.MaxBanks)
+	for b := 0; b < nBanks; b++ {
+		s.Banks = append(s.Banks, 1+r.Intn(cfg.MaxBankSize))
+	}
+
+	// Shared named trees, each on a random bank.
+	nNamed := r.Intn(cfg.MaxNamed + 1)
+	for i := 0; i < nNamed; i++ {
+		s.Named = append(s.Named, s.genTree(r, r.Intn(nBanks), cfg))
+	}
+
+	// Classes: a random subset of banks, each contributing one tree —
+	// either a reference to a named tree on that bank (sharing) or a fresh
+	// inline tree. Roughly a third of the classes are cross-product-heavy:
+	// they take every bank, which multiplies option counts toward
+	// cfg.MaxProduct — the table shapes the paper's §5-§8 passes exist to
+	// tame.
+	nClasses := 1 + r.Intn(cfg.MaxClasses)
+	for i := 0; i < nClasses; i++ {
+		heavy := r.Intn(3) == 0
+		k := 1 + r.Intn(nBanks)
+		if heavy {
+			k = nBanks
+		}
+		banks := r.Perm(nBanks)[:k]
+		var c Class
+		product := 1
+		for _, b := range banks {
+			if named := s.namedOn(b); len(named) > 0 && r.Intn(2) == 0 {
+				ref := named[r.Intn(len(named))]
+				if product*len(s.Named[ref].Options) > cfg.MaxProduct {
+					continue
+				}
+				product *= len(s.Named[ref].Options)
+				c.Refs = append(c.Refs, ref)
+				continue
+			}
+			t := s.genTree(r, b, cfg)
+			if product*len(t.Options) > cfg.MaxProduct {
+				continue
+			}
+			product *= len(t.Options)
+			c.Inline = append(c.Inline, t)
+		}
+		if len(c.Refs)+len(c.Inline) == 0 {
+			c.Inline = append(c.Inline, Tree{Bank: banks[0], Options: [][]Usage{{{Res: 0, Time: 0}}}})
+		}
+		s.Classes = append(s.Classes, c)
+	}
+
+	// Operations: at least one, biased toward reusing classes so dead-code
+	// removal has live and dead classes to distinguish.
+	nOps := 2 + r.Intn(cfg.MaxOps-1)
+	for i := 0; i < nOps; i++ {
+		op := Op{Class: r.Intn(nClasses), Cascaded: -1, Latency: r.Intn(11)}
+		if nClasses > 1 && r.Intn(5) == 0 {
+			op.Cascaded = r.Intn(nClasses)
+		}
+		if op.Latency > 0 && r.Intn(4) == 0 {
+			op.SrcTime = 1 + r.Intn(op.Latency)
+			if op.SrcTime > 2 {
+				op.SrcTime = 2
+			}
+		}
+		s.Ops = append(s.Ops, op)
+	}
+
+	// Bypasses: a few distinct forwarding edges.
+	seen := map[[2]int]bool{}
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		key := [2]int{r.Intn(nOps), r.Intn(nOps)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s.Bypass = append(s.Bypass, Bypass{From: key[0], To: key[1], Adjust: r.Intn(5) - 2})
+	}
+	return s
+}
+
+// namedOn returns the indices of named trees on bank b.
+func (s *Spec) namedOn(b int) []int {
+	var out []int
+	for i, t := range s.Named {
+		if t.Bank == b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// genTree builds one OR-tree on a bank. Usage times are biased: mostly
+// small non-negative (where real usages concentrate), with deliberate
+// negative (decode-stage) and late (writeback-stage) outliers — the shapes
+// that stress window growth, the usage-time shift, and the automaton
+// eligibility gate.
+func (s *Spec) genTree(r *rand.Rand, bank int, cfg Config) Tree {
+	size := s.Banks[bank]
+	t := Tree{Bank: bank}
+	nOpts := 1 + r.Intn(cfg.MaxOptions)
+	for o := 0; o < nOpts; o++ {
+		nU := 1 + r.Intn(cfg.MaxUsages)
+		var opt []Usage
+		taken := map[Usage]bool{}
+		for u := 0; u < nU; u++ {
+			usage := Usage{Res: r.Intn(size), Time: genTime(r)}
+			if taken[usage] {
+				continue
+			}
+			taken[usage] = true
+			opt = append(opt, usage)
+		}
+		t.Options = append(t.Options, opt)
+	}
+	return t
+}
+
+// genTime draws a usage time: ~55% in 0..2, ~15% zero-heavy repeats, ~15%
+// negative decode-stage (-3..-1), ~15% late writeback (5..14).
+func genTime(r *rand.Rand) int {
+	switch d := r.Intn(20); {
+	case d < 11:
+		return r.Intn(3)
+	case d < 14:
+		return 0
+	case d < 17:
+		return -(1 + r.Intn(3))
+	default:
+		return 5 + r.Intn(10)
+	}
+}
+
+// Name returns the machine name rendered for this spec. Negative seeds
+// print as their unsigned bit pattern so the name stays a valid
+// identifier (a fuzzer-found corner: "gen-35" does not lex).
+func (s *Spec) Name() string { return fmt.Sprintf("gen%d", uint64(s.Seed)) }
+
+// Render emits the spec as high-level MDES source. Rendering is purely
+// positional (banks B0.., trees T0.., classes C0.., operations OP0..), so
+// two structurally equal specs render identically.
+func (s *Spec) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s {\n", s.Name())
+	for i, n := range s.Banks {
+		fmt.Fprintf(&b, "    resource B%d[%d];\n", i, n)
+	}
+	b.WriteByte('\n')
+	for i, t := range s.Named {
+		fmt.Fprintf(&b, "    tree T%d {\n", i)
+		writeTreeOptions(&b, t, "        ")
+		b.WriteString("    }\n")
+	}
+	if len(s.Named) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, c := range s.Classes {
+		fmt.Fprintf(&b, "    class C%d {\n", i)
+		for _, ref := range c.Refs {
+			fmt.Fprintf(&b, "        tree T%d;\n", ref)
+		}
+		for _, t := range c.Inline {
+			b.WriteString("        tree {\n")
+			writeTreeOptions(&b, t, "            ")
+			b.WriteString("        }\n")
+		}
+		b.WriteString("    }\n")
+	}
+	b.WriteByte('\n')
+	for i, op := range s.Ops {
+		fmt.Fprintf(&b, "    operation OP%d class C%d", i, op.Class)
+		if op.Cascaded >= 0 {
+			fmt.Fprintf(&b, " cascaded C%d", op.Cascaded)
+		}
+		fmt.Fprintf(&b, " latency %d", op.Latency)
+		if op.SrcTime != 0 {
+			fmt.Fprintf(&b, " src %d", op.SrcTime)
+		}
+		b.WriteString(";\n")
+	}
+	for _, by := range s.Bypass {
+		fmt.Fprintf(&b, "    bypass OP%d to OP%d adjust %d;\n", by.From, by.To, by.Adjust)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeTreeOptions(b *strings.Builder, t Tree, indent string) {
+	for _, opt := range t.Options {
+		fmt.Fprintf(b, "%soption {", indent)
+		for _, u := range opt {
+			fmt.Fprintf(b, " B%d[%d] @ %d;", t.Bank, u.Res, u.Time)
+		}
+		b.WriteString(" }\n")
+	}
+}
+
+// Machine renders, parses, and analyzes the spec. Generated specs are
+// valid by construction, so an error here is itself a generator or
+// front-end bug the harness must surface.
+func (s *Spec) Machine() (*hmdes.Machine, error) {
+	return hmdes.Load(s.Name()+".mdes", s.Render())
+}
+
+// Clone deep-copies the spec, so minimization candidates never alias the
+// original.
+func (s *Spec) Clone() *Spec {
+	n := &Spec{Seed: s.Seed}
+	n.Banks = append([]int(nil), s.Banks...)
+	for _, t := range s.Named {
+		n.Named = append(n.Named, cloneTree(t))
+	}
+	for _, c := range s.Classes {
+		nc := Class{Refs: append([]int(nil), c.Refs...)}
+		for _, t := range c.Inline {
+			nc.Inline = append(nc.Inline, cloneTree(t))
+		}
+		n.Classes = append(n.Classes, nc)
+	}
+	n.Ops = append([]Op(nil), s.Ops...)
+	n.Bypass = append([]Bypass(nil), s.Bypass...)
+	return n
+}
+
+func cloneTree(t Tree) Tree {
+	n := Tree{Bank: t.Bank}
+	for _, o := range t.Options {
+		n.Options = append(n.Options, append([]Usage(nil), o...))
+	}
+	return n
+}

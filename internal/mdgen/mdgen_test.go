@@ -1,0 +1,179 @@
+package mdgen
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/lowlevel"
+)
+
+// Generation must be a pure function of the seed: same seed, same source,
+// byte for byte — that is what makes "-seed N" a complete reproducer.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(seed).Render()
+		b := Generate(seed).Render()
+		if a != b {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a, b)
+		}
+	}
+	if Generate(1).Render() == Generate(2).Render() {
+		t.Fatal("different seeds produced identical machines")
+	}
+}
+
+// Every generated machine must be valid by construction: it parses,
+// analyzes, compiles in both forms, and passes structural validation.
+func TestGeneratedMachinesAreValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		spec := Generate(seed)
+		mach, err := spec.Machine()
+		if err != nil {
+			t.Fatalf("seed %d: generated machine does not load: %v\n%s", seed, err, spec.Render())
+		}
+		for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+			m := lowlevel.Compile(mach, form)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("seed %d form %v: %v", seed, form, err)
+			}
+		}
+	}
+}
+
+// The bias knobs must actually fire: across a modest seed range the
+// generator must produce negative usage times, late usage times, shared
+// named trees, cascaded operations, and at least one cross-product-heavy
+// class — the pathological shapes the hand-written machines under-cover.
+func TestGeneratorShapeBiases(t *testing.T) {
+	var negative, late, shared, cascaded, heavy bool
+	for seed := int64(0); seed < 200; seed++ {
+		spec := Generate(seed)
+		for _, p := range treePositions(spec) {
+			for _, opt := range treeAt(spec, p).Options {
+				for _, u := range opt {
+					if u.Time < 0 {
+						negative = true
+					}
+					if u.Time >= 5 {
+						late = true
+					}
+				}
+			}
+		}
+		refs := map[int]int{}
+		for _, c := range spec.Classes {
+			for _, r := range c.Refs {
+				refs[r]++
+			}
+		}
+		for _, n := range refs {
+			if n > 1 {
+				shared = true
+			}
+		}
+		for _, op := range spec.Ops {
+			if op.Cascaded >= 0 {
+				cascaded = true
+			}
+		}
+		mach, err := spec.Machine()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, cname := range mach.ClassNames {
+			if mach.Classes[cname].OptionCount() >= 50 {
+				heavy = true
+			}
+		}
+	}
+	for name, ok := range map[string]bool{
+		"negative-time": negative, "late-time": late, "shared-tree": shared,
+		"cascaded-op": cascaded, "cross-product-heavy": heavy,
+	} {
+		if !ok {
+			t.Errorf("bias %s never fired in 200 seeds", name)
+		}
+	}
+}
+
+// Minimize must shrink as long as the predicate keeps failing, and its
+// result must still fail and still be a loadable machine.
+func TestMinimizeShrinksWhilePreservingFailure(t *testing.T) {
+	spec := Generate(17)
+	// Synthetic failure: "machine still has an operation with latency >= 1
+	// whose class has a usage at a strictly negative time".
+	pred := func(s *Spec) bool {
+		if _, err := s.Machine(); err != nil {
+			return false
+		}
+		for _, op := range s.Ops {
+			if op.Latency < 1 {
+				continue
+			}
+			c := s.Classes[op.Class]
+			trees := append([]Tree(nil), c.Inline...)
+			for _, r := range c.Refs {
+				trees = append(trees, s.Named[r])
+			}
+			for _, tr := range trees {
+				for _, o := range tr.Options {
+					for _, u := range o {
+						if u.Time < 0 {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+	if !pred(spec) {
+		t.Skip("seed 17 does not exhibit the synthetic failure; pick another seed")
+	}
+	min := Minimize(spec, pred)
+	if !pred(min) {
+		t.Fatal("minimized spec no longer fails the predicate")
+	}
+	if _, err := min.Machine(); err != nil {
+		t.Fatalf("minimized spec does not load: %v", err)
+	}
+	if size(min) >= size(spec) {
+		t.Fatalf("minimization did not shrink: %d -> %d", size(spec), size(min))
+	}
+	if len(min.Ops) != 1 {
+		t.Errorf("expected a single surviving operation, got %d:\n%s", len(min.Ops), min.Render())
+	}
+}
+
+func size(s *Spec) int {
+	n := len(s.Ops) + len(s.Classes) + len(s.Bypass)
+	for _, p := range treePositions(s) {
+		for _, o := range treeAt(s, p).Options {
+			n += 1 + len(o)
+		}
+	}
+	return n
+}
+
+// Rendered source must mention every structural element exactly once per
+// declaration — a cheap guard that Render and the parser agree on naming.
+func TestRenderRoundTripCounts(t *testing.T) {
+	spec := Generate(3)
+	mach, err := spec.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(mach.OpNames), len(spec.Ops); got != want {
+		t.Fatalf("ops: rendered %d, spec %d", got, want)
+	}
+	if got, want := len(mach.ClassNames), len(spec.Classes); got != want {
+		t.Fatalf("classes: rendered %d, spec %d", got, want)
+	}
+	if got, want := len(mach.Bypasses), len(spec.Bypass); got != want {
+		t.Fatalf("bypasses: rendered %d, spec %d", got, want)
+	}
+	src := spec.Render()
+	if strings.Count(src, "operation ") != len(spec.Ops) {
+		t.Fatalf("operation declarations mismatch in:\n%s", src)
+	}
+}

@@ -1,0 +1,288 @@
+package mdgen
+
+// Minimize greedily shrinks a failing spec while pred keeps reporting the
+// failure, and returns the smallest still-failing spec found. pred must be
+// a pure function of the spec (typically: render, load, re-run the
+// differential check, report whether it still fails).
+//
+// The reduction moves, coarse to fine: drop operations, bypasses, and
+// cascaded references; drop classes no operation references; drop one tree
+// from a class; drop unreferenced named trees; drop one option from a
+// tree; drop one usage from an option. Each adopted move strictly shrinks
+// the spec, so the loop terminates; budget bounds the pred calls for
+// pathological predicates.
+func Minimize(s *Spec, pred func(*Spec) bool) *Spec {
+	cur := s.Clone()
+	budget := 2000
+	try := func(candidate *Spec) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if pred(candidate) {
+			cur = candidate
+			return true
+		}
+		return false
+	}
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, reduce := range []func(*Spec, func(*Spec) bool) bool{
+			dropOps,
+			dropBypasses,
+			dropCascades,
+			dropDeadClasses,
+			dropClassTrees,
+			dropDeadNamed,
+			dropOptions,
+			dropUsages,
+		} {
+			if reduce(cur, try) {
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// dropOps removes operations one at a time (keeping at least one, since
+// the analyzer rejects machines without operations).
+func dropOps(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for i := 0; i < len(s.Ops) && len(s.Ops) > 1; {
+		c := s.Clone()
+		c.Ops = append(c.Ops[:i], c.Ops[i+1:]...)
+		// Bypass edges index operations; remap or drop them.
+		var keep []Bypass
+		for _, b := range c.Bypass {
+			if b.From == i || b.To == i {
+				continue
+			}
+			if b.From > i {
+				b.From--
+			}
+			if b.To > i {
+				b.To--
+			}
+			keep = append(keep, b)
+		}
+		c.Bypass = keep
+		if try(c) {
+			*s = *c
+			any = true
+			continue
+		}
+		i++
+	}
+	return any
+}
+
+func dropBypasses(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for i := 0; i < len(s.Bypass); {
+		c := s.Clone()
+		c.Bypass = append(c.Bypass[:i], c.Bypass[i+1:]...)
+		if try(c) {
+			*s = *c
+			any = true
+			continue
+		}
+		i++
+	}
+	return any
+}
+
+func dropCascades(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for i := range s.Ops {
+		if s.Ops[i].Cascaded < 0 {
+			continue
+		}
+		c := s.Clone()
+		c.Ops[i].Cascaded = -1
+		if try(c) {
+			*s = *c
+			any = true
+		}
+	}
+	return any
+}
+
+// dropDeadClasses removes classes no operation uses (directly or as a
+// cascaded form), remapping operation class indices.
+func dropDeadClasses(s *Spec, try func(*Spec) bool) bool {
+	live := make([]bool, len(s.Classes))
+	for _, op := range s.Ops {
+		live[op.Class] = true
+		if op.Cascaded >= 0 {
+			live[op.Cascaded] = true
+		}
+	}
+	remap := make([]int, len(s.Classes))
+	c := s.Clone()
+	c.Classes = nil
+	for i, cl := range s.Classes {
+		if live[i] {
+			remap[i] = len(c.Classes)
+			c.Classes = append(c.Classes, cl)
+		} else {
+			remap[i] = -1
+		}
+	}
+	if len(c.Classes) == len(s.Classes) {
+		return false
+	}
+	for i := range c.Ops {
+		c.Ops[i].Class = remap[c.Ops[i].Class]
+		if c.Ops[i].Cascaded >= 0 {
+			c.Ops[i].Cascaded = remap[c.Ops[i].Cascaded]
+		}
+	}
+	if try(c) {
+		*s = *c
+		return true
+	}
+	return false
+}
+
+// dropClassTrees removes one tree (named reference or inline) from a class
+// at a time, keeping at least one tree per class.
+func dropClassTrees(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for ci := range s.Classes {
+		for ri := 0; ri < len(s.Classes[ci].Refs); {
+			if len(s.Classes[ci].Refs)+len(s.Classes[ci].Inline) <= 1 {
+				break
+			}
+			c := s.Clone()
+			c.Classes[ci].Refs = append(c.Classes[ci].Refs[:ri], c.Classes[ci].Refs[ri+1:]...)
+			if try(c) {
+				*s = *c
+				any = true
+				continue
+			}
+			ri++
+		}
+		for ti := 0; ti < len(s.Classes[ci].Inline); {
+			if len(s.Classes[ci].Refs)+len(s.Classes[ci].Inline) <= 1 {
+				break
+			}
+			c := s.Clone()
+			c.Classes[ci].Inline = append(c.Classes[ci].Inline[:ti], c.Classes[ci].Inline[ti+1:]...)
+			if try(c) {
+				*s = *c
+				any = true
+				continue
+			}
+			ti++
+		}
+	}
+	return any
+}
+
+// dropDeadNamed removes named trees no class references, remapping
+// reference indices.
+func dropDeadNamed(s *Spec, try func(*Spec) bool) bool {
+	live := make([]bool, len(s.Named))
+	for _, cl := range s.Classes {
+		for _, r := range cl.Refs {
+			live[r] = true
+		}
+	}
+	c := s.Clone()
+	remap := make([]int, len(s.Named))
+	c.Named = nil
+	for i, t := range s.Named {
+		if live[i] {
+			remap[i] = len(c.Named)
+			c.Named = append(c.Named, t)
+		} else {
+			remap[i] = -1
+		}
+	}
+	if len(c.Named) == len(s.Named) {
+		return false
+	}
+	for ci := range c.Classes {
+		for ri := range c.Classes[ci].Refs {
+			c.Classes[ci].Refs[ri] = remap[c.Classes[ci].Refs[ri]]
+		}
+	}
+	if try(c) {
+		*s = *c
+		return true
+	}
+	return false
+}
+
+// treeAt addresses a tree by structural position: Named[idx] when ci < 0,
+// Classes[ci].Inline[idx] otherwise.
+type treePos struct{ ci, idx int }
+
+func treePositions(s *Spec) []treePos {
+	var out []treePos
+	for i := range s.Named {
+		out = append(out, treePos{ci: -1, idx: i})
+	}
+	for ci := range s.Classes {
+		for ti := range s.Classes[ci].Inline {
+			out = append(out, treePos{ci: ci, idx: ti})
+		}
+	}
+	return out
+}
+
+func treeAt(s *Spec, p treePos) *Tree {
+	if p.ci < 0 {
+		return &s.Named[p.idx]
+	}
+	return &s.Classes[p.ci].Inline[p.idx]
+}
+
+// dropOptions removes one option from a tree at a time (keeping at least
+// one, since the analyzer rejects empty trees).
+func dropOptions(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for _, p := range treePositions(s) {
+		for oi := 0; oi < len(treeAt(s, p).Options); {
+			if len(treeAt(s, p).Options) <= 1 {
+				break
+			}
+			c := s.Clone()
+			t := treeAt(c, p)
+			t.Options = append(t.Options[:oi], t.Options[oi+1:]...)
+			if try(c) {
+				*s = *c
+				any = true
+				continue
+			}
+			oi++
+		}
+	}
+	return any
+}
+
+// dropUsages removes one usage from an option at a time (keeping at least
+// one, so options never go empty).
+func dropUsages(s *Spec, try func(*Spec) bool) bool {
+	any := false
+	for _, p := range treePositions(s) {
+		for oi := 0; oi < len(treeAt(s, p).Options); oi++ {
+			for ui := 0; ui < len(treeAt(s, p).Options[oi]); {
+				if len(treeAt(s, p).Options[oi]) <= 1 {
+					break
+				}
+				c := s.Clone()
+				t := treeAt(c, p)
+				t.Options[oi] = append(t.Options[oi][:ui], t.Options[oi][ui+1:]...)
+				if try(c) {
+					*s = *c
+					any = true
+					continue
+				}
+				ui++
+			}
+		}
+	}
+	return any
+}

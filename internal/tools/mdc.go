@@ -14,6 +14,7 @@ import (
 	"mdes/internal/lowlevel"
 	"mdes/internal/opt"
 	"mdes/internal/textutil"
+	"mdes/internal/verify"
 )
 
 // RunMDC is the mdc tool: compile a machine description, optimize it,
@@ -33,6 +34,8 @@ func RunMDC(args []string, stdout io.Writer) error {
 		emitFlag    = fs.Bool("emit", false, "emit the canonicalized high-level source and exit")
 		outFlag     = fs.String("o", "", "write the optimized low-level MDES to this file (binary fast-load format)")
 		factorFlag  = fs.Bool("factor", false, "discover AND/OR structure in flat OR-trees before optimizing")
+		verifyFlag  = fs.Bool("verify", false, "differentially verify the machine: every pass and checker backend against the reference interpreter")
+		vseedFlag   = fs.Int64("verifyseed", 1996, "instruction-stream seed for -verify")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +47,15 @@ func RunMDC(args []string, stdout io.Writer) error {
 	}
 	if *emitFlag {
 		fmt.Fprint(stdout, hmdes.Format(machine))
+		return nil
+	}
+	if *verifyFlag {
+		c, err := verify.CheckMachineStats(machine, *vseedFlag)
+		if err != nil {
+			return fmt.Errorf("machine %s FAILED verification: %w", machine.Name, err)
+		}
+		fmt.Fprintf(stdout, "machine %s verified: all optimization passes and checker backends agree with the reference interpretation\n", machine.Name)
+		fmt.Fprintf(stdout, "differential evidence: %s\n", c.String())
 		return nil
 	}
 	form, err := cli.ParseForm(*formFlag)

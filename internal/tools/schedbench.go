@@ -37,12 +37,20 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap or automaton")
 		repeatFlag  = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
 		workersFlag = fs.Int("workers", 8, "scheduling goroutines for the observability run")
+
+		selftestFlag = fs.Bool("selftest", false, "run the differential correctness harness (hand-written + generated machines); -seed sets the first generator seed")
+		countFlag    = fs.Int("n", 200, "generated machines to verify with -selftest")
+		failoutFlag  = fs.String("failout", "", "write failing-seed reproducers (.txt report + minimized .mdes) to this directory with -selftest")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
+
+	if *selftestFlag {
+		return runSelftest(stdout, *seedFlag, *countFlag, *failoutFlag)
+	}
 
 	if *metricsFlag != "" || *traceFlag != "" || *reportFlag {
 		kind, err := mdes.ParseCheckerKind(*checkerFlag)

@@ -1,0 +1,24 @@
+package verify
+
+import (
+	"testing"
+
+	"mdes/internal/mdgen"
+)
+
+// FuzzOptPipeline drives the whole differential harness from one fuzzed
+// seed: generate a machine, push it through every form, every pass, and
+// every backend, and require byte-identical schedules and probe answers
+// everywhere. The fuzzer explores the generator's seed space; any
+// counterexample it finds is replayed exactly by `schedbench -selftest
+// -seed N -n 1` (which also minimizes it).
+func FuzzOptPipeline(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 17, 42, 1996} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckSpec(mdgen.Generate(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}

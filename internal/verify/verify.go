@@ -1,0 +1,448 @@
+// Package verify is the differential correctness harness: it checks that
+// every optimized form of a machine description accepts exactly the same
+// schedules as the naive reference interpretation of its unoptimized flat
+// tables (internal/oracle), which is the paper's §4 semantics-preservation
+// contract ("the exact same schedule is produced in each case").
+//
+// For one machine, the harness drives a deterministic in-order operation
+// stream through the oracle, then replays the identical stream through
+// every description the pipeline can produce — OR and AND/OR forms, each
+// optimization pass applied one at a time (so a divergence names the pass
+// that introduced it), both shift directions, and every checker backend
+// (rumap, automaton, modulo) — asserting byte-identical issue cycles and,
+// on backends that allow random-access probes, identical boolean answers
+// over an exhaustive (operation × cycle) probe grid around the schedule.
+//
+// Machines come from internal/mdgen, so a failing seed is a complete
+// reproducer; failures are delta-minimized to the smallest spec that still
+// fails at the same stage before being reported.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mdes/internal/check"
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/mdgen"
+	"mdes/internal/opt"
+	"mdes/internal/oracle"
+	"mdes/internal/query"
+	"mdes/internal/stats"
+)
+
+// maxWait bounds how far past its earliest cycle the in-order scheduler
+// searches before declaring the machine unschedulable — far beyond any
+// reservation span a generated machine can produce.
+const maxWait = 4096
+
+// streamLen is the length of the deterministic operation stream replayed
+// through every description of a machine.
+const streamLen = 24
+
+// Failure is one machine the harness caught misbehaving, minimized to the
+// smallest spec that still fails at the same stage.
+type Failure struct {
+	Seed  int64  // generator seed that produced the failing machine
+	Stage string // pipeline stage that diverged (e.g. "andor/time-shift/shift-usage-times")
+	Msg   string // the original (pre-minimization) divergence
+	Spec  *mdgen.Spec
+}
+
+// Error formats the failure as a self-contained bug report: the seed is
+// the reproducer, the stage names the suspect pass or backend, and the
+// minimized machine is small enough to debug by hand.
+func (f *Failure) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify: seed %d diverged at stage %s\n", f.Seed, f.Stage)
+	fmt.Fprintf(&b, "  %s\n", f.Msg)
+	fmt.Fprintf(&b, "reproduce: schedbench -selftest -seed %d -n 1\n", f.Seed)
+	if f.Spec != nil {
+		fmt.Fprintf(&b, "minimized machine:\n%s", f.Spec.Render())
+	}
+	return b.String()
+}
+
+// stageError tags a divergence with the pipeline stage that produced it,
+// so minimization can preserve the stage, not just "fails somehow".
+type stageError struct {
+	stage string
+	msg   string
+}
+
+func (e *stageError) Error() string { return e.stage + ": " + e.msg }
+
+func stageOf(err error) string {
+	if se, ok := err.(*stageError); ok {
+		return se.stage
+	}
+	return ""
+}
+
+func stageErrf(stage, format string, a ...any) error {
+	return &stageError{stage: stage, msg: fmt.Sprintf(format, a...)}
+}
+
+// window is the inclusive probe-cycle range of the differential grid.
+type window struct{ lo, hi int }
+
+// Run generates the machine for seed under the default shape envelope,
+// checks it, and returns a minimized Failure (nil when everything agrees).
+func Run(seed int64) *Failure { return RunConfig(seed, mdgen.Default()) }
+
+// RunConfig is Run under an explicit shape envelope.
+func RunConfig(seed int64, cfg mdgen.Config) *Failure {
+	spec := mdgen.GenerateConfig(seed, cfg)
+	return minimized(spec, CheckSpec(spec))
+}
+
+// minimized turns a divergence into a Failure, shrinking the spec to the
+// smallest machine that still diverges at the same stage.
+func minimized(spec *mdgen.Spec, err error) *Failure {
+	if err == nil {
+		return nil
+	}
+	stage := stageOf(err)
+	min := mdgen.Minimize(spec, func(s *mdgen.Spec) bool {
+		e := CheckSpec(s)
+		return e != nil && stageOf(e) == stage
+	})
+	return &Failure{Seed: spec.Seed, Stage: stage, Msg: err.Error(), Spec: min}
+}
+
+// RunMany checks n consecutive seeds starting at start, invoking report as
+// each failure is found (report may be nil). It returns every failure plus
+// the aggregated probe accounting of the whole sweep — the paper's
+// attempts/options/checks counters, so the tools can report how much
+// differential evidence the run actually gathered.
+func RunMany(start int64, n int, report func(*Failure)) ([]*Failure, stats.Counters) {
+	var failures []*Failure
+	var total stats.Counters
+	for i := 0; i < n; i++ {
+		spec := mdgen.Generate(start + int64(i))
+		c, err := CheckSpecStats(spec)
+		total.Add(c)
+		if f := minimized(spec, err); f != nil {
+			failures = append(failures, f)
+			if report != nil {
+				report(f)
+			}
+		}
+	}
+	return failures, total
+}
+
+// CheckSpec renders, loads, and differentially checks one generated spec.
+// A machine that fails to load is itself a harness-caught bug: generated
+// specs are valid by construction.
+func CheckSpec(s *mdgen.Spec) error {
+	_, err := CheckSpecStats(s)
+	return err
+}
+
+// CheckSpecStats is CheckSpec returning the run's probe accounting.
+func CheckSpecStats(s *mdgen.Spec) (stats.Counters, error) {
+	mach, err := s.Machine()
+	if err != nil {
+		return stats.Counters{}, stageErrf("generate", "generated machine does not load: %v", err)
+	}
+	return CheckMachineStats(mach, s.Seed)
+}
+
+// CheckMachine runs the full differential sweep over one machine. The
+// operation stream is a pure function of streamSeed, so a reported
+// divergence replays exactly.
+func CheckMachine(mach *hmdes.Machine, streamSeed int64) error {
+	_, err := CheckMachineStats(mach, streamSeed)
+	return err
+}
+
+// CheckMachineStats is CheckMachine returning the aggregated counters of
+// every backend probe the sweep performed.
+func CheckMachineStats(mach *hmdes.Machine, streamSeed int64) (stats.Counters, error) {
+	var c stats.Counters
+	err := checkMachine(mach, streamSeed, &c)
+	return c, err
+}
+
+func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) error {
+	orc := oracle.New(mach)
+	nOps := len(orc.MDES().Operations)
+
+	// Deterministic in-order stream: every op reachable, arrivals with
+	// both back-to-back pressure and gaps that let the window drain.
+	r := rand.New(rand.NewSource(streamSeed ^ 0x5deece66d))
+	stream := make([]int, streamLen)
+	arrivals := make([]int, streamLen)
+	cycle := 0
+	for i := range stream {
+		stream[i] = r.Intn(nOps)
+		cycle += r.Intn(3)
+		if r.Intn(6) == 0 {
+			cycle += 4
+		}
+		arrivals[i] = cycle
+	}
+	want, err := orc.ScheduleInOrder(stream, arrivals, maxWait)
+	if err != nil {
+		return stageErrf("oracle/schedule", "%v", err)
+	}
+
+	// The probe window covers every cycle any reservation or usage can
+	// touch: the negative decode-stage envelope before cycle 0 through the
+	// writeback envelope past the last issue.
+	lo, hi := orc.TimeBounds()
+	w := window{lo: lo - 2, hi: want[len(want)-1] + hi + 2}
+
+	// The oracle's post-schedule answers, computed once and reused for
+	// every description: its state depends only on the stream, which is
+	// identical for all of them.
+	grid := oracleGrid(orc, nOps, w)
+
+	// Stage 1: OR form, unoptimized. This is the description the oracle
+	// itself interprets, so on top of probe equivalence the rumap's
+	// reserved-slot set must match the oracle's slot for slot.
+	orNone := lowlevel.Compile(mach, lowlevel.FormOR)
+	ru := check.NewRUMap(orNone.NumResources)
+	if err := diffBackend("or/none", orNone, ru, stream, arrivals, want, grid, w, w.lo, c); err != nil {
+		return err
+	}
+	if err := compareSlots("or/none", orc, ru); err != nil {
+		return err
+	}
+
+	// Stage 2: AND/OR form, then each optimization pass applied one at a
+	// time. Probing after every pass attributes a semantics break to the
+	// pass that introduced it rather than to the pipeline as a whole.
+	and := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	if err := diffRUMap("andor/none", and, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
+	passes := []struct {
+		name string
+		run  func(*lowlevel.MDES) opt.Report
+	}{
+		{opt.PassEliminateRedundant, opt.EliminateRedundant},
+		{opt.PassPruneDominated, opt.PruneDominatedOptions},
+		{opt.PassPackBitVectors, opt.PackBitVectors},
+		{opt.PassShiftUsageTimes, func(m *lowlevel.MDES) opt.Report { return opt.ShiftUsageTimes(m, opt.Forward) }},
+		{opt.PassSortZeroFirst, opt.SortUsagesTimeZeroFirst},
+		{opt.PassSortORTrees, opt.SortORTrees},
+		{opt.PassHoistCommonUsages, opt.HoistCommonUsages},
+	}
+	for _, p := range passes {
+		p.run(and)
+		if err := diffRUMap("andor/"+p.name, and, stream, arrivals, want, grid, w, c); err != nil {
+			return err
+		}
+	}
+
+	// Stage 3: the remaining checker backends over the fully-optimized
+	// forward description (`and` now equals LevelFull).
+	if err := diffAutomaton(and, stream, arrivals, want, c); err != nil {
+		return err
+	}
+	if err := diffModulo(and, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
+
+	// Stage 4: the backward-shift pipeline (a backward scheduler's
+	// configuration; usage times go non-positive, so rumap only).
+	back := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	opt.Apply(back, opt.LevelFull, opt.Backward)
+	if err := diffRUMap("andor/full-backward", back, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
+
+	// Stage 5: the fully-optimized OR form.
+	orFull := lowlevel.Compile(mach, lowlevel.FormOR)
+	opt.Apply(orFull, opt.LevelFull, opt.Forward)
+	if err := diffRUMap("or/full", orFull, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
+
+	// Stage 6: the query layer must answer identically over the original
+	// and fully-optimized descriptions.
+	return diffQuery(orNone, and, c)
+}
+
+// oracleGrid evaluates the oracle's post-schedule probe answer for every
+// (operation, cycle) cell of the window.
+func oracleGrid(orc *oracle.Oracle, nOps int, w window) [][]bool {
+	grid := make([][]bool, nOps)
+	for op := range grid {
+		row := make([]bool, w.hi-w.lo+1)
+		for cycle := w.lo; cycle <= w.hi; cycle++ {
+			row[cycle-w.lo] = orc.Probe(op, cycle)
+		}
+		grid[op] = row
+	}
+	return grid
+}
+
+// schedule replays the stream through ck with the identical in-order
+// policy the oracle used: each operation at the earliest feasible cycle at
+// or after max(arrival, previous issue). Probes never go backward, so the
+// same driver serves the monotonic-only automaton.
+func schedule(m *lowlevel.MDES, ck check.Checker, stream, arrivals []int, c *stats.Counters) ([]int, error) {
+	ck.Reset()
+	issues := make([]int, len(stream))
+	prev := 0
+	for i, opIdx := range stream {
+		cycle := arrivals[i]
+		if cycle < prev {
+			cycle = prev
+		}
+		start := cycle
+		for {
+			sel, ok := ck.Check(m.ConstraintFor(opIdx, false), cycle, c)
+			if ok {
+				ck.Reserve(sel)
+				break
+			}
+			cycle++
+			if cycle-start > maxWait {
+				return nil, fmt.Errorf("op %d (%s) found no issue cycle within %d of %d",
+					i, m.Operations[opIdx].Name, maxWait, start)
+			}
+		}
+		issues[i] = cycle
+		prev = cycle
+	}
+	return issues, nil
+}
+
+// diffBackend replays the stream through ck over m, requires the issue
+// cycles to match the oracle's byte for byte, and — when the backend
+// supports random-access probes — sweeps the probe grid against the
+// oracle's answers. gridLo clamps the sweep's lower cycle (the modulo
+// backend wraps negative cycles, so its sweep starts at zero).
+func diffBackend(stage string, m *lowlevel.MDES, ck check.Checker, stream, arrivals, want []int, grid [][]bool, w window, gridLo int, c *stats.Counters) error {
+	got, err := schedule(m, ck, stream, arrivals, c)
+	if err != nil {
+		return stageErrf(stage, "%v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return stageErrf(stage, "schedule diverged: op %d (%s) issued at %d, oracle at %d",
+				i, m.Operations[stream[i]].Name, got[i], want[i])
+		}
+	}
+	if ck.Capabilities().MonotonicOnly {
+		return nil
+	}
+	for op := range grid {
+		con := m.ConstraintFor(op, false)
+		for cycle := w.lo; cycle <= w.hi; cycle++ {
+			if cycle < gridLo {
+				continue
+			}
+			_, got := ck.Check(con, cycle, c)
+			if want := grid[op][cycle-w.lo]; got != want {
+				return stageErrf(stage, "probe diverged: op %s at cycle %d: backend=%v oracle=%v",
+					m.Operations[op].Name, cycle, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// diffRUMap is diffBackend with a fresh reservation-table checker — the
+// default backend every optimized description must drive correctly.
+func diffRUMap(stage string, m *lowlevel.MDES, stream, arrivals, want []int, grid [][]bool, w window, c *stats.Counters) error {
+	return diffBackend(stage, m, check.NewRUMap(m.NumResources), stream, arrivals, want, grid, w, w.lo, c)
+}
+
+// diffAutomaton replays the stream through the §10 DFA backend. The
+// forward-shifted LevelFull description is eligible whenever it fits the
+// automaton's preconditions (≤64 resources, non-negative usage times); an
+// eligible machine the factory rejects is itself a failure.
+func diffAutomaton(m *lowlevel.MDES, stream, arrivals, want []int, c *stats.Counters) error {
+	const stage = "backend/automaton"
+	f, err := check.NewFactory(m, check.KindAutomaton)
+	if err != nil {
+		if min, _ := oracle.TimeBounds(m); m.NumResources <= 64 && min >= 0 {
+			return stageErrf(stage, "eligible machine rejected: %v", err)
+		}
+		return nil // genuinely ineligible; nothing to compare
+	}
+	return diffBackend(stage, m, f.New(), stream, arrivals, want, nil, window{}, 0, c)
+}
+
+// diffModulo replays the stream through the modulo-map backend at an
+// initiation interval wider than every reserved or probed cycle, where
+// wrapping cannot occur and the backend must agree with the acyclic
+// answer exactly.
+func diffModulo(m *lowlevel.MDES, stream, arrivals, want []int, grid [][]bool, w window, c *stats.Counters) error {
+	_, hi := oracle.TimeBounds(m)
+	ii := w.hi + hi + 8
+	ck := check.NewModulo(m.NumResources, ii)
+	return diffBackend("backend/modulo", m, ck, stream, arrivals, want, grid, w, 0, c)
+}
+
+// compareSlots requires the rumap's reserved slots after the replay to be
+// exactly the oracle's — same feasibility is not enough on the description
+// the oracle itself interprets; the greedy option choice must match too.
+func compareSlots(stage string, orc *oracle.Oracle, ru *check.RUMap) error {
+	got := ru.Map().ReservedSlots()
+	want := orc.Slots()
+	if len(got) != len(want) {
+		return stageErrf(stage, "rumap holds %d reserved slots, oracle %d", len(got), len(want))
+	}
+	for _, s := range want {
+		if !got[[2]int{s.Res, s.Cycle}] {
+			return stageErrf(stage, "oracle slot (res %d, cycle %d) missing from rumap", s.Res, s.Cycle)
+		}
+	}
+	return nil
+}
+
+// diffQuery cross-checks the query layer over the original and the
+// fully-optimized description: pairwise CanIssueTogether and
+// MinIssueDistance answers must survive optimization untouched.
+func diffQuery(base, full *lowlevel.MDES, c *stats.Counters) error {
+	const stage = "query/cross-check"
+	qa := query.New(base)
+	qb := query.New(full)
+	defer func() {
+		c.Add(qa.Counters())
+		c.Add(qb.Counters())
+		qa.Close()
+		qb.Close()
+	}()
+	n := len(base.Operations)
+	if n > 4 {
+		n = 4 // pairwise probes are quadratic; a corner of the table suffices
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := base.Operations[i].Name
+			b := base.Operations[j].Name
+			ta, err := qa.CanIssueTogether(a, b)
+			if err != nil {
+				return stageErrf(stage, "base CanIssueTogether(%s,%s): %v", a, b, err)
+			}
+			tb, err := qb.CanIssueTogether(a, b)
+			if err != nil {
+				return stageErrf(stage, "optimized CanIssueTogether(%s,%s): %v", a, b, err)
+			}
+			if ta != tb {
+				return stageErrf(stage, "CanIssueTogether(%s,%s): base=%v optimized=%v", a, b, ta, tb)
+			}
+			// MinIssueDistance reports "no separation within the limit"
+			// as an error; the descriptions agree as long as both give
+			// the same distance or both exceed the limit.
+			da, errA := qa.MinIssueDistance(a, b, 8)
+			db, errB := qb.MinIssueDistance(a, b, 8)
+			if (errA == nil) != (errB == nil) {
+				return stageErrf(stage, "MinIssueDistance(%s,%s): base err=%v optimized err=%v", a, b, errA, errB)
+			}
+			if errA == nil && da != db {
+				return stageErrf(stage, "MinIssueDistance(%s,%s): base=%d optimized=%d", a, b, da, db)
+			}
+		}
+	}
+	return nil
+}
