@@ -72,27 +72,40 @@ func TestCheckerBackendsEquivalent(t *testing.T) {
 	}
 }
 
-// The checker must also be equivalent under concurrent scheduling: the
+// The checkers must also be equivalent under concurrent scheduling: the
 // automaton backend shares one memoized transition table across pooled
-// contexts, and racing builders must not perturb results.
+// contexts, the probe-plan backend shares one compiled plan with
+// per-context probers and arenas, and racing builders must not perturb
+// results. Every backend, on every built-in machine, must produce
+// byte-identical schedules under a parallel fan-out.
 func TestCheckerBackendsEquivalentParallel(t *testing.T) {
-	name := mdes.SuperSPARC
-	blocks := testBlocks(t, name, 2000)
+	for _, name := range []mdes.BuiltinName{mdes.PA7100, mdes.Pentium, mdes.SuperSPARC, mdes.K5} {
+		blocks := testBlocks(t, name, 2000)
 
-	ref := newCheckerEngine(t, name, mdes.CheckerRUMap)
-	want, _, err := ref.ScheduleBlocks(context.Background(), blocks, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+		ref := newCheckerEngine(t, name, mdes.CheckerRUMap)
+		want, _, err := ref.ScheduleBlocks(context.Background(), blocks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	eng := newCheckerEngine(t, name, mdes.CheckerAutomaton)
-	got, _, err := eng.ScheduleBlocks(context.Background(), blocks, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for bi, r := range got {
-		if r.Length != want[bi].Length {
-			t.Fatalf("block %d: automaton length %d, rumap %d", bi, r.Length, want[bi].Length)
+		for _, kind := range mdes.CheckerKinds() {
+			eng := newCheckerEngine(t, name, kind)
+			got, _, err := eng.ScheduleBlocks(context.Background(), blocks, 8)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kind, err)
+			}
+			for bi, r := range got {
+				if r.Length != want[bi].Length {
+					t.Fatalf("%s/%s block %d: length %d, rumap serial %d",
+						name, kind, bi, r.Length, want[bi].Length)
+				}
+				for oi, c := range r.Issue {
+					if c != want[bi].Issue[oi] {
+						t.Fatalf("%s/%s block %d op %d: cycle %d, rumap serial %d",
+							name, kind, bi, oi, c, want[bi].Issue[oi])
+					}
+				}
+			}
 		}
 	}
 }

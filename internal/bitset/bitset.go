@@ -127,17 +127,48 @@ func (s Set) Intersects(other Set) bool {
 // IntersectsMask reports whether word w of s shares any bit with mask.
 // It is the single-word fast path used by packed option checking.
 func (s Set) IntersectsMask(w int, mask uint64) bool {
-	return s.words[w]&mask != 0
+	return WordIntersects(s.words, w, mask)
 }
 
 // OrMask ors mask into word w of s.
 func (s *Set) OrMask(w int, mask uint64) {
-	s.words[w] |= mask
+	WordOr(s.words, w, mask)
 }
 
 // AndNotMask clears the bits of mask from word w of s.
 func (s *Set) AndNotMask(w int, mask uint64) {
-	s.words[w] &^= mask
+	WordAndNot(s.words, w, mask)
+}
+
+// Raw-word kernels. The RU map keeps rows as Sets while the flat probe
+// plan keeps a single row-major []uint64; both probe with the same three
+// single-word operations, shared here so the packed-check semantics have
+// exactly one definition.
+
+// WordIntersects reports whether word w of words shares any bit with mask.
+func WordIntersects(words []uint64, w int, mask uint64) bool {
+	return words[w]&mask != 0
+}
+
+// WordOr ors mask into word w of words.
+func WordOr(words []uint64, w int, mask uint64) {
+	words[w] |= mask
+}
+
+// WordAndNot clears the bits of mask from word w of words.
+func WordAndNot(words []uint64, w int, mask uint64) {
+	words[w] &^= mask
+}
+
+// FirstBlocked returns the global bit index of the lowest set bit of
+// words[w]&mask — the first blocked resource a conflict explanation
+// names — or -1 when the word and mask do not intersect.
+func FirstBlocked(words []uint64, w int, mask uint64) int {
+	v := words[w] & mask
+	if v == 0 {
+		return -1
+	}
+	return w*WordBits + bits.TrailingZeros64(v)
 }
 
 // Contains reports whether every set bit of other is also set in s.

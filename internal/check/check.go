@@ -22,6 +22,7 @@ import (
 
 	"mdes/internal/automata"
 	"mdes/internal/lowlevel"
+	"mdes/internal/probeplan"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
@@ -36,6 +37,11 @@ const (
 	// KindAutomaton is the §10 related-work backend: memoized transitions
 	// of a lazily-built collision DFA shared across all contexts.
 	KindAutomaton
+	// KindProbePlan is the flat-plan backend: the description compiled
+	// once into contiguous span arrays of packed probe words
+	// (internal/probeplan), walked by slice iteration with batch
+	// window probing and arena-backed selections.
+	KindProbePlan
 	numKinds
 )
 
@@ -45,21 +51,23 @@ func (k Kind) String() string {
 		return "rumap"
 	case KindAutomaton:
 		return "automaton"
+	case KindProbePlan:
+		return "probeplan"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Kinds returns every selectable backend, default first.
-func Kinds() []Kind { return []Kind{KindRUMap, KindAutomaton} }
+func Kinds() []Kind { return []Kind{KindRUMap, KindAutomaton, KindProbePlan} }
 
-// ParseKind resolves a backend name ("rumap", "automaton").
+// ParseKind resolves a backend name ("rumap", "automaton", "probeplan").
 func ParseKind(s string) (Kind, error) {
 	for _, k := range Kinds() {
 		if s == k.String() {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("check: unknown checker backend %q (valid: rumap, automaton)", s)
+	return 0, fmt.Errorf("check: unknown checker backend %q (valid: rumap, automaton, probeplan)", s)
 }
 
 // Capabilities reports what a backend can and cannot do, so consumers gate
@@ -85,6 +93,10 @@ type Capabilities struct {
 	// Modulo reports that issue cycles wrap modulo the initiation
 	// interval (the modulo-map backend used by software pipelining).
 	Modulo bool
+	// Batch reports that the backend also implements BatchProber:
+	// schedulers may test a whole window of candidate issue cycles in
+	// one CheckWindow pass instead of re-entering Check per cycle.
+	Batch bool
 }
 
 // Caps returns the static capability report for a selectable Kind.
@@ -92,6 +104,8 @@ func Caps(k Kind) Capabilities {
 	switch k {
 	case KindAutomaton:
 		return Capabilities{Backend: "automaton", MonotonicOnly: true}
+	case KindProbePlan:
+		return Capabilities{Backend: "probeplan", CanRelease: true, CanExplain: true, Batch: true}
 	default:
 		return Capabilities{Backend: "rumap", CanRelease: true, CanExplain: true}
 	}
@@ -120,7 +134,10 @@ type Checker interface {
 	// Check tests whether the constraint can be satisfied with the
 	// operation issued at cycle issue, accounting one Attempt plus the
 	// options and resource probes performed into c. Nothing is reserved
-	// until Reserve is called with the returned Selection.
+	// until Reserve is called with the returned Selection. A Selection
+	// stays valid until the checker's next Reset (arena-backed backends
+	// recycle selection storage there); callers must not retain one
+	// across Resets.
 	Check(con *lowlevel.Constraint, issue int, c *stats.Counters) (Selection, bool)
 	// Reserve applies a successful Selection.
 	Reserve(sel Selection)
@@ -138,6 +155,18 @@ type Checker interface {
 	Capabilities() Capabilities
 }
 
+// BatchProber is the optional multi-cycle probing capability: backends
+// whose Capabilities report Batch == true also implement it. CheckWindow
+// tests the half-open window of candidate issue cycles [lo, hi) in one
+// pass and returns the first satisfiable cycle with its Selection. It is
+// accounting-equivalent to calling Check at lo, lo+1, … and stopping at
+// the first success — identical Attempts, OptionsChecked, ResourceChecks
+// and Conflicts — so batch and serial scheduling produce byte-identical
+// schedules and metrics.
+type BatchProber interface {
+	CheckWindow(con *lowlevel.Constraint, lo, hi int, c *stats.Counters) (Selection, int, bool)
+}
+
 // Factory builds per-context Checker instances of one Kind for one frozen
 // compiled MDES, owning whatever state the backend shares across contexts
 // (the automaton's memoized DFA). One Factory serves any number of
@@ -151,15 +180,20 @@ type Factory struct {
 	// classOf maps constraint pointers back to their index (the
 	// automaton's class alphabet).
 	classOf map[*lowlevel.Constraint]int
+	// plan is the flat probe program every probe-plan checker walks.
+	plan *probeplan.Plan
 }
 
 // NewFactory validates that the backend can drive the compiled description
 // and returns a factory for it. The automaton backend requires at most 64
 // resources and non-negative usage times (run the usage-time shift first),
-// exactly as the §10 construction assumes.
+// exactly as the §10 construction assumes; the probe-plan backend requires
+// a description whose constraints carry their compiled indices (hand-built
+// or sliced views cannot be planned).
 func NewFactory(m *lowlevel.MDES, kind Kind) (*Factory, error) {
 	f := &Factory{kind: kind, mdes: m}
-	if kind == KindAutomaton {
+	switch kind {
+	case KindAutomaton:
 		sh, err := automata.NewShared(m)
 		if err != nil {
 			return nil, err
@@ -169,6 +203,12 @@ func NewFactory(m *lowlevel.MDES, kind Kind) (*Factory, error) {
 		for i, con := range m.Constraints {
 			f.classOf[con] = i
 		}
+	case KindProbePlan:
+		plan, err := probeplan.Compile(m)
+		if err != nil {
+			return nil, err
+		}
+		f.plan = plan
 	}
 	return f, nil
 }
@@ -184,6 +224,8 @@ func (f *Factory) New() Checker {
 	switch f.kind {
 	case KindAutomaton:
 		return &Automaton{shared: f.shared, classOf: f.classOf}
+	case KindProbePlan:
+		return NewProbePlan(f.plan)
 	default:
 		return NewRUMap(f.mdes.NumResources)
 	}

@@ -48,6 +48,10 @@ type Modulo struct {
 	seen       []bitset.Set
 	dirtyTaken []int
 	dirtySeen  []int
+
+	// chosenScratch holds CheckWindow's per-tree choices until a cycle
+	// succeeds, so failed cycles allocate nothing.
+	chosenScratch []int
 }
 
 // NewModulo returns a modulo checker for a machine with nres resources at
@@ -195,6 +199,46 @@ func (m *Modulo) Check(con *lowlevel.Constraint, issue int, c *stats.Counters) (
 		m.addTaken(tree.Options[found], issue)
 	}
 	return sel, true
+}
+
+// CheckWindow implements BatchProber: probe [lo, hi) in one pass and
+// return the first satisfiable cycle. Accounting-equivalent to a serial
+// Check loop stopping at the first success, but failed cycles allocate
+// nothing — the Selection is built only for the winning cycle, which is
+// what the II search's inner try-window wants.
+func (m *Modulo) CheckWindow(con *lowlevel.Constraint, lo, hi int, c *stats.Counters) (Selection, int, bool) {
+	if cap(m.chosenScratch) < len(con.Trees) {
+		m.chosenScratch = make([]int, len(con.Trees))
+	}
+	scratch := m.chosenScratch[:len(con.Trees)]
+issue:
+	for issue := lo; issue < hi; issue++ {
+		c.Attempts++
+		m.clearTaken()
+		for ti, tree := range con.Trees {
+			found := -1
+			for oi, o := range tree.Options {
+				c.OptionsChecked++
+				if m.optionFree(o, issue, c) {
+					found = oi
+					break
+				}
+			}
+			if found < 0 {
+				c.Conflicts++
+				continue issue
+			}
+			scratch[ti] = found
+			m.addTaken(tree.Options[found], issue)
+		}
+		sel := Selection{}
+		sel.Constraint = con
+		sel.Issue = issue
+		sel.Chosen = make([]int, len(scratch))
+		copy(sel.Chosen, scratch)
+		return sel, issue, true
+	}
+	return Selection{}, 0, false
 }
 
 // Reserve implements Checker, reserving anonymously; modulo scheduling
@@ -372,10 +416,11 @@ func (m *Modulo) Explain(con *lowlevel.Constraint, issue int) (Conflict, bool) {
 // Capabilities implements Checker. The modulo backend is not a selectable
 // acyclic Kind: it wraps cycles, so only modulo schedulers use it.
 func (m *Modulo) Capabilities() Capabilities {
-	return Capabilities{Backend: "modmap", CanRelease: true, CanExplain: true, Modulo: true}
+	return Capabilities{Backend: "modmap", CanRelease: true, CanExplain: true, Modulo: true, Batch: true}
 }
 
 // Modulo implements the Checker interface.
 var _ Checker = (*Modulo)(nil)
 var _ Checker = (*RUMap)(nil)
 var _ Checker = (*Automaton)(nil)
+var _ BatchProber = (*Modulo)(nil)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 
+	"mdes/internal/check"
 	"mdes/internal/hmdes"
 	"mdes/internal/lowlevel"
 	"mdes/internal/machines"
@@ -31,6 +32,33 @@ func LoadMachine(builtin, path string) (*hmdes.Machine, error) {
 	default:
 		return nil, fmt.Errorf("give -m <builtin> (%v) or -in <file.mdes>", machines.All)
 	}
+}
+
+// FormatCheckerKinds renders the selectable conflict-checker backends with
+// one capability row each — what the tools print when -checker names an
+// unknown backend, so the valid values and their trade-offs are
+// discoverable without reading the source.
+func FormatCheckerKinds() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "available -checker backends:\n")
+	fmt.Fprintf(&b, "  %-10s %-8s %-8s %-6s %s\n", "name", "release", "explain", "batch", "probing")
+	for _, k := range check.Kinds() {
+		caps := check.Caps(k)
+		probing := "random-access"
+		if caps.MonotonicOnly {
+			probing = "monotonic-only"
+		}
+		fmt.Fprintf(&b, "  %-10s %-8s %-8s %-6s %s\n", caps.Backend,
+			yesNo(caps.CanRelease), yesNo(caps.CanExplain), yesNo(caps.Batch), probing)
+	}
+	return b.String()
+}
+
+func yesNo(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
 }
 
 // ParseForm parses a representation-form flag.

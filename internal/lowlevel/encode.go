@@ -277,7 +277,7 @@ func Decode(src io.Reader) (*MDES, error) {
 
 	nCons := r.count("constraint", 1<<20)
 	for i := 0; i < nCons && r.err == nil; i++ {
-		c := &Constraint{Name: r.str()}
+		c := &Constraint{Name: r.str(), Index: i}
 		nT := r.count("constraint-tree", 1<<16)
 		for j := 0; j < nT && r.err == nil; j++ {
 			idx := int(r.uvarint())

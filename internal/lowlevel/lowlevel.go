@@ -160,6 +160,13 @@ func (t *Tree) EarliestTime() int32 {
 type Constraint struct {
 	Name  string
 	Trees []*Tree
+	// Index is the constraint's position in MDES.Constraints, recorded at
+	// compile/decode time so flat probe plans can map a *Constraint to its
+	// precompiled spans without a lookup. Hand-built or sliced descriptions
+	// (sub-MDES views reuse parent constraint pointers) may leave it stale;
+	// consumers that depend on it verify positionally and fall back or fail
+	// loudly rather than trusting it blindly.
+	Index int
 }
 
 // OptionCount returns the number of reservation-table options the
@@ -282,7 +289,7 @@ func Compile(m *hmdes.Machine, form Form) *MDES {
 			t.SharedBy++
 		}
 		b.mdes.ClassIndex[cname] = len(b.mdes.Constraints)
-		b.mdes.Constraints = append(b.mdes.Constraints, &Constraint{Name: cname, Trees: trees})
+		b.mdes.Constraints = append(b.mdes.Constraints, &Constraint{Name: cname, Trees: trees, Index: len(b.mdes.Constraints)})
 	}
 	for _, oname := range m.OpNames {
 		op := m.Operations[oname]

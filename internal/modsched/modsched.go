@@ -287,13 +287,20 @@ func (s *Scheduler) attempt(mm *check.Modulo, classIdx int, con *lowlevel.Constr
 	if local == nil {
 		return mm.Check(con, issue, c)
 	}
-	t0 := time.Now()
+	var t0 time.Time
+	timed := local.SampleTime()
+	if timed {
+		t0 = time.Now()
+	}
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
 	se, ok := mm.Check(con, issue, c)
+	ns := int64(-1)
+	if timed {
+		ns = time.Since(t0).Nanoseconds()
+	}
 	local.Attempt(obs.PhaseModulo, classIdx,
-		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
-		time.Since(t0).Nanoseconds(), ok)
+		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks, ns, ok)
 	return se, ok
 }
 
@@ -374,12 +381,22 @@ func (s *Scheduler) tryII(mm *check.Modulo, l *Loop, deps []Dep, ii int, out *Sc
 		// Try II consecutive slots; each try is a scheduling attempt.
 		chosen := -1
 		var chosenSel check.Selection
-		for t := estart; t < estart+ii; t++ {
-			se, ok := s.attempt(mm, classIdx, con, t, &out.Counters)
-			if ok {
-				chosen = t
+		if s.cx.Obs == nil {
+			// Batch fast path: one CheckWindow pass over the II-wide
+			// window, accounting-equivalent to the serial loop below and
+			// allocation-free on failed cycles.
+			if se, at, ok := mm.CheckWindow(con, estart, estart+ii, &out.Counters); ok {
+				chosen = at
 				chosenSel = se
-				break
+			}
+		} else {
+			for t := estart; t < estart+ii; t++ {
+				se, ok := s.attempt(mm, classIdx, con, t, &out.Counters)
+				if ok {
+					chosen = t
+					chosenSel = se
+					break
+				}
 			}
 		}
 		if chosen < 0 {

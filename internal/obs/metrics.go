@@ -180,6 +180,15 @@ type localClass struct {
 	conflicts int64
 }
 
+// TimestampPeriod is the check-latency sampling period: schedulers
+// timestamp one attempt in every TimestampPeriod (asking SampleTime
+// before taking the two time.Now readings) and the histogram weights
+// each sample by the period, so the latency distribution and _sum
+// extrapolate to all attempts while the per-Check clock cost drops by
+// the same factor. Counting accounting (attempts, options, checks,
+// conflicts) is never sampled. A power of two keeps the modulo free.
+const TimestampPeriod = 256
+
 // Local is the per-context (single-goroutine) accumulation buffer the
 // schedulers write on the hot path: plain integer adds, no atomics, no
 // locks, no allocations. A Local is merged into its Registry when the
@@ -189,20 +198,35 @@ type Local struct {
 	classes      []localClass
 	resConflicts []int64
 	dirty        bool
+	tick         uint32
+}
+
+// SampleTime reports whether the caller should timestamp this attempt:
+// true once per TimestampPeriod calls, starting with the first, so even
+// short runs record at least one latency sample. Callers pass ns < 0 to
+// Attempt for the attempts they did not time.
+func (l *Local) SampleTime() bool {
+	l.tick++
+	return l.tick%TimestampPeriod == 1
 }
 
 // Attempt records one instrumented Check: the phase that performed it,
 // the opcode class (constraint index) it was for, the options and
 // resource probes it consumed, its wall time, and whether it succeeded.
-// A negative or out-of-range class is accounted to the phase only.
+// A negative or out-of-range class is accounted to the phase only. A
+// negative ns marks an untimed attempt (see SampleTime): counting
+// accounting proceeds as usual and the latency histogram is untouched;
+// a timed attempt adds TimestampPeriod observations of its measurement,
+// extrapolating the sampled clock readings back to all attempts.
 func (l *Local) Attempt(p Phase, class int, options, checks, ns int64, ok bool) {
 	l.dirty = true
 	lp := &l.phases[p]
 	lp.attempts++
 	lp.options += options
 	lp.checks += checks
-	lp.checkNs[latencyBucket(ns)]++
-	lp.checkNsSum += ns
+	if ns >= 0 {
+		lp.recordNs(ns)
+	}
 	if !ok {
 		lp.conflicts++
 	}
@@ -214,6 +238,16 @@ func (l *Local) Attempt(p Phase, class int, options, checks, ns int64, ok bool) 
 			lc.conflicts++
 		}
 	}
+}
+
+// recordNs folds one sampled latency measurement into the histogram,
+// weighted back up by the sampling period. Out of line so the common
+// untimed Attempt call stays within the inlining budget.
+//
+//go:noinline
+func (lp *localPhase) recordNs(ns int64) {
+	lp.checkNs[latencyBucket(ns)] += TimestampPeriod
+	lp.checkNsSum += ns * TimestampPeriod
 }
 
 // ConflictAt attributes a failed attempt to the blocking resource.

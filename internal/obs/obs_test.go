@@ -58,7 +58,8 @@ func TestLocalMergeSnapshot(t *testing.T) {
 	if list.Conflicts != 1 {
 		t.Fatalf("list conflicts = %d", list.Conflicts)
 	}
-	if list.CheckNsSum != 300 {
+	// Timed samples extrapolate: each carries TimestampPeriod weight.
+	if list.CheckNsSum != 300*TimestampPeriod {
 		t.Fatalf("list ns sum = %d", list.CheckNsSum)
 	}
 	if got := s.Phases[PhaseModulo].Backtracks; got != 4 {
@@ -77,19 +78,32 @@ func TestLocalMergeSnapshot(t *testing.T) {
 		t.Fatalf("merges = %d", s.Merges)
 	}
 
-	// A histogram sample must land somewhere.
+	// A histogram sample must land somewhere, weighted by the period.
 	var histTotal int64
 	for _, n := range list.CheckNs {
 		histTotal += n
 	}
-	if histTotal != 2 {
-		t.Fatalf("histogram total = %d, want 2", histTotal)
+	if histTotal != 2*TimestampPeriod {
+		t.Fatalf("histogram total = %d, want %d", histTotal, 2*TimestampPeriod)
+	}
+
+	// Untimed attempts (ns < 0, the non-sampled majority) count attempts
+	// but leave the latency histogram alone.
+	l2 := r.NewLocal()
+	l2.Attempt(PhaseList, 0, 1, 1, -1, true)
+	r.Merge(l2)
+	after := r.Snapshot().Phases[PhaseList]
+	if after.Attempts != list.Attempts+1 {
+		t.Fatalf("untimed attempt not counted: %d", after.Attempts)
+	}
+	if after.CheckNsSum != list.CheckNsSum {
+		t.Fatalf("untimed attempt changed ns sum: %d -> %d", list.CheckNsSum, after.CheckNsSum)
 	}
 
 	// Reset clears; a clean local merges as a no-op.
 	l.Reset()
 	r.Merge(l)
-	if got := r.Snapshot(); got.Merges != 1 {
+	if got := r.Snapshot(); got.Merges != 2 {
 		t.Fatalf("clean local bumped merges: %d", got.Merges)
 	}
 }
@@ -208,8 +222,8 @@ func TestWritePrometheus(t *testing.T) {
 		`mdes_conflicts_total{phase="list"} 1`,
 		`mdes_class_attempts_total{class="alu"} 1`,
 		`mdes_resource_conflicts_total{resource="r0"} 1`,
-		`mdes_check_duration_ns_sum{phase="list"} 128`,
-		`mdes_check_duration_ns_bucket{phase="list",le="+Inf"} 1`,
+		fmt.Sprintf(`mdes_check_duration_ns_sum{phase="list"} %d`, 128*TimestampPeriod),
+		fmt.Sprintf(`mdes_check_duration_ns_bucket{phase="list",le="+Inf"} %d`, TimestampPeriod),
 		"mdes_contexts_in_flight 0",
 		"mdes_context_merges_total 1",
 	} {

@@ -222,6 +222,9 @@ func EliminateRedundant(m *lowlevel.MDES) Report {
 	m.ClassIndex = map[string]int{}
 	for i, c := range m.Constraints {
 		m.ClassIndex[c.Name] = i
+		// Compaction renumbers classes; keep the positional index the
+		// probe-plan compiler trusts in sync.
+		c.Index = i
 	}
 	for _, op := range m.Operations {
 		op.Constraint = remap[op.Constraint]

@@ -1,0 +1,356 @@
+package probeplan
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/opt"
+	"mdes/internal/rumap"
+	"mdes/internal/stats"
+)
+
+// tinySrc has a real structural hazard (one ALU, two decoders) plus an
+// alternative class, so probes exercise both option fallback and conflict.
+const tinySrc = `
+machine Tiny {
+    resource Decoder[2];
+    resource ALU;
+    resource MEM;
+
+    class alu {
+        use ALU @ 0;
+        one_of Decoder[0..1] @ 0;
+    }
+    class mem {
+        use MEM @ 0;
+        use MEM @ 1;
+        use ALU @ 1;
+        one_of Decoder[0..1] @ 0;
+    }
+    operation ADD class alu latency 1;
+    operation LD class mem latency 2;
+}
+`
+
+// negSrc reserves a slot before the issue cycle, exercising the downward
+// window growth path.
+const negSrc = `
+machine Neg {
+    resource Decoder;
+    resource ALU;
+
+    class alu {
+        use Decoder @ -1;
+        use ALU @ 0;
+    }
+    operation ADD class alu latency 1;
+}
+`
+
+func compile(t *testing.T, src string, form lowlevel.Form) *lowlevel.MDES {
+	t.Helper()
+	m, err := hmdes.Load("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lowlevel.Compile(m, form)
+}
+
+func mustPlan(t *testing.T, m *lowlevel.MDES) *Plan {
+	t.Helper()
+	p, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The plan must emit exactly the probe sequence the description carries:
+// one word per scalar usage on the unpacked form, one word per cycle mask
+// after bit-vector packing — never a re-packed or merged layout of its own.
+func TestCompileEmitsDescriptionVerbatim(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	wantScalar := 0
+	for _, con := range ll.Constraints {
+		for _, tree := range con.Trees {
+			for _, o := range tree.Options {
+				wantScalar += len(o.Usages)
+			}
+		}
+	}
+	p := mustPlan(t, ll)
+	if p.NumWords() != wantScalar {
+		t.Fatalf("scalar plan has %d words, description has %d usages", p.NumWords(), wantScalar)
+	}
+
+	// Packing merges same-cycle usages within one option, so the shrink is
+	// visible on the OR form, whose options carry full cross-product usage
+	// lists (the AND/OR form holds one usage per option here).
+	ll = compile(t, tinySrc, lowlevel.FormOR)
+	scalarOR := mustPlan(t, ll).NumWords()
+	opt.PackBitVectors(ll)
+	wantPacked := 0
+	for _, con := range ll.Constraints {
+		for _, tree := range con.Trees {
+			for _, o := range tree.Options {
+				if o.Masks != nil {
+					wantPacked += len(o.Masks)
+				} else {
+					wantPacked += len(o.Usages)
+				}
+			}
+		}
+	}
+	p = mustPlan(t, ll)
+	if p.NumWords() != wantPacked {
+		t.Fatalf("packed plan has %d words, description has %d masks", p.NumWords(), wantPacked)
+	}
+	if wantPacked >= scalarOR {
+		t.Fatalf("packing did not shrink the probe program (%d -> %d)", scalarOR, wantPacked)
+	}
+	if p.MaxTrees() < 1 {
+		t.Fatalf("MaxTrees = %d", p.MaxTrees())
+	}
+}
+
+// Check must agree with the RU-map reference walk probe for probe — the
+// same answers and the exact same counter accounting — across a mixed
+// sequence of reserves and releases on both forms and both packing levels.
+func TestCheckMatchesRUMap(t *testing.T) {
+	for _, form := range []lowlevel.Form{lowlevel.FormOR, lowlevel.FormAndOr} {
+		for _, packed := range []bool{false, true} {
+			ll := compile(t, tinySrc, form)
+			if packed {
+				opt.PackBitVectors(ll)
+			}
+			p := mustPlan(t, ll)
+			pb := NewProber(p)
+			ru := rumap.New(ll.NumResources)
+
+			var cp, cr stats.Counters
+			var selsP, selsR []rumap.Selection
+			step := func(ci, cycle int) {
+				con := ll.Constraints[ci]
+				sp, okP := pb.Check(con, cycle, &cp)
+				sr, okR := ru.Check(con, cycle, &cr)
+				if okP != okR {
+					t.Fatalf("form=%v packed=%v con=%d cycle=%d: probeplan=%v rumap=%v",
+						form, packed, ci, cycle, okP, okR)
+				}
+				if cp != cr {
+					t.Fatalf("form=%v packed=%v con=%d cycle=%d: counters diverged: plan=%+v rumap=%+v",
+						form, packed, ci, cycle, cp, cr)
+				}
+				if okP {
+					if len(sp.Chosen) != len(sr.Chosen) {
+						t.Fatalf("selection widths diverged: %d vs %d", len(sp.Chosen), len(sr.Chosen))
+					}
+					for i := range sp.Chosen {
+						if sp.Chosen[i] != sr.Chosen[i] {
+							t.Fatalf("choice %d diverged: %d vs %d", i, sp.Chosen[i], sr.Chosen[i])
+						}
+					}
+					pb.Reserve(sp)
+					ru.Reserve(sr)
+					selsP = append(selsP, sp)
+					selsR = append(selsR, sr)
+				}
+			}
+			// Saturate cycle 0, spill into later cycles, release, re-probe.
+			for i := 0; i < 6; i++ {
+				step(i%len(ll.Constraints), i/2)
+			}
+			for i := range selsP {
+				pb.Release(selsP[i])
+				ru.Release(selsR[i])
+			}
+			step(0, 0)
+
+			// The reserved-slot sets must match exactly.
+			got := pb.AppendReservedSlots(nil)
+			want := ru.AppendReservedSlots(nil)
+			if len(got) != len(want) {
+				t.Fatalf("slot counts diverged: %d vs %d", len(got), len(want))
+			}
+			wantSet := map[[2]int]bool{}
+			for _, s := range want {
+				wantSet[s] = true
+			}
+			for _, s := range got {
+				if !wantSet[s] {
+					t.Fatalf("probeplan holds slot %v the rumap does not", s)
+				}
+			}
+		}
+	}
+}
+
+// CheckWindow must be accounting-equivalent to the serial Check loop it
+// replaces: the same first feasible cycle, the same selection, and the
+// same counter deltas, whether or not the window contains a feasible cycle.
+func TestCheckWindowMatchesSerial(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	opt.PackBitVectors(ll)
+	p := mustPlan(t, ll)
+	batch := NewProber(p)
+	serial := NewProber(p)
+	con := ll.Constraints[0]
+
+	// Fill cycles 0..2 so windows start with conflicts.
+	for cycle := 0; cycle < 3; cycle++ {
+		var c stats.Counters
+		sb, ok := batch.Check(con, cycle, &c)
+		if !ok {
+			t.Fatalf("setup probe at %d failed", cycle)
+		}
+		batch.Reserve(sb)
+		ss, _ := serial.Check(con, cycle, &c)
+		serial.Reserve(ss)
+	}
+
+	for _, w := range [][2]int{{0, 6}, {0, 2}, {2, 2}, {-3, 1}, {3, 64}} {
+		var cb, cs stats.Counters
+		selB, atB, okB := batch.CheckWindow(con, w[0], w[1], &cb)
+
+		okS := false
+		atS := 0
+		var selS rumap.Selection
+		for cycle := w[0]; cycle < w[1]; cycle++ {
+			if sel, ok := serial.Check(con, cycle, &cs); ok {
+				selS, atS, okS = sel, cycle, true
+				break
+			}
+		}
+		if okB != okS || (okB && atB != atS) {
+			t.Fatalf("window %v: batch=(%v,%d) serial=(%v,%d)", w, okB, atB, okS, atS)
+		}
+		if cb != cs {
+			t.Fatalf("window %v: counters diverged: batch=%+v serial=%+v", w, cb, cs)
+		}
+		if okB {
+			for i := range selB.Chosen {
+				if selB.Chosen[i] != selS.Chosen[i] {
+					t.Fatalf("window %v: choice %d diverged", w, i)
+				}
+			}
+		}
+	}
+}
+
+// Reserving a pre-issue slot must grow the window downward without
+// disturbing existing reservations.
+func TestNegativeCycleGrowth(t *testing.T) {
+	ll := compile(t, negSrc, lowlevel.FormAndOr)
+	p := mustPlan(t, ll)
+	pb := NewProber(p)
+	con := ll.Constraints[0]
+
+	var c stats.Counters
+	sel, ok := pb.Check(con, 0, &c)
+	if !ok {
+		t.Fatal("probe at 0 failed on empty window")
+	}
+	pb.Reserve(sel)
+	// Decoder (res 0) is used at -1, ALU (res 1) at 0.
+	if !pb.Busy(0, -1) || !pb.Busy(1, 0) {
+		t.Fatalf("expected Decoder@-1 and ALU@0 busy")
+	}
+	// Issue far below the window: another downward growth.
+	sel2, ok := pb.Check(con, -40, &c)
+	if !ok {
+		t.Fatal("probe at -40 failed")
+	}
+	pb.Reserve(sel2)
+	if !pb.Busy(0, -41) || !pb.Busy(1, -40) {
+		t.Fatalf("expected reservations at -41/-40 after growth")
+	}
+	if !pb.Busy(0, -1) || !pb.Busy(1, 0) {
+		t.Fatalf("downward growth corrupted existing reservations")
+	}
+	if _, ok := pb.Check(con, -40, &c); ok {
+		t.Fatalf("double issue at -40 accepted")
+	}
+}
+
+func TestDoubleReservationPanics(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	pb := NewProber(mustPlan(t, ll))
+	var c stats.Counters
+	sel, ok := pb.Check(ll.Constraints[0], 0, &c)
+	if !ok {
+		t.Fatal("probe failed")
+	}
+	pb.Reserve(sel)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("double Reserve did not panic")
+		}
+		if !strings.Contains(r.(string), "double reservation") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	pb.Reserve(sel)
+}
+
+// Selections must stay valid while later probes append to the arena — the
+// query layer retains several before releasing them — and only Reset may
+// invalidate them.
+func TestSelectionsSurviveArenaGrowth(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	pb := NewProber(mustPlan(t, ll))
+	var c stats.Counters
+
+	var sels []rumap.Selection
+	var want [][]int
+	for cycle := 0; cycle < 50; cycle++ {
+		for ci := range ll.Constraints {
+			sel, ok := pb.Check(ll.Constraints[ci], cycle, &c)
+			if !ok {
+				continue
+			}
+			pb.Reserve(sel)
+			sels = append(sels, sel)
+			want = append(want, append([]int(nil), sel.Chosen...))
+		}
+	}
+	if len(sels) < 20 {
+		t.Fatalf("only %d selections; arena growth not exercised", len(sels))
+	}
+	for i, sel := range sels {
+		for j := range sel.Chosen {
+			if sel.Chosen[j] != want[i][j] {
+				t.Fatalf("selection %d corrupted by arena growth", i)
+			}
+		}
+	}
+}
+
+// Hand-assembled descriptions whose constraints never went through
+// Compile/Decode carry stale indices; the planner must reject them rather
+// than probe through a wrong span table.
+func TestCompileRejectsStaleIndex(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	ll.Constraints[1].Index = 7
+	defer func() { ll.Constraints[1].Index = 1 }()
+	if _, err := Compile(ll); err == nil {
+		t.Fatalf("Compile accepted a constraint with a stale index")
+	}
+}
+
+// A constraint pointer from a different description must be caught at
+// probe time even when its index happens to be in range.
+func TestProbeRejectsForeignConstraint(t *testing.T) {
+	ll := compile(t, tinySrc, lowlevel.FormAndOr)
+	other := compile(t, tinySrc, lowlevel.FormAndOr)
+	pb := NewProber(mustPlan(t, ll))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("foreign constraint probe did not panic")
+		}
+	}()
+	var c stats.Counters
+	pb.Check(other.Constraints[0], 0, &c)
+}

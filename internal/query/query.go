@@ -68,14 +68,21 @@ func (q *Q) check(opIdx, issue int) (check.Selection, bool) {
 	if local == nil {
 		return q.cx.Check(con, issue, &q.cx.Counters)
 	}
-	t0 := time.Now()
+	var t0 time.Time
+	timed := local.SampleTime()
+	if timed {
+		t0 = time.Now()
+	}
 	c := &q.cx.Counters
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
 	sel, ok := q.cx.Check(con, issue, c)
+	ns := int64(-1)
+	if timed {
+		ns = time.Since(t0).Nanoseconds()
+	}
 	local.Attempt(obs.PhaseQuery, q.mdes.ConstraintIndexFor(opIdx, false),
-		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks,
-		time.Since(t0).Nanoseconds(), ok)
+		c.OptionsChecked-beforeOpts, c.ResourceChecks-beforeChecks, ns, ok)
 	if !ok {
 		if conf, found := q.cx.Explain(con, issue); found {
 			local.ConflictAt(conf.Res)

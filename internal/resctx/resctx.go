@@ -30,6 +30,7 @@ import (
 	"mdes/internal/check"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
+	"mdes/internal/probeplan"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
 )
@@ -46,6 +47,19 @@ type Context struct {
 	// Alternate backends leave it nil; use the Check/Reserve/Release
 	// helpers, which pick the right path.
 	RU *rumap.Map
+	// PP is non-nil exactly when Checker is the probe-plan backend: the
+	// same flat prober, exposed for the schedulers' devirtualized flat
+	// path (arena-backed scratch, batch window probing).
+	PP *probeplan.Prober
+	// Batch is non-nil when the checker advertises Capabilities.Batch:
+	// the same backend instance through its multi-cycle probing
+	// interface. Schedulers take the window fast path through it and
+	// fall back to per-cycle Check otherwise.
+	Batch check.BatchProber
+	// Arena is the per-context scratch allocator for schedule-sized
+	// scratch slices; the schedulers' flat path carves all per-block
+	// state from it, so the steady-state probe loop allocates nothing.
+	Arena Arena
 	// Counters accumulates the attempts / options checked / resource
 	// checks performed through this context since it was borrowed.
 	Counters stats.Counters
@@ -86,33 +100,60 @@ func NewFor(f *check.Factory) *Context {
 	return c
 }
 
-// adopt installs a checker, wiring the devirtualized RU fast path when the
-// backend is the default RU map.
+// adopt installs a checker, wiring the devirtualized RU and probe-plan
+// fast paths and the batch-probing capability when the backend offers
+// them.
 func (c *Context) adopt(ck check.Checker) {
 	c.Checker = ck
-	if r, ok := ck.(*check.RUMap); ok {
-		c.RU = r.Map()
-	} else {
-		c.RU = nil
+	c.RU, c.PP, c.Batch = nil, nil, nil
+	switch b := ck.(type) {
+	case *check.RUMap:
+		c.RU = b.Map()
+	case *check.ProbePlan:
+		c.PP = b.Prober()
+	}
+	if ck.Capabilities().Batch {
+		if bp, ok := ck.(check.BatchProber); ok {
+			c.Batch = bp
+		}
 	}
 }
 
-// Check probes the checker, devirtualized for the default backend,
-// accounting into ctr (per-block or per-call counters; callers fold them
-// into c.Counters themselves).
+// Check probes the checker, devirtualized for the default and probe-plan
+// backends, accounting into ctr (per-block or per-call counters; callers
+// fold them into c.Counters themselves).
 func (c *Context) Check(con *lowlevel.Constraint, issue int, ctr *stats.Counters) (check.Selection, bool) {
 	if c.RU != nil {
 		sel, ok := c.RU.Check(con, issue, ctr)
 		return check.Selection{Selection: sel}, ok
 	}
+	if c.PP != nil {
+		sel, ok := c.PP.Check(con, issue, ctr)
+		return check.Selection{Selection: sel}, ok
+	}
 	return c.Checker.Check(con, issue, ctr)
 }
 
+// CheckWindow probes the half-open cycle window [lo, hi) through the
+// backend's batch interface, devirtualized for the probe-plan backend.
+// Callers gate on c.Batch != nil.
+func (c *Context) CheckWindow(con *lowlevel.Constraint, lo, hi int, ctr *stats.Counters) (check.Selection, int, bool) {
+	if c.PP != nil {
+		sel, issue, ok := c.PP.CheckWindow(con, lo, hi, ctr)
+		return check.Selection{Selection: sel}, issue, ok
+	}
+	return c.Batch.CheckWindow(con, lo, hi, ctr)
+}
+
 // Reserve applies a successful Selection, devirtualized for the default
-// backend.
+// and probe-plan backends.
 func (c *Context) Reserve(sel check.Selection) {
 	if c.RU != nil {
 		c.RU.Reserve(sel.Selection)
+		return
+	}
+	if c.PP != nil {
+		c.PP.Reserve(sel.Selection)
 		return
 	}
 	c.Checker.Reserve(sel)
@@ -125,6 +166,10 @@ func (c *Context) ReleaseSel(sel check.Selection) {
 		c.RU.Release(sel.Selection)
 		return
 	}
+	if c.PP != nil {
+		c.PP.Release(sel.Selection)
+		return
+	}
 	c.Checker.Release(sel)
 }
 
@@ -134,7 +179,24 @@ func (c *Context) Explain(con *lowlevel.Constraint, issue int) (check.Conflict, 
 	if c.RU != nil {
 		return c.RU.ExplainConflict(con, issue)
 	}
+	if c.PP != nil {
+		return c.PP.Explain(con, issue)
+	}
 	return c.Checker.Explain(con, issue)
+}
+
+// BlockingRes returns just the resource index a failed Check would be
+// attributed to, or -1: the cheap slice of Explain for metrics attribution
+// (obs.Local.ConflictAt keys on the resource alone), skipping conflict
+// provenance and Conflict construction on backends that can.
+func (c *Context) BlockingRes(con *lowlevel.Constraint, issue int) int {
+	if c.PP != nil {
+		return c.PP.BlockerRes(con, issue)
+	}
+	if conf, ok := c.Explain(con, issue); ok {
+		return conf.Res
+	}
+	return -1
 }
 
 // Reset clears the checker's reservations, counters, and observability
@@ -147,6 +209,7 @@ func (c *Context) Reset() {
 	}
 	c.Slots = c.Slots[:0]
 	c.Sels = c.Sels[:0]
+	c.Arena.Reset()
 }
 
 // Release returns the Context to the Pool it was borrowed from, folding

@@ -91,7 +91,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			}
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
-			sel, ok, opts := s.attempt(obs.PhaseBackward, bt, i, op, opIdx, con, -cycle, &res.Counters)
+			sel, ok, opts := s.attempt(obs.PhaseBackward, bt, i, op, con, -cycle, &res.Counters)
 			if s.OptionsHist != nil {
 				s.OptionsHist.Observe(int(opts))
 			}

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"fmt"
+
+	"mdes/internal/ir"
+	"mdes/internal/lowlevel"
+	"mdes/internal/obs"
+)
+
+// flatTiming resolves flow distances through operation indices hoisted
+// once per block, instead of two opcode-map lookups per flow edge. It is
+// only valid for renumbered blocks (op.ID == position), which the flat
+// path verifies before using it.
+type flatTiming struct {
+	m      *lowlevel.MDES
+	opIdxs []int
+}
+
+func (t flatTiming) FlowDist(producer, consumer *ir.Operation) int {
+	return t.m.FlowDistance(t.opIdxs[producer.ID], t.opIdxs[consumer.ID])
+}
+
+func (t flatTiming) Latency(opcode string) int {
+	if idx, ok := t.m.OpIndex[opcode]; ok {
+		return t.m.Operations[idx].Latency
+	}
+	return 1
+}
+
+// scheduleBlockFlat is ScheduleBlock for contexts carrying the probe-plan
+// backend: the same forward cycle-driven list scheduling, in the same
+// attempt order with the same accounting, but with every piece of
+// per-block scratch carved from the context's arena, the dependence graph
+// built by the reusable builder, opcode-table lookups hoisted to one pass,
+// and probes walking the flat plan through the devirtualized prober. The
+// steady-state loop performs no per-block allocation beyond the returned
+// Result.
+func (s *Scheduler) scheduleBlockFlat(b *ir.Block) (*Result, error) {
+	n := len(b.Ops)
+	res := &Result{Issue: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+	ar := &s.cx.Arena
+	ar.Reset()
+
+	opIdxs := ar.Ints(n)
+	renumbered := true
+	for i, op := range b.Ops {
+		idx, ok := s.mdes.OpIndex[op.Opcode]
+		if !ok {
+			return nil, fmt.Errorf("sched: opcode %q not in MDES %s", op.Opcode, s.mdes.MachineName)
+		}
+		opIdxs[i] = idx
+		if op.ID != i {
+			renumbered = false
+		}
+	}
+	var g *ir.Graph
+	if renumbered {
+		g = s.builder.Build(b, flatTiming{m: s.mdes, opIdxs: opIdxs})
+	} else {
+		g = s.builder.Build(b, timing{m: s.mdes})
+	}
+
+	bt := s.startTrace(n)
+	height := ar.Ints(n)
+	ops := s.mdes.Operations
+	for i := n - 1; i >= 0; i-- {
+		best := ops[opIdxs[i]].Latency
+		for _, e := range g.Succs[i] {
+			if v := e.MinDist + height[e.To]; v > best {
+				best = v
+			}
+		}
+		height[i] = best
+	}
+	s.cx.Checker.Reset()
+
+	scheduled := ar.Bools(n)
+	npreds := ar.Ints(n)
+	estart := ar.Ints(n)
+	for i := range npreds {
+		npreds[i] = len(g.Preds[i])
+	}
+	order := ar.Ints(n)
+	for i := range order {
+		order[i] = i
+	}
+	sortByHeight(order, ar.Ints(n), height)
+
+	remaining := n
+	for cycle := 0; remaining > 0; cycle++ {
+		progressPossible := false
+		for _, i := range order {
+			if scheduled[i] {
+				continue
+			}
+			if npreds[i] > 0 {
+				continue
+			}
+			progressPossible = true
+			if estart[i] > cycle {
+				continue
+			}
+			op := b.Ops[i]
+			con := s.mdes.ConstraintFor(opIdxs[i], op.Cascaded)
+
+			sel, ok, opts := s.attempt(obs.PhaseList, bt, i, op, con, cycle, &res.Counters)
+			if s.OptionsHist != nil {
+				s.OptionsHist.Observe(int(opts))
+			}
+			if s.OnAttempt != nil {
+				s.OnAttempt(op, opts, ok)
+			}
+			if !ok {
+				continue
+			}
+			s.cx.Reserve(sel)
+			scheduled[i] = true
+			res.Issue[i] = cycle
+			remaining--
+			for _, e := range g.Succs[i] {
+				npreds[e.To]--
+				if v := cycle + e.MinDist; v > estart[e.To] {
+					estart[e.To] = v
+				}
+			}
+		}
+		if !progressPossible && remaining > 0 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
+			return nil, fmt.Errorf("sched: deadlock, %d operations unschedulable", remaining)
+		}
+		if cycle > 64*n+1024 {
+			if bt != nil {
+				bt.Finish(-1, res.Counters)
+			}
+			return nil, fmt.Errorf("sched: no progress after %d cycles", cycle)
+		}
+	}
+
+	for _, c := range res.Issue {
+		if c+1 > res.Length {
+			res.Length = c + 1
+		}
+	}
+	if s.SelfCheck {
+		if err := g.CheckSchedule(res.Issue); err != nil {
+			return nil, err
+		}
+	}
+	if bt != nil {
+		bt.Finish(res.Length, res.Counters)
+	}
+	s.cx.Counters.Add(res.Counters)
+	return res, nil
+}
+
+// sortByHeight sorts order by (height desc, index asc) with a bottom-up
+// merge sort through the caller's scratch buffer. The key is a total
+// order, so the result is exactly what sort.SliceStable produces on the
+// generic path — and no closure or reflection allocates.
+func sortByHeight(order, buf, height []int) {
+	n := len(order)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				break
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			a, b, o := lo, mid, lo
+			for a < mid && b < hi {
+				x, y := order[a], order[b]
+				if height[x] > height[y] || (height[x] == height[y] && x < y) {
+					buf[o] = x
+					a++
+				} else {
+					buf[o] = y
+					b++
+				}
+				o++
+			}
+			for a < mid {
+				buf[o] = order[a]
+				a++
+				o++
+			}
+			for b < hi {
+				buf[o] = order[b]
+				b++
+				o++
+			}
+			copy(order[lo:hi], buf[lo:hi])
+		}
+	}
+}

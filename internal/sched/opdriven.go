@@ -64,24 +64,50 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 		con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
 		cycle := estart[i]
-		for {
-			sel, ok, opts := s.attempt(obs.PhaseOpDriven, bt, i, op, opIdx, con, cycle, &res.Counters)
-			if s.OptionsHist != nil {
-				s.OptionsHist.Observe(int(opts))
-			}
-			if s.OnAttempt != nil {
-				s.OnAttempt(op, opts, ok)
-			}
-			if ok {
-				s.cx.Reserve(sel)
-				break
-			}
-			cycle++
-			if cycle > estart[i]+64*n+1024 {
-				if bt != nil {
-					bt.Finish(-1, res.Counters)
+		if s.cx.Batch != nil && s.cx.Obs == nil && bt == nil && s.OptionsHist == nil && s.OnAttempt == nil {
+			// Batch fast path: probe 64-cycle windows in one CheckWindow
+			// pass per window instead of re-entering Check per cycle. The
+			// backend's contract makes this accounting-equivalent to the
+			// serial loop below, and no per-attempt instrumentation is
+			// attached, so results and counters are identical.
+			limit := estart[i] + 64*n + 1024
+			found := false
+			for lo := cycle; lo <= limit; {
+				hi := lo + 64
+				if hi > limit+1 {
+					hi = limit + 1
 				}
+				if sel, at, ok := s.cx.CheckWindow(con, lo, hi, &res.Counters); ok {
+					cycle = at
+					s.cx.Reserve(sel)
+					found = true
+					break
+				}
+				lo = hi
+			}
+			if !found {
 				return nil, fmt.Errorf("sched: op %d found no cycle", i)
+			}
+		} else {
+			for {
+				sel, ok, opts := s.attempt(obs.PhaseOpDriven, bt, i, op, con, cycle, &res.Counters)
+				if s.OptionsHist != nil {
+					s.OptionsHist.Observe(int(opts))
+				}
+				if s.OnAttempt != nil {
+					s.OnAttempt(op, opts, ok)
+				}
+				if ok {
+					s.cx.Reserve(sel)
+					break
+				}
+				cycle++
+				if cycle > estart[i]+64*n+1024 {
+					if bt != nil {
+						bt.Finish(-1, res.Counters)
+					}
+					return nil, fmt.Errorf("sched: op %d found no cycle", i)
+				}
 			}
 		}
 		res.Issue[i] = cycle

@@ -62,6 +62,11 @@ type Scheduler struct {
 	// mdes.Engine.ScheduleBlocks sets it to the block's index within the
 	// batch. The scheduler never modifies it.
 	BlockID int64
+
+	// builder is the reusable dependence-graph constructor the flat path
+	// uses; its scratch persists across blocks scheduled through this
+	// Scheduler.
+	builder ir.Builder
 }
 
 // New returns a scheduler for the given compiled MDES, backed by a
@@ -103,11 +108,16 @@ func (s *Scheduler) Latency(opcode string) int {
 // options checked during the attempt (the per-attempt quantity of
 // Figure 2). With observability disabled (nil Local, nil bt) the extra
 // cost is a few nil comparisons and no allocations.
-func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, opIdx int, con *lowlevel.Constraint, cycle int, c *stats.Counters) (check.Selection, bool, int64) {
+func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, con *lowlevel.Constraint, cycle int, c *stats.Counters) (check.Selection, bool, int64) {
 	local := s.cx.Obs
 	var t0 time.Time
+	timed := false
 	if local != nil {
-		t0 = time.Now()
+		// Timestamps are sampled (obs.TimestampPeriod): most attempts skip
+		// both clock readings, which dominated the enabled-metrics cost.
+		if timed = local.SampleTime(); timed {
+			t0 = time.Now()
+		}
 	}
 	beforeOpts := c.OptionsChecked
 	beforeChecks := c.ResourceChecks
@@ -117,17 +127,27 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 		return sel, ok, opts
 	}
 	if local != nil {
-		local.Attempt(phase, s.mdes.ConstraintIndexFor(opIdx, op.Cascaded),
-			opts, c.ResourceChecks-beforeChecks, time.Since(t0).Nanoseconds(), ok)
+		ns := int64(-1)
+		if timed {
+			ns = time.Since(t0).Nanoseconds()
+		}
+		// con.Index is the class key ConstraintIndexFor would look up: every
+		// caller selected con through ConstraintFor on the same operation.
+		local.Attempt(phase, con.Index,
+			opts, c.ResourceChecks-beforeChecks, ns, ok)
 	}
 	if !ok {
-		if conf, found := s.cx.Explain(con, cycle); found {
+		if bt == nil {
+			// Metrics-only attribution needs just the blocking resource, not
+			// the provenance a trace record carries.
+			if res := s.cx.BlockingRes(con, cycle); res >= 0 {
+				local.ConflictAt(res)
+			}
+		} else if conf, found := s.cx.Explain(con, cycle); found {
 			if local != nil {
 				local.ConflictAt(conf.Res)
 			}
-			if bt != nil {
-				bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[conf.Res], conf.Time, conf.Src)
-			}
+			bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[conf.Res], conf.Time, conf.Src)
 		}
 	}
 	if bt != nil {
@@ -178,6 +198,12 @@ func (t timing) Latency(opcode string) int {
 // resources or leaves the operation for a later cycle. One Check call is
 // one "scheduling attempt" in the paper's accounting.
 func (s *Scheduler) ScheduleBlock(b *ir.Block) (*Result, error) {
+	if s.cx.PP != nil {
+		// The probe-plan backend's flat representation extends through the
+		// scheduler: arena scratch, reusable graph builder, hoisted opcode
+		// indices. Same algorithm, same attempt order, same accounting.
+		return s.scheduleBlockFlat(b)
+	}
 	g := ir.BuildGraphTiming(b, timing{m: s.mdes})
 	return s.scheduleGraph(g)
 }
@@ -247,7 +273,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			}
 			con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
-			sel, ok, opts := s.attempt(obs.PhaseList, bt, i, op, opIdx, con, cycle, &res.Counters)
+			sel, ok, opts := s.attempt(obs.PhaseList, bt, i, op, con, cycle, &res.Counters)
 			if s.OptionsHist != nil {
 				s.OptionsHist.Observe(int(opts))
 			}

@@ -31,7 +31,7 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		optFlag     = fs.String("opt", "", "optimization level (none|redundancy|bit-vector|time-shift|full): print the translator's per-pass ledger; with -stats, included in the metrics report")
 		opsFlag     = fs.Int("ops", 20000, "workload size for -sched/-stats")
 		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched/-stats")
-		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for -stats: rumap or automaton")
+		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for -stats: rumap, automaton or probeplan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +94,8 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		}
 		kind, err := mdes.ParseCheckerKind(*checkerFlag)
 		if err != nil {
-			return err
+			fmt.Fprintf(stdout, "unknown checker %q\n%s", *checkerFlag, cli.FormatCheckerKinds())
+			return nil
 		}
 		eng, err := mdes.NewEngine(compiled, mdes.WithMetrics(metrics), mdes.WithChecker(kind))
 		if err != nil {

@@ -2,13 +2,16 @@ package tools
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mdes"
+	"mdes/internal/cli"
 	"mdes/internal/experiments"
 	"mdes/internal/machines"
 	"mdes/internal/workload"
@@ -34,9 +37,11 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		traceFlag   = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
 		sampleFlag  = fs.Int("tracesample", 1, "trace 1 in N blocks")
 		reportFlag  = fs.Bool("report", false, "print the metrics registry as tables after the run")
-		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap or automaton")
+		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap, automaton or probeplan")
 		repeatFlag  = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
 		workersFlag = fs.Int("workers", 8, "scheduling goroutines for the observability run")
+
+		benchjsonFlag = fs.String("benchjson", "", "write one BENCH_<machine>_<checker>.json perf artifact (blocks/s, ms/op, checks/attempt) per machine x checker to this directory")
 
 		selftestFlag = fs.Bool("selftest", false, "run the differential correctness harness (hand-written + generated machines); -seed sets the first generator seed")
 		countFlag    = fs.Int("n", 200, "generated machines to verify with -selftest")
@@ -52,10 +57,15 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		return runSelftest(stdout, *seedFlag, *countFlag, *failoutFlag)
 	}
 
+	if *benchjsonFlag != "" {
+		return runBenchJSON(stdout, p, *benchjsonFlag)
+	}
+
 	if *metricsFlag != "" || *traceFlag != "" || *reportFlag {
 		kind, err := mdes.ParseCheckerKind(*checkerFlag)
 		if err != nil {
-			return err
+			fmt.Fprintf(stdout, "unknown checker %q\n%s", *checkerFlag, cli.FormatCheckerKinds())
+			return nil
 		}
 		return runObserve(stdout, p, observeConfig{
 			machine: machines.Name(*machineFlag),
@@ -216,6 +226,89 @@ func runParallel(stdout io.Writer, p experiments.Params, maxPar int) error {
 			fmt.Fprintf(stdout, "%-12s %9d %12s %12.0f %8.2fx\n",
 				name, par, elapsed.Round(time.Microsecond),
 				float64(len(prog.Blocks))/elapsed.Seconds(), float64(base)/float64(elapsed))
+		}
+	}
+	return nil
+}
+
+// benchArtifact is the machine-readable perf record one -benchjson run
+// writes per (machine, checker): the CI bench-smoke job uploads these so
+// the perf trajectory is diffable across commits instead of living only in
+// EXPERIMENTS.md prose.
+type benchArtifact struct {
+	Schema  string `json:"schema"`
+	Machine string `json:"machine"`
+	Checker string `json:"checker"`
+	NumOps  int    `json:"num_ops"`
+	Seed    int64  `json:"seed"`
+	Blocks  int    `json:"blocks"`
+	Rounds  int    `json:"rounds"`
+	// BlocksPerSec and MsPerOp are wall-clock rates from the best (minimum)
+	// of Rounds serial runs; ChecksPerAttempt is exact accounting.
+	BlocksPerSec     float64 `json:"blocks_per_sec"`
+	MsPerOp          float64 `json:"ms_per_op"`
+	ChecksPerAttempt float64 `json:"checks_per_attempt"`
+}
+
+// runBenchJSON schedules every built-in machine's workload once per
+// checker backend and writes one BENCH_<machine>_<checker>.json artifact
+// per eligible pair to dir. Backends a machine is ineligible for (e.g. the
+// automaton's resource-count limit) are reported and skipped, not errors.
+func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	const rounds = 3
+	for _, name := range machines.All {
+		machine, err := machines.Load(name)
+		if err != nil {
+			return err
+		}
+		compiled := mdes.Compile(machine, mdes.FormAndOr)
+		mdes.Optimize(compiled, mdes.LevelFull)
+		prog, err := workload.GenerateParallel(workload.Config{Machine: name, NumOps: p.NumOps, Seed: p.Seed}, 4)
+		if err != nil {
+			return err
+		}
+		for _, kind := range mdes.CheckerKinds() {
+			eng, err := mdes.NewEngine(compiled, mdes.WithChecker(kind))
+			if err != nil {
+				fmt.Fprintf(stdout, "%s/%s: skipped (%v)\n", name, kind, err)
+				continue
+			}
+			best := time.Duration(1<<63 - 1)
+			var total mdes.Counters
+			for i := 0; i < rounds; i++ {
+				start := time.Now()
+				if _, total, err = eng.ScheduleBlocks(context.Background(), prog.Blocks, 1); err != nil {
+					return err
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			art := benchArtifact{
+				Schema:           "mdes-bench/v1",
+				Machine:          string(name),
+				Checker:          kind.String(),
+				NumOps:           p.NumOps,
+				Seed:             p.Seed,
+				Blocks:           len(prog.Blocks),
+				Rounds:           rounds,
+				BlocksPerSec:     float64(len(prog.Blocks)) / best.Seconds(),
+				MsPerOp:          best.Seconds() * 1e3 / float64(p.NumOps),
+				ChecksPerAttempt: float64(total.ResourceChecks) / float64(total.Attempts),
+			}
+			path := filepath.Join(dir, fmt.Sprintf("BENCH_%s_%s.json", name, kind))
+			data, err := json.MarshalIndent(art, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o666); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s: %.0f blocks/s, %.4f ms/op, %.2f checks/attempt\n",
+				path, art.BlocksPerSec, art.MsPerOp, art.ChecksPerAttempt)
 		}
 	}
 	return nil

@@ -212,6 +212,9 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 	if err := compareSlots("or/none", orc, ru); err != nil {
 		return err
 	}
+	if err := diffProbePlan("or/probeplan", orNone, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
 
 	// Stage 2: AND/OR form, then each optimization pass applied one at a
 	// time. Probing after every pass attributes a semantics break to the
@@ -241,6 +244,9 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 
 	// Stage 3: the remaining checker backends over the fully-optimized
 	// forward description (`and` now equals LevelFull).
+	if err := diffProbePlan("backend/probeplan", and, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
 	if err := diffAutomaton(and, stream, arrivals, want, c); err != nil {
 		return err
 	}
@@ -353,6 +359,61 @@ func diffBackend(stage string, m *lowlevel.MDES, ck check.Checker, stream, arriv
 // default backend every optimized description must drive correctly.
 func diffRUMap(stage string, m *lowlevel.MDES, stream, arrivals, want []int, grid [][]bool, w window, c *stats.Counters) error {
 	return diffBackend(stage, m, check.NewRUMap(m.NumResources), stream, arrivals, want, grid, w, w.lo, c)
+}
+
+// diffProbePlan replays the stream through the flat probe-plan backend —
+// requiring the same schedules, probe answers, and accounting as the
+// reference walk — then sweeps the batch contract: CheckWindow over the
+// whole grid window must return the same first feasible cycle, the same
+// selection choices, and the same counter deltas as the serial Check loop
+// it replaces. A Compile-produced description the planner rejects is a
+// plan-emission bug and is attributed to that stage.
+func diffProbePlan(stage string, m *lowlevel.MDES, stream, arrivals, want []int, grid [][]bool, w window, c *stats.Counters) error {
+	f, err := check.NewFactory(m, check.KindProbePlan)
+	if err != nil {
+		return stageErrf("probeplan/emit", "%v", err)
+	}
+	ck := f.New()
+	if err := diffBackend(stage, m, ck, stream, arrivals, want, grid, w, w.lo, c); err != nil {
+		return err
+	}
+	batch, ok := ck.(check.BatchProber)
+	if !ok {
+		return stageErrf(stage, "probe-plan checker does not implement CheckWindow")
+	}
+	for op := range grid {
+		con := m.ConstraintFor(op, false)
+		var cb, cs stats.Counters
+		selB, atB, okB := batch.CheckWindow(con, w.lo, w.hi+1, &cb)
+		okS := false
+		atS := 0
+		var selS check.Selection
+		for cycle := w.lo; cycle <= w.hi; cycle++ {
+			if sel, ok := ck.Check(con, cycle, &cs); ok {
+				selS, atS, okS = sel, cycle, true
+				break
+			}
+		}
+		c.Add(cb)
+		c.Add(cs)
+		if okB != okS || (okB && atB != atS) {
+			return stageErrf(stage, "CheckWindow diverged from serial loop: op %s: batch=(%v,%d) serial=(%v,%d)",
+				m.Operations[op].Name, okB, atB, okS, atS)
+		}
+		if cb != cs {
+			return stageErrf(stage, "CheckWindow accounting diverged: op %s: batch=%+v serial=%+v",
+				m.Operations[op].Name, cb, cs)
+		}
+		if okB {
+			for i := range selB.Chosen {
+				if selB.Chosen[i] != selS.Chosen[i] {
+					return stageErrf(stage, "CheckWindow selection diverged: op %s tree %d",
+						m.Operations[op].Name, i)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // diffAutomaton replays the stream through the §10 DFA backend. The

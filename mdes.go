@@ -299,9 +299,10 @@ func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) {
 }
 
 // CheckerKind selects the conflict-detection backend an Engine's sessions
-// probe (see internal/check): the default packed RU map, or the paper §10
-// finite-state-automaton baseline. Backends differ in capability, not in
-// the schedules they produce — the automaton cannot release reservations,
+// probe (see internal/check): the default packed RU map, the paper §10
+// finite-state-automaton baseline, or the flat probe-plan compilation of
+// the description. Backends differ in capability and speed, not in the
+// schedules they produce — the automaton cannot release reservations,
 // attribute conflicts to a blocking operation, or probe backward, so
 // backward/operation-driven scheduling and modulo scheduling refuse it.
 type CheckerKind = check.Kind
@@ -316,13 +317,20 @@ const (
 	// contexts. Requires at most 64 resources and a description optimized
 	// with non-negative usage times.
 	CheckerAutomaton = check.KindAutomaton
+	// CheckerProbePlan compiles the description's AND/OR-trees into flat
+	// span arrays of packed probe words walked by slice iteration, adds
+	// batch multi-cycle probing (check.BatchProber), and switches the
+	// engine's schedulers onto their allocation-free flat paths. Probe
+	// order and accounting are identical to CheckerRUMap, so schedules
+	// and counters are byte-identical; only the cost per probe changes.
+	CheckerProbePlan = check.KindProbePlan
 )
 
 // CheckerKinds returns every selectable backend, default first.
 func CheckerKinds() []CheckerKind { return check.Kinds() }
 
-// ParseCheckerKind resolves a backend name ("rumap", "automaton") — the
-// values the tools accept for their -checker flag.
+// ParseCheckerKind resolves a backend name ("rumap", "automaton",
+// "probeplan") — the values the tools accept for their -checker flag.
 func ParseCheckerKind(s string) (CheckerKind, error) { return check.ParseKind(s) }
 
 // EngineOption configures NewEngine.

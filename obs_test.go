@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"sync"
 	"testing"
+	"time"
 
 	"mdes"
 	"mdes/internal/obs"
@@ -256,6 +257,69 @@ func TestEngineMetricsAgreeWithTotals(t *testing.T) {
 	}
 	if out := mdes.FormatMetrics(metrics); len(out) == 0 {
 		t.Fatal("FormatMetrics returned nothing")
+	}
+}
+
+// Enabled metrics must cost less than 5% of scheduling throughput. The
+// budget holds because check-latency timestamps are sampled (one attempt
+// in obs.TimestampPeriod pays the two clock readings; the histogram
+// weights each sample back up) while counting accounting stays exact.
+// The gate interleaves disabled and enabled runs and compares the
+// fastest of each, so scheduler noise cancels instead of accumulating.
+func TestEnabledMetricsOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock gate; skipped in -short")
+	}
+	machine, err := mdes.Builtin(mdes.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := mdes.Compile(machine, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	blocks := testBlocks(t, mdes.K5, 20000)
+
+	disabled, err := mdes.NewEngine(compiled, mdes.WithChecker(mdes.CheckerProbePlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled, err := mdes.NewEngine(compiled,
+		mdes.WithChecker(mdes.CheckerProbePlan),
+		mdes.WithMetrics(mdes.NewMetrics(compiled)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(eng *mdes.Engine) time.Duration {
+		t0 := time.Now()
+		if _, _, err := eng.ScheduleBlocks(context.Background(), blocks, 1); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	// Warm both pools and the plan before timing.
+	run(disabled)
+	run(enabled)
+
+	// Timing noise here is one-sided — preemption and cache pollution only
+	// ever inflate a reading — so the minimum over many alternating rounds
+	// is the best estimate of each engine's true cost, and alternating
+	// cancels slow drift. A ~15-round min is stable to well under the 5%
+	// bound on a quiet machine.
+	const rounds = 15
+	minDis, minEn := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := run(disabled); d < minDis {
+			minDis = d
+		}
+		if d := run(enabled); d < minEn {
+			minEn = d
+		}
+	}
+	overhead := float64(minEn)/float64(minDis) - 1
+	t.Logf("disabled %v, metrics %v, overhead %.2f%%", minDis, minEn, overhead*100)
+	if overhead >= 0.05 {
+		t.Fatalf("enabled metrics cost %.2f%% (disabled %v, enabled %v over %d rounds); the bound is <5%%",
+			overhead*100, minDis, minEn, rounds)
 	}
 }
 
