@@ -1,0 +1,22 @@
+package lowlevel
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a short content hash of the compiled description:
+// FNV-64a over the canonical binary encoding (Encode is deterministic —
+// pool order is stable and the bypass table is sorted), rendered as 16 hex
+// digits. Two descriptions compiled from the same source at the same form
+// and optimization level hash identically, so the fingerprint keys
+// content-addressed artifacts: trace recordings (internal/trace), flight
+// dumps, and BENCH_*.json perf records all carry it, and replay refuses a
+// description whose fingerprint drifted from the recording's.
+func (m *MDES) Fingerprint() (string, error) {
+	h := fnv.New64a()
+	if err := m.Encode(h); err != nil {
+		return "", fmt.Errorf("lowlevel: fingerprint: %w", err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"time"
 )
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -109,23 +112,82 @@ func ExpvarVar(r *Registry) expvar.Var {
 	return expvar.Func(func() any { return r.Snapshot() })
 }
 
+// FlightExporter is the export surface of a flight recorder
+// (internal/obs/flight.Recorder satisfies it). obs cannot import the
+// flight package — flight imports obs for the Phase enum — so the
+// endpoint layer takes the recorder through this interface instead.
+type FlightExporter interface {
+	// WritePrometheus appends the recorder's metrics (per-phase latency
+	// quantile summaries, anomaly counters, worst-block exemplars) in
+	// Prometheus text exposition format.
+	WritePrometheus(b *strings.Builder)
+	// WriteDump writes the full recorder state (meta, quantiles, recent
+	// and anomalous entries) as indented JSON.
+	WriteDump(w io.Writer) error
+	// Status reports the merged block count and anomaly count, for
+	// health endpoints.
+	Status() (blocks, anomalies int64)
+}
+
+// ServerOption configures Handler and ServeMetrics.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	flight FlightExporter
+}
+
+// WithFlightExporter attaches a flight recorder to the endpoint: its
+// latency quantiles are appended to /metrics, its dump is served at
+// /debug/flight, and /healthz reports its block and anomaly counts.
+func WithFlightExporter(f FlightExporter) ServerOption {
+	return func(c *serverConfig) { c.flight = f }
+}
+
 // Handler returns a mux exposing the registry:
 //
 //	/metrics       Prometheus text exposition format
 //	/metrics.json  the full Snapshot as JSON (expvar-style)
+//	/healthz       liveness probe (JSON status)
+//	/debug/flight  flight-recorder dump (with WithFlightExporter)
 //	/debug/vars    the process-wide expvar handler
 //	/debug/pprof/  the standard pprof handlers
-func Handler(r *Registry) *http.ServeMux {
+func Handler(r *Registry, opts ...ServerOption) *http.ServeMux {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		var b strings.Builder
 		WritePrometheus(&b, r.Snapshot())
+		if cfg.flight != nil {
+			cfg.flight.WritePrometheus(&b)
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, b.String())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprint(w, ExpvarVar(r).String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.flight != nil {
+			blocks, anomalies := cfg.flight.Status()
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"blocks\":%d,\"anomalies\":%d}\n", blocks, anomalies)
+			return
+		}
+		fmt.Fprint(w, "{\"status\":\"ok\"}\n")
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.flight == nil {
+			http.Error(w, "flight recorder not configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := cfg.flight.WriteDump(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -144,17 +206,50 @@ type Server struct {
 	ln   net.Listener
 }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// shutdownGrace bounds how long Close waits for in-flight requests
+// before cutting them off.
+const shutdownGrace = 5 * time.Second
+
+// Close stops the endpoint: the listener closes immediately (no new
+// connections), in-flight requests get a bounded grace period, then any
+// stragglers are cut off.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown stops the endpoint gracefully: the listener closes
+// immediately and in-flight requests are allowed to complete until ctx
+// expires, at which point they are forcibly closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Grace expired (or ctx canceled): cut off the stragglers so
+		// Close always leaves the port free.
+		if cerr := s.srv.Close(); cerr != nil && err == context.DeadlineExceeded {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // ServeMetrics binds addr (e.g. ":8080", "127.0.0.1:0") and serves
-// Handler(r) on it in a background goroutine until Close.
-func ServeMetrics(addr string, r *Registry) (*Server, error) {
+// Handler(r, opts...) on it in a background goroutine until Close. The
+// server carries conservative read/write timeouts: it exposes
+// diagnostics, so a stuck client must never pin a connection forever.
+func ServeMetrics(addr string, r *Registry, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{
+		Handler:           Handler(r, opts...),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

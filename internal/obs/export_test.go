@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeFlight is a minimal FlightExporter for endpoint tests.
+type fakeFlight struct {
+	blocks    int64
+	anomalies int64
+	dumps     int
+}
+
+func (f *fakeFlight) WritePrometheus(b *strings.Builder) {
+	fmt.Fprintf(b, "mdes_flight_blocks_total %d\n", f.blocks)
+}
+
+func (f *fakeFlight) WriteDump(w io.Writer) error {
+	f.dumps++
+	_, err := fmt.Fprintf(w, "{\"blocks\":%d}\n", f.blocks)
+	return err
+}
+
+func (f *fakeFlight) Status() (int64, int64) { return f.blocks, f.anomalies }
+
+func testGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthzWithoutFlight(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	srv, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := testGet(t, srv.Addr, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz does not parse: %v\n%s", err, body)
+	}
+	if health.Status != "ok" {
+		t.Errorf("/healthz status = %q", health.Status)
+	}
+	if code, _ := testGet(t, srv.Addr, "/debug/flight"); code != http.StatusNotFound {
+		t.Errorf("/debug/flight without exporter: status %d, want 404", code)
+	}
+}
+
+func TestFlightEndpoints(t *testing.T) {
+	r := NewRegistry([]string{"alu"}, []string{"r0"})
+	l := r.NewLocal()
+	l.Attempt(PhaseList, 0, 1, 1, 10, true)
+	r.Merge(l)
+	fl := &fakeFlight{blocks: 42, anomalies: 3}
+	srv, err := ServeMetrics("127.0.0.1:0", r, WithFlightExporter(fl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := testGet(t, srv.Addr, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Blocks    int64  `json:"blocks"`
+		Anomalies int64  `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz does not parse: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || health.Blocks != 42 || health.Anomalies != 3 {
+		t.Errorf("/healthz = %+v", health)
+	}
+
+	code, body = testGet(t, srv.Addr, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", code)
+	}
+	var dump struct {
+		Blocks int64 `json:"blocks"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/flight does not parse: %v\n%s", err, body)
+	}
+	if dump.Blocks != 42 || fl.dumps != 1 {
+		t.Errorf("dump blocks = %d, dumps = %d", dump.Blocks, fl.dumps)
+	}
+
+	// The flight recorder's metrics ride along on /metrics, after the
+	// registry's own series.
+	_, body = testGet(t, srv.Addr, "/metrics")
+	if !strings.Contains(body, "mdes_flight_blocks_total 42") {
+		t.Errorf("/metrics missing flight series:\n%s", body)
+	}
+	if !strings.Contains(body, `mdes_attempts_total{phase="list"} 1`) {
+		t.Errorf("/metrics missing registry series:\n%s", body)
+	}
+}
+
+// TestServerCloseStopsListener asserts the satellite-1 contract: after
+// Close returns, the listener no longer accepts connections.
+func TestServerCloseStopsListener(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", NewRegistry(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr
+	if code, _ := testGet(t, addr, "/healthz"); code != http.StatusOK {
+		t.Fatalf("pre-close /healthz status %d", code)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("GET succeeded after Close; listener still accepting")
+	}
+}

@@ -1,0 +1,2 @@
+// Empty assembly file so the compiler accepts the body-less Nanotime
+// declaration in nanotime.go (go:linkname pull).

@@ -30,6 +30,7 @@ import (
 	"mdes/internal/check"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
+	"mdes/internal/obs/flight"
 	"mdes/internal/probeplan"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
@@ -69,6 +70,11 @@ type Context struct {
 	// has no registry (observability disabled) and on standalone
 	// contexts.
 	Obs *obs.Local
+	// Flight, when non-nil, is the per-context flight-recorder ring the
+	// schedulers append one compact entry per block to; it is merged into
+	// the pool's flight.Recorder on release. Nil when the pool has no
+	// recorder and on standalone contexts.
+	Flight *flight.Local
 	// Slots is a reusable (resource, cycle) buffer for reservation
 	// snapshots (rumap.Map.AppendReservedSlots).
 	Slots [][2]int
@@ -235,6 +241,7 @@ type Pool struct {
 	backtracks atomic.Int64
 
 	reg *obs.Registry
+	fr  *flight.Recorder
 }
 
 // NewPool returns a Context pool with the default RU-map checker for a
@@ -270,6 +277,15 @@ func (p *Pool) SetMetrics(reg *obs.Registry) { p.reg = reg }
 // Metrics returns the attached registry, or nil.
 func (p *Pool) Metrics() *obs.Registry { return p.reg }
 
+// SetFlight attaches a flight recorder: every Context borrowed after this
+// call carries a flight.Local ring merged into rec on release. Must be
+// called before the first Get (mdes.NewEngine configures it at
+// construction).
+func (p *Pool) SetFlight(rec *flight.Recorder) { p.fr = rec }
+
+// Flight returns the attached flight recorder, or nil.
+func (p *Pool) Flight() *flight.Recorder { return p.fr }
+
 // Get borrows a clean Context. The caller must return it with Put (or
 // Context.Release) when done.
 func (p *Pool) Get() *Context {
@@ -280,6 +296,9 @@ func (p *Pool) Get() *Context {
 			c.Obs = p.reg.NewLocal()
 		}
 		p.reg.AddInFlight(1)
+	}
+	if p.fr != nil && c.Flight == nil {
+		c.Flight = p.fr.NewLocal()
 	}
 	return c
 }
@@ -303,6 +322,9 @@ func (p *Pool) Put(c *Context) {
 	if p.reg != nil {
 		p.reg.Merge(c.Obs)
 		p.reg.AddInFlight(-1)
+	}
+	if p.fr != nil {
+		p.fr.Merge(c.Flight)
 	}
 	c.Reset()
 	p.p.Put(c)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mdes/internal/obs"
+	"mdes/internal/obs/flight"
 	"mdes/internal/stats"
 )
 
@@ -140,4 +141,48 @@ func TestPoolMetricsMergeOnRelease(t *testing.T) {
 	if got := reg.Snapshot().Phases[obs.PhaseList].Attempts; got != 1 {
 		t.Fatalf("clean recycled local changed attempts: %d", got)
 	}
+}
+
+func TestPoolFlightMergeOnRelease(t *testing.T) {
+	rec := flight.NewRecorder(flight.Config{})
+	p := NewPool(4)
+	p.SetFlight(rec)
+	if p.Flight() != rec {
+		t.Fatal("Flight() did not return the attached recorder")
+	}
+
+	c := p.Get()
+	if c.Flight == nil {
+		t.Fatal("pooled context has no flight ring after SetFlight")
+	}
+	c.Flight.Record(&flight.Entry{Block: 7, Phase: obs.PhaseList, Ops: 3, Length: 5, WallNs: 100})
+	c.Release()
+
+	if got := rec.Blocks(); got != 1 {
+		t.Fatalf("recorder merged %d blocks, want 1", got)
+	}
+	snap := rec.Snapshot()
+	if len(snap.Recent) != 1 || snap.Recent[0].Block != 7 {
+		t.Fatalf("recent = %+v", snap.Recent)
+	}
+
+	// Recycled contexts keep their ring; entries must not leak across
+	// borrows.
+	c2 := p.Get()
+	if c2.Flight == nil {
+		t.Fatal("recycled context lost its flight ring")
+	}
+	c2.Release()
+	if got := rec.Blocks(); got != 1 {
+		t.Fatalf("empty release added blocks: %d", got)
+	}
+}
+
+func TestPoolWithoutFlightHasNoRing(t *testing.T) {
+	p := NewPool(4)
+	c := p.Get()
+	if c.Flight != nil {
+		t.Fatal("context has a flight ring without SetFlight")
+	}
+	c.Release()
 }

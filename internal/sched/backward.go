@@ -33,6 +33,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 	if caps := s.cx.Checker.Capabilities(); caps.MonotonicOnly {
 		return nil, fmt.Errorf("sched: backward scheduling needs random-access probes; the %s backend is monotonic-only", caps.Backend)
 	}
+	ft := s.flightStart()
 	bt := s.startTrace(n)
 	s.cx.Checker.Reset()
 
@@ -116,12 +117,14 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseBackward, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: backward deadlock, %d operations unschedulable", remaining)
 		}
 		if cycle > 64*n+1024 {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseBackward, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: backward no progress after %d cycles", cycle)
 		}
 	}
@@ -147,6 +150,7 @@ func (s *Scheduler) ScheduleBlockBackward(b *ir.Block) (*Result, error) {
 	if bt != nil {
 		bt.Finish(res.Length, res.Counters)
 	}
+	s.flightRecord(obs.PhaseBackward, ft, n, res.Length, res.Counters)
 	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }

@@ -64,6 +64,7 @@ func (s *Scheduler) scheduleBlockFlat(b *ir.Block) (*Result, error) {
 		g = s.builder.Build(b, timing{m: s.mdes})
 	}
 
+	ft := s.flightStart()
 	bt := s.startTrace(n)
 	height := ar.Ints(n)
 	ops := s.mdes.Operations
@@ -132,12 +133,14 @@ func (s *Scheduler) scheduleBlockFlat(b *ir.Block) (*Result, error) {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseList, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: deadlock, %d operations unschedulable", remaining)
 		}
 		if cycle > 64*n+1024 {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseList, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: no progress after %d cycles", cycle)
 		}
 	}
@@ -155,6 +158,7 @@ func (s *Scheduler) scheduleBlockFlat(b *ir.Block) (*Result, error) {
 	if bt != nil {
 		bt.Finish(res.Length, res.Counters)
 	}
+	s.flightRecord(obs.PhaseList, ft, n, res.Length, res.Counters)
 	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }

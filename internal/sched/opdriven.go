@@ -35,6 +35,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 	if caps := s.cx.Checker.Capabilities(); caps.MonotonicOnly {
 		return nil, fmt.Errorf("sched: operation-driven scheduling needs random-access probes; the %s backend is monotonic-only", caps.Backend)
 	}
+	ft := s.flightStart()
 	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
 	s.cx.Checker.Reset()
@@ -86,6 +87,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 				lo = hi
 			}
 			if !found {
+				s.flightRecord(obs.PhaseOpDriven, ft, n, -1, res.Counters)
 				return nil, fmt.Errorf("sched: op %d found no cycle", i)
 			}
 		} else {
@@ -106,6 +108,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 					if bt != nil {
 						bt.Finish(-1, res.Counters)
 					}
+					s.flightRecord(obs.PhaseOpDriven, ft, n, -1, res.Counters)
 					return nil, fmt.Errorf("sched: op %d found no cycle", i)
 				}
 			}
@@ -138,6 +141,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 	if bt != nil {
 		bt.Finish(res.Length, res.Counters)
 	}
+	s.flightRecord(obs.PhaseOpDriven, ft, n, res.Length, res.Counters)
 	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"mdes/internal/ir"
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
+	"mdes/internal/obs/flight"
 	"mdes/internal/resctx"
 	"mdes/internal/stats"
 )
@@ -168,6 +169,42 @@ func (s *Scheduler) startTrace(numOps int) *obs.BlockTrace {
 	return s.Tracer.StartBlock(s.BlockID, s.mdes.MachineName, numOps)
 }
 
+// flightStart reads the block's monotonic start time when the borrowed
+// context carries a flight-recorder ring; zero disables flight recording
+// for the block, so the recorder-off cost is one nil check. The raw
+// runtime clock (flight.Nanotime) is deliberate: the clock pair is the
+// dominant per-block flight cost, and the always-on overhead gate at the
+// repository root leaves no room for time.Time round-trips.
+func (s *Scheduler) flightStart() int64 {
+	if s.cx.Flight == nil {
+		return 0
+	}
+	return flight.Nanotime()
+}
+
+// flightRecord appends one flight entry for a completed block (length < 0
+// marks a failed schedule). The per-block cost with the recorder on is
+// one clock reading plus a fixed-size ring store — the always-on budget
+// the flight-recorder overhead gate at the repository root enforces.
+func (s *Scheduler) flightRecord(phase obs.Phase, t0 int64, nops, length int, c stats.Counters) {
+	if t0 == 0 {
+		return
+	}
+	e := flight.Entry{
+		Block:      s.BlockID,
+		Phase:      phase,
+		Ops:        int32(nops),
+		Length:     int32(length),
+		WallNs:     flight.Nanotime() - t0,
+		Attempts:   c.Attempts,
+		Options:    c.OptionsChecked,
+		Checks:     c.ResourceChecks,
+		Conflicts:  c.Conflicts,
+		Backtracks: c.Backtracks,
+	}
+	s.cx.Flight.Record(&e)
+}
+
 // timing adapts the compiled MDES's operand-level distances (latency,
 // source sample time, bypasses) to the IR graph builder.
 type timing struct{ m *lowlevel.MDES }
@@ -229,6 +266,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 	if err := s.checkOpcodes(g.Block); err != nil {
 		return nil, err
 	}
+	ft := s.flightStart()
 	bt := s.startTrace(n)
 	height := g.Height(s.Latency)
 	s.cx.Checker.Reset()
@@ -298,12 +336,14 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseList, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: deadlock, %d operations unschedulable", remaining)
 		}
 		if cycle > 64*n+1024 {
 			if bt != nil {
 				bt.Finish(-1, res.Counters)
 			}
+			s.flightRecord(obs.PhaseList, ft, n, -1, res.Counters)
 			return nil, fmt.Errorf("sched: no progress after %d cycles", cycle)
 		}
 	}
@@ -321,6 +361,7 @@ func (s *Scheduler) scheduleGraph(g *ir.Graph) (*Result, error) {
 	if bt != nil {
 		bt.Finish(res.Length, res.Counters)
 	}
+	s.flightRecord(obs.PhaseList, ft, n, res.Length, res.Counters)
 	s.cx.Counters.Add(res.Counters)
 	return res, nil
 }

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"mdes"
@@ -32,14 +34,16 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		opsFlag      = fs.Int("ops", 20000, "static operations per machine")
 		seedFlag     = fs.Int64("seed", 1996, "workload seed")
 
-		machineFlag = fs.String("machine", string(machines.K5), "machine for the observability run (-metrics/-trace/-report)")
-		metricsFlag = fs.String("metrics", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run (e.g. :8080)")
-		traceFlag   = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
-		sampleFlag  = fs.Int("tracesample", 1, "trace 1 in N blocks")
-		reportFlag  = fs.Bool("report", false, "print the metrics registry as tables after the run")
-		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap, automaton or probeplan")
-		repeatFlag  = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
-		workersFlag = fs.Int("workers", 8, "scheduling goroutines for the observability run")
+		machineFlag    = fs.String("machine", string(machines.K5), "machine for the observability run (-metrics/-trace/-report)")
+		metricsFlag    = fs.String("metrics", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address during the run (e.g. :8080)")
+		traceFlag      = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
+		sampleFlag     = fs.Int("tracesample", 1, "trace 1 in N blocks")
+		reportFlag     = fs.Bool("report", false, "print the metrics registry as tables after the run")
+		checkerFlag    = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap, automaton or probeplan")
+		repeatFlag     = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
+		workersFlag    = fs.Int("workers", 8, "scheduling goroutines for the observability run")
+		flightFlag     = fs.Bool("flight", false, "attach the always-on flight recorder (tail quantiles, anomaly capture; served at /debug/flight with -metrics)")
+		flightdumpFlag = fs.String("flightdump", "", "write the flight recorder's JSON dump to this file after the run (implies -flight)")
 
 		benchjsonFlag = fs.String("benchjson", "", "write one BENCH_<machine>_<checker>.json perf artifact (blocks/s, ms/op, checks/attempt) per machine x checker to this directory")
 
@@ -61,21 +65,23 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		return runBenchJSON(stdout, p, *benchjsonFlag)
 	}
 
-	if *metricsFlag != "" || *traceFlag != "" || *reportFlag {
+	if *metricsFlag != "" || *traceFlag != "" || *reportFlag || *flightFlag || *flightdumpFlag != "" {
 		kind, err := mdes.ParseCheckerKind(*checkerFlag)
 		if err != nil {
 			fmt.Fprintf(stdout, "unknown checker %q\n%s", *checkerFlag, cli.FormatCheckerKinds())
 			return nil
 		}
 		return runObserve(stdout, p, observeConfig{
-			machine: machines.Name(*machineFlag),
-			checker: kind,
-			metrics: *metricsFlag,
-			trace:   *traceFlag,
-			sample:  *sampleFlag,
-			report:  *reportFlag,
-			repeat:  *repeatFlag,
-			workers: *workersFlag,
+			machine:    machines.Name(*machineFlag),
+			checker:    kind,
+			metrics:    *metricsFlag,
+			trace:      *traceFlag,
+			sample:     *sampleFlag,
+			report:     *reportFlag,
+			repeat:     *repeatFlag,
+			workers:    *workersFlag,
+			flight:     *flightFlag || *flightdumpFlag != "",
+			flightdump: *flightdumpFlag,
 		})
 	}
 	if *parallelFlag > 0 {
@@ -106,14 +112,16 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 
 // observeConfig parameterizes the observability run.
 type observeConfig struct {
-	machine machines.Name
-	checker mdes.CheckerKind
-	metrics string
-	trace   string
-	sample  int
-	report  bool
-	repeat  int
-	workers int
+	machine    machines.Name
+	checker    mdes.CheckerKind
+	metrics    string
+	trace      string
+	sample     int
+	report     bool
+	repeat     int
+	workers    int
+	flight     bool
+	flightdump string
 }
 
 // runObserve schedules one machine's workload on an Engine with the
@@ -142,17 +150,26 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		defer f.Close()
 		opts = append(opts, mdes.WithTracer(mdes.NewJSONLTracer(f, cfg.sample)))
 	}
+	var flight *mdes.FlightRecorder
+	if cfg.flight {
+		flight = mdes.NewFlightRecorder(mdes.FlightConfig{})
+		opts = append(opts, mdes.WithFlight(flight))
+	}
 	eng, err := mdes.NewEngine(compiled, opts...)
 	if err != nil {
 		return err
 	}
 	if cfg.metrics != "" {
-		srv, err := mdes.ServeMetrics(cfg.metrics, metrics)
+		var srvOpts []mdes.ServerOption
+		if flight != nil {
+			srvOpts = append(srvOpts, mdes.WithFlightExporter(flight))
+		}
+		srv, err := mdes.ServeMetrics(cfg.metrics, metrics, srvOpts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(stdout, "serving http://%s/metrics (+ /metrics.json, /debug/pprof) during the run\n", srv.Addr)
+		fmt.Fprintf(stdout, "serving http://%s/metrics (+ /metrics.json, /healthz, /debug/pprof) during the run\n", srv.Addr)
 	}
 
 	prog, err := workload.GenerateParallel(workload.Config{Machine: cfg.machine, NumOps: p.NumOps, Seed: p.Seed}, 4)
@@ -174,6 +191,24 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		elapsed.Round(time.Microsecond), eng.Totals())
 	if cfg.trace != "" {
 		fmt.Fprintf(stdout, "trace written to %s\n", cfg.trace)
+	}
+	if flight != nil {
+		blocks, anomalies := flight.Status()
+		fmt.Fprintf(stdout, "flight recorder: %d blocks merged, %d anomalies\n", blocks, anomalies)
+		if cfg.flightdump != "" {
+			f, err := os.Create(cfg.flightdump)
+			if err != nil {
+				return err
+			}
+			err = flight.WriteDump(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "flight dump written to %s\n", cfg.flightdump)
+		}
 	}
 	if cfg.report {
 		fmt.Fprintln(stdout, mdes.FormatMetrics(metrics))
@@ -236,13 +271,21 @@ func runParallel(stdout io.Writer, p experiments.Params, maxPar int) error {
 // the perf trajectory is diffable across commits instead of living only in
 // EXPERIMENTS.md prose.
 type benchArtifact struct {
-	Schema  string `json:"schema"`
-	Machine string `json:"machine"`
-	Checker string `json:"checker"`
-	NumOps  int    `json:"num_ops"`
-	Seed    int64  `json:"seed"`
-	Blocks  int    `json:"blocks"`
-	Rounds  int    `json:"rounds"`
+	Schema string `json:"schema"`
+	// MachineHash, Commit, and GeneratedAt stamp the artifact with what
+	// produced it: the compiled description's content fingerprint, the
+	// source revision (GITHUB_SHA in CI, git locally, else "unknown"),
+	// and the UTC generation time — so two BENCH files are comparable
+	// only when their provenance says they measured the same thing.
+	MachineHash string `json:"machine_hash"`
+	Commit      string `json:"commit"`
+	GeneratedAt string `json:"generated_at"`
+	Machine     string `json:"machine"`
+	Checker     string `json:"checker"`
+	NumOps      int    `json:"num_ops"`
+	Seed        int64  `json:"seed"`
+	Blocks      int    `json:"blocks"`
+	Rounds      int    `json:"rounds"`
 	// BlocksPerSec and MsPerOp are wall-clock rates from the best (minimum)
 	// of Rounds serial runs; ChecksPerAttempt is exact accounting.
 	BlocksPerSec     float64 `json:"blocks_per_sec"`
@@ -258,6 +301,8 @@ func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return err
 	}
+	commit := benchCommit()
+	generatedAt := time.Now().UTC().Format(time.RFC3339)
 	const rounds = 3
 	for _, name := range machines.All {
 		machine, err := machines.Load(name)
@@ -266,6 +311,10 @@ func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 		}
 		compiled := mdes.Compile(machine, mdes.FormAndOr)
 		mdes.Optimize(compiled, mdes.LevelFull)
+		fingerprint, err := compiled.Fingerprint()
+		if err != nil {
+			return err
+		}
 		prog, err := workload.GenerateParallel(workload.Config{Machine: name, NumOps: p.NumOps, Seed: p.Seed}, 4)
 		if err != nil {
 			return err
@@ -288,7 +337,10 @@ func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 				}
 			}
 			art := benchArtifact{
-				Schema:           "mdes-bench/v1",
+				Schema:           "mdes-bench/v2",
+				MachineHash:      fingerprint,
+				Commit:           commit,
+				GeneratedAt:      generatedAt,
 				Machine:          string(name),
 				Checker:          kind.String(),
 				NumOps:           p.NumOps,
@@ -312,6 +364,20 @@ func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 		}
 	}
 	return nil
+}
+
+// benchCommit resolves the source revision bench artifacts are stamped
+// with: GITHUB_SHA in CI, the working tree's HEAD locally, "unknown"
+// outside a checkout.
+func benchCommit() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func runFig2(stdout io.Writer, p experiments.Params) error {

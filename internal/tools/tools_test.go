@@ -2,10 +2,12 @@ package tools
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runTool(t *testing.T, fn func([]string, *bytes.Buffer) error, args ...string) string {
@@ -345,5 +347,162 @@ func TestSchedbenchReportHasTranslatorSection(t *testing.T) {
 	out := runTool(t, schedbench, "-machine", "k5", "-ops", "2000", "-report")
 	if !strings.Contains(out, "Translator ledger") {
 		t.Fatalf("schedbench -report lacks translator section:\n%s", out)
+	}
+}
+
+func TestSchedbenchFlight(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "flight.json")
+	out := runTool(t, schedbench, "-machine", "k5", "-ops", "1700", "-flightdump", dump)
+	if !strings.Contains(out, "flight recorder:") || !strings.Contains(out, "blocks merged") {
+		t.Errorf("missing flight summary in output:\n%s", out)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Machine     string `json:"machine"`
+		MachineHash string `json:"machine_hash"`
+		Blocks      int64  `json:"blocks"`
+		Quantiles   []struct {
+			Phase string  `json:"phase"`
+			P999  float64 `json:"p999"`
+		} `json:"quantiles"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flight dump does not parse: %v\n%s", err, data)
+	}
+	if snap.Machine != "K5" || len(snap.MachineHash) != 16 {
+		t.Errorf("dump meta = %q / %q", snap.Machine, snap.MachineHash)
+	}
+	if snap.Blocks < 100 {
+		t.Errorf("flight merged %d blocks, want >= 100 at -ops 1700", snap.Blocks)
+	}
+	if len(snap.Quantiles) == 0 {
+		t.Error("flight dump has no quantile summaries")
+	}
+}
+
+func TestSchedbenchBenchJSONStamps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchjson runs every machine x checker")
+	}
+	dir := t.TempDir()
+	runTool(t, schedbench, "-ops", "400", "-benchjson", dir)
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH artifacts written (err %v)", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Schema      string `json:"schema"`
+		MachineHash string `json:"machine_hash"`
+		Commit      string `json:"commit"`
+		GeneratedAt string `json:"generated_at"`
+		Machine     string `json:"machine"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("%s does not parse: %v", files[0], err)
+	}
+	if art.Schema != "mdes-bench/v2" {
+		t.Errorf("schema = %q", art.Schema)
+	}
+	if len(art.MachineHash) != 16 {
+		t.Errorf("machine_hash = %q", art.MachineHash)
+	}
+	if art.Commit == "" {
+		t.Error("commit stamp empty")
+	}
+	if _, err := time.Parse(time.RFC3339, art.GeneratedAt); err != nil {
+		t.Errorf("generated_at %q: %v", art.GeneratedAt, err)
+	}
+}
+
+func mdtrace(args []string, buf *bytes.Buffer) error { return RunMdtrace(args, buf) }
+
+func TestMdtraceRecordDumpReplayDiff(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "k5.mdtr")
+	out := runTool(t, mdtrace, "record",
+		"-machine", "k5", "-checker", "rumap", "-ops", "1200", "-o", tr)
+	if !strings.Contains(out, "recorded") || !strings.Contains(out, "trace id") {
+		t.Fatalf("record output:\n%s", out)
+	}
+
+	out = runTool(t, mdtrace, "dump", "-blocks", "2", tr)
+	for _, want := range []string{"trace id:", "machine:      k5", "workload:     seeded", "block    0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runTool(t, mdtrace, "replay", tr)
+	if !strings.Contains(out, "byte-identically") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+
+	// Cross-backend replay: a different checker must produce the same
+	// schedules (the paper's backends are semantically equivalent).
+	out = runTool(t, mdtrace, "replay", "-checker", "probeplan", tr)
+	if !strings.Contains(out, "byte-identically") {
+		t.Fatalf("cross-backend replay output:\n%s", out)
+	}
+
+	out = runTool(t, mdtrace, "diff", tr, tr)
+	if !strings.Contains(out, "identical recordings") {
+		t.Fatalf("diff output:\n%s", out)
+	}
+
+	// A trace of a different workload diffs non-identically and errors.
+	tr2 := filepath.Join(dir, "k5b.mdtr")
+	runTool(t, mdtrace, "record",
+		"-machine", "k5", "-checker", "rumap", "-ops", "1200", "-seed", "7", "-o", tr2)
+	var buf bytes.Buffer
+	if err := RunMdtrace([]string{"diff", tr, tr2}, &buf); err == nil {
+		t.Fatalf("diff of different traces succeeded:\n%s", buf.String())
+	}
+}
+
+func TestMdtraceInlineRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "ss.mdtr")
+	runTool(t, mdtrace, "record",
+		"-machine", "supersparc", "-ops", "600", "-inline", "-o", tr)
+	out := runTool(t, mdtrace, "dump", tr)
+	if !strings.Contains(out, "workload:     inline") {
+		t.Fatalf("dump of inline trace:\n%s", out)
+	}
+	out = runTool(t, mdtrace, "replay", tr)
+	if !strings.Contains(out, "byte-identically") {
+		t.Fatalf("inline replay output:\n%s", out)
+	}
+}
+
+func TestMdtraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMdtrace(nil, &buf); err == nil {
+		t.Error("no command succeeded")
+	}
+	if err := RunMdtrace([]string{"bogus"}, &buf); err == nil {
+		t.Error("unknown command succeeded")
+	}
+	if err := RunMdtrace([]string{"record"}, &buf); err == nil {
+		t.Error("record without -o succeeded")
+	}
+	if err := RunMdtrace([]string{"replay", "/nonexistent.mdtr"}, &buf); err == nil {
+		t.Error("replay of missing file succeeded")
+	}
+	// A corrupt file must be rejected by the trailer hash.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mdtr")
+	if err := os.WriteFile(bad, []byte("MDTRgarbagegarbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunMdtrace([]string{"dump", bad}, &buf); err == nil || !strings.Contains(err.Error(), "trailer hash") {
+		t.Errorf("corrupt trace: err = %v", err)
 	}
 }

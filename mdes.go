@@ -61,6 +61,7 @@ import (
 	"mdes/internal/lowlevel"
 	"mdes/internal/machines"
 	"mdes/internal/obs"
+	"mdes/internal/obs/flight"
 	"mdes/internal/opt"
 	"mdes/internal/query"
 	"mdes/internal/resctx"
@@ -290,12 +291,47 @@ func FormatMetrics(m *Metrics) string {
 	return obs.FormatRegistry(m)
 }
 
+// FlightRecorder is the always-on flight recorder: a bounded record of
+// recent per-block scheduling events (latency, attempts, conflicts,
+// backtracks) with streaming tail-latency quantiles and anomaly
+// triggers. Attach one to an Engine with WithFlight; read it with
+// FlightRecorder.Snapshot or WriteDump, or serve it through
+// ServeMetrics with WithFlightExporter.
+type FlightRecorder = flight.Recorder
+
+// FlightConfig parameterizes a FlightRecorder; the zero value is a
+// sensible always-on configuration.
+type FlightConfig = flight.Config
+
+// FlightSnapshot is a point-in-time copy of a FlightRecorder.
+type FlightSnapshot = flight.Snapshot
+
+// FlightEntry is one block's flight record.
+type FlightEntry = flight.Entry
+
+// NewFlightRecorder returns a flight recorder (zero cfg for defaults).
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	return flight.NewRecorder(cfg)
+}
+
+// ServerOption configures ServeMetrics endpoints.
+type ServerOption = obs.ServerOption
+
+// WithFlightExporter attaches a flight recorder to a ServeMetrics
+// server: its tail-latency quantiles are appended to /metrics, its dump
+// is served at /debug/flight, and /healthz reports its block and
+// anomaly counts.
+func WithFlightExporter(f *FlightRecorder) ServerOption {
+	return obs.WithFlightExporter(f)
+}
+
 // ServeMetrics starts an HTTP server on addr exposing the registry at
 // /metrics (Prometheus text format) and /metrics.json (expvar JSON),
-// plus the standard pprof profiles under /debug/pprof/. Close the
-// returned server to stop it.
-func ServeMetrics(addr string, m *Metrics) (*obs.Server, error) {
-	return obs.ServeMetrics(addr, m)
+// a /healthz liveness probe, plus the standard pprof profiles under
+// /debug/pprof/. With WithFlightExporter the flight recorder is served
+// at /debug/flight. Close the returned server to stop it gracefully.
+func ServeMetrics(addr string, m *Metrics, opts ...ServerOption) (*obs.Server, error) {
+	return obs.ServeMetrics(addr, m, opts...)
 }
 
 // CheckerKind selects the conflict-detection backend an Engine's sessions
@@ -358,6 +394,15 @@ func WithTracer(t Tracer) EngineOption {
 	return func(e *Engine) { e.tracer = t }
 }
 
+// WithFlight attaches an always-on flight recorder: every context the
+// engine borrows carries a local flight ring recording one compact
+// entry per scheduled block, merged into rec on release. NewEngine
+// stamps rec with the machine name, the compiled description's content
+// fingerprint, and the checker backend.
+func WithFlight(rec *FlightRecorder) EngineOption {
+	return func(e *Engine) { e.flight = rec }
+}
+
 // Engine serves one frozen compiled machine description to any number of
 // concurrent clients — the session layer between the paper's
 // compile-once artifact and a production service's many inner loops.
@@ -377,6 +422,7 @@ type Engine struct {
 	checker  CheckerKind
 	metrics  *obs.Registry
 	tracer   obs.Tracer
+	flight   *flight.Recorder
 	blockSeq atomic.Int64
 }
 
@@ -400,6 +446,14 @@ func NewEngine(c *Compiled, opts ...EngineOption) (*Engine, error) {
 		e.metrics.SetBackend(e.checker.String())
 		e.pool.SetMetrics(e.metrics)
 	}
+	if e.flight != nil {
+		fp, err := c.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		e.flight.SetMeta(c.MachineName, fp, e.checker.String())
+		e.pool.SetFlight(e.flight)
+	}
 	return e, nil
 }
 
@@ -411,6 +465,9 @@ func (e *Engine) Compiled() *Compiled { return e.compiled }
 
 // Metrics returns the registry attached with WithMetrics, or nil.
 func (e *Engine) Metrics() *Metrics { return e.pool.Metrics() }
+
+// Flight returns the flight recorder attached with WithFlight, or nil.
+func (e *Engine) Flight() *FlightRecorder { return e.flight }
 
 // Totals returns the instrumentation counters aggregated across every
 // completed session (scheduling call or closed query) so far.
