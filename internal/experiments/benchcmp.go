@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchRecord is the machine-readable perf record one `schedbench
+// -benchjson` run writes per (machine, checker) — the BENCH_*.json
+// trajectory the CI bench-smoke job uploads and `mdreport -bench-compare`
+// gates on.
+type BenchRecord struct {
+	Schema string `json:"schema"`
+	// MachineHash, Commit, and GeneratedAt stamp the artifact with what
+	// produced it: the compiled description's content fingerprint, the
+	// source revision (GITHUB_SHA in CI, git locally, else "unknown"),
+	// and the UTC generation time — so two BENCH files are comparable
+	// only when their provenance says they measured the same thing.
+	MachineHash string `json:"machine_hash"`
+	Commit      string `json:"commit"`
+	GeneratedAt string `json:"generated_at"`
+	Machine     string `json:"machine"`
+	Checker     string `json:"checker"`
+	NumOps      int    `json:"num_ops"`
+	Seed        int64  `json:"seed"`
+	Blocks      int    `json:"blocks"`
+	Rounds      int    `json:"rounds"`
+	// BlocksPerSec and MsPerOp are wall-clock rates from the best (minimum)
+	// of Rounds serial runs; ChecksPerAttempt is exact accounting.
+	BlocksPerSec     float64 `json:"blocks_per_sec"`
+	MsPerOp          float64 `json:"ms_per_op"`
+	ChecksPerAttempt float64 `json:"checks_per_attempt"`
+}
+
+// BenchSchema is the artifact schema BenchRecord reads and writes.
+const BenchSchema = "mdes-bench/v2"
+
+// Key returns the trajectory key a record is compared under.
+func (r *BenchRecord) Key() string { return r.Machine + "/" + r.Checker }
+
+// LoadBenchRecords reads BENCH records from path: either one artifact
+// file or a directory containing BENCH_*.json files.
+func LoadBenchRecords(path string) ([]BenchRecord, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no BENCH_*.json artifacts in %s", path)
+		}
+		sort.Strings(files)
+	} else {
+		files = []string{path}
+	}
+	var out []BenchRecord
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var r BenchRecord
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		if r.Schema != BenchSchema {
+			return nil, fmt.Errorf("%s: schema %q, want %q", f, r.Schema, BenchSchema)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BenchDelta is one (machine, checker) pair's old-vs-new comparison.
+type BenchDelta struct {
+	Key                 string
+	OldBlocksPerSec     float64
+	NewBlocksPerSec     float64
+	OldChecksPerAttempt float64
+	NewChecksPerAttempt float64
+}
+
+// RatePct returns the blocks/s change in percent (positive = faster).
+func (d BenchDelta) RatePct() float64 {
+	if d.OldBlocksPerSec == 0 {
+		return 0
+	}
+	return 100 * (d.NewBlocksPerSec - d.OldBlocksPerSec) / d.OldBlocksPerSec
+}
+
+// CompareBenchRecords compares two BENCH trajectories pairwise by
+// (machine, checker) key. A violation is reported when a pair's new
+// blocks/s falls more than rateTol (fractional, e.g. 0.40) below the old,
+// when its checks/attempt rises more than checksTol above the old, or
+// when a pair measured in old is missing from new. The rate gate is loose
+// by design (wall-clock noise across runners); the counter gate is tight
+// (checks/attempt is deterministic).
+func CompareBenchRecords(old, new []BenchRecord, rateTol, checksTol float64) ([]BenchDelta, []string) {
+	newByKey := map[string]*BenchRecord{}
+	for i := range new {
+		newByKey[new[i].Key()] = &new[i]
+	}
+	var deltas []BenchDelta
+	var violations []string
+	for i := range old {
+		o := &old[i]
+		n := newByKey[o.Key()]
+		if n == nil {
+			violations = append(violations, fmt.Sprintf("%s: measured in old trajectory but missing from new", o.Key()))
+			continue
+		}
+		d := BenchDelta{
+			Key:                 o.Key(),
+			OldBlocksPerSec:     o.BlocksPerSec,
+			NewBlocksPerSec:     n.BlocksPerSec,
+			OldChecksPerAttempt: o.ChecksPerAttempt,
+			NewChecksPerAttempt: n.ChecksPerAttempt,
+		}
+		deltas = append(deltas, d)
+		if floor := o.BlocksPerSec * (1 - rateTol); n.BlocksPerSec < floor {
+			violations = append(violations, fmt.Sprintf("%s: %.0f blocks/s, below %.0f (old %.0f - %.0f%% tolerance)",
+				d.Key, n.BlocksPerSec, floor, o.BlocksPerSec, 100*rateTol))
+		}
+		if ceil := o.ChecksPerAttempt * (1 + checksTol); n.ChecksPerAttempt > ceil {
+			violations = append(violations, fmt.Sprintf("%s: %.3f checks/attempt, above %.3f (old %.3f + %.1f%% tolerance)",
+				d.Key, n.ChecksPerAttempt, ceil, o.ChecksPerAttempt, 100*checksTol))
+		}
+	}
+	sort.Strings(violations)
+	return deltas, violations
+}
+
+// BenchBudget is one (machine, checker) pair's committed perf floor: the
+// minimum acceptable scheduling rate and the maximum acceptable
+// checks/attempt. Zero fields are ungated (same convention as the size
+// Budget type).
+type BenchBudget struct {
+	MinBlocksPerSec     float64 `json:"min_blocks_per_sec,omitempty"`
+	MaxChecksPerAttempt float64 `json:"max_checks_per_attempt,omitempty"`
+}
+
+// BenchBudgetsFile is the committed bench_budgets.json baseline: budgets
+// keyed "machine/checker" under a schema tag that distinguishes a budgets
+// file from a BENCH artifact.
+type BenchBudgetsFile struct {
+	Schema  string                 `json:"schema"`
+	Budgets map[string]BenchBudget `json:"budgets"`
+}
+
+// BenchBudgetsSchema identifies a bench-budgets baseline file.
+const BenchBudgetsSchema = "mdes-bench-budgets/v1"
+
+// LoadBenchBudgets reads a committed bench-budgets baseline.
+func LoadBenchBudgets(path string) (*BenchBudgetsFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchBudgetsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != BenchBudgetsSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, BenchBudgetsSchema)
+	}
+	return &f, nil
+}
+
+// IsBenchBudgetsFile reports whether path parses as a bench-budgets
+// baseline — how -bench-compare decides whether its first argument is a
+// budgets file or an old BENCH trajectory.
+func IsBenchBudgetsFile(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	return json.Unmarshal(data, &probe) == nil && probe.Schema == BenchBudgetsSchema
+}
+
+// SeedBenchBudgets derives a budgets baseline from measured records:
+// the rate floor is the measured blocks/s reduced by rateHeadroom
+// (fractional — CI runners are slower and noisier than the seeding
+// machine), the checks ceiling is the measured checks/attempt raised by
+// checksHeadroom (tight — the counter is deterministic).
+func SeedBenchBudgets(records []BenchRecord, rateHeadroom, checksHeadroom float64) *BenchBudgetsFile {
+	f := &BenchBudgetsFile{Schema: BenchBudgetsSchema, Budgets: map[string]BenchBudget{}}
+	for i := range records {
+		r := &records[i]
+		f.Budgets[r.Key()] = BenchBudget{
+			MinBlocksPerSec:     math.Floor(r.BlocksPerSec * (1 - rateHeadroom)),
+			MaxChecksPerAttempt: math.Ceil(r.ChecksPerAttempt*(1+checksHeadroom)*1000) / 1000,
+		}
+	}
+	return f
+}
+
+// CheckBenchBudgets gates measured records against the committed
+// baseline, returning sorted violation strings (empty = pass). Both
+// directions are checked: every budgeted pair must be measured, and
+// every measured pair must have a budget entry (seed it in).
+func CheckBenchBudgets(f *BenchBudgetsFile, records []BenchRecord) []string {
+	var violations []string
+	measured := map[string]*BenchRecord{}
+	for i := range records {
+		r := &records[i]
+		measured[r.Key()] = r
+		b, ok := f.Budgets[r.Key()]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: no budget entry (re-seed with -seed-bench-budgets)", r.Key()))
+			continue
+		}
+		if b.MinBlocksPerSec > 0 && r.BlocksPerSec < b.MinBlocksPerSec {
+			violations = append(violations, fmt.Sprintf("%s: %.0f blocks/s, below budget floor %.0f",
+				r.Key(), r.BlocksPerSec, b.MinBlocksPerSec))
+		}
+		if b.MaxChecksPerAttempt > 0 && r.ChecksPerAttempt > b.MaxChecksPerAttempt {
+			violations = append(violations, fmt.Sprintf("%s: %.3f checks/attempt, above budget %.3f",
+				r.Key(), r.ChecksPerAttempt, b.MaxChecksPerAttempt))
+		}
+	}
+	for key := range f.Budgets {
+		if measured[key] == nil {
+			violations = append(violations, fmt.Sprintf("%s: budgeted but not measured", key))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}

@@ -129,11 +129,21 @@ type FlightExporter interface {
 	Status() (blocks, anomalies int64)
 }
 
+// ProfileExporter is the export surface of a conflict-attribution
+// profile (internal/obs/profile.Profile satisfies it). Same structural
+// pattern as FlightExporter: the profile package stays import-free of
+// obs, so the endpoint layer takes it through this interface.
+type ProfileExporter interface {
+	// WriteSnapshot writes the current profile snapshot as indented JSON.
+	WriteSnapshot(w io.Writer) error
+}
+
 // ServerOption configures Handler and ServeMetrics.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	flight FlightExporter
+	flight  FlightExporter
+	profile ProfileExporter
 }
 
 // WithFlightExporter attaches a flight recorder to the endpoint: its
@@ -143,12 +153,19 @@ func WithFlightExporter(f FlightExporter) ServerOption {
 	return func(c *serverConfig) { c.flight = f }
 }
 
+// WithProfileExporter attaches a conflict-attribution profile to the
+// endpoint: its live snapshot is served as JSON at /debug/profile.
+func WithProfileExporter(p ProfileExporter) ServerOption {
+	return func(c *serverConfig) { c.profile = p }
+}
+
 // Handler returns a mux exposing the registry:
 //
 //	/metrics       Prometheus text exposition format
 //	/metrics.json  the full Snapshot as JSON (expvar-style)
 //	/healthz       liveness probe (JSON status)
 //	/debug/flight  flight-recorder dump (with WithFlightExporter)
+//	/debug/profile conflict-attribution profile snapshot (with WithProfileExporter)
 //	/debug/vars    the process-wide expvar handler
 //	/debug/pprof/  the standard pprof handlers
 func Handler(r *Registry, opts ...ServerOption) *http.ServeMux {
@@ -186,6 +203,16 @@ func Handler(r *Registry, opts ...ServerOption) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := cfg.flight.WriteDump(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.profile == nil {
+			http.Error(w, "conflict profile not configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := cfg.profile.WriteSnapshot(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/obs/profile"
 )
 
 // fakeFlight is a minimal FlightExporter for endpoint tests.
@@ -118,6 +121,65 @@ func TestFlightEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, `mdes_attempts_total{phase="list"} 1`) {
 		t.Errorf("/metrics missing registry series:\n%s", body)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	p := profile.New(profileTestMDES())
+	l := p.NewLocal()
+	l.Success(0, []int{0})
+	l.Conflict(0, 0, 0)
+	p.Merge(l)
+	srv, err := ServeMetrics("127.0.0.1:0", r, WithProfileExporter(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := testGet(t, srv.Addr, "/debug/profile")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/profile status %d", code)
+	}
+	var snap struct {
+		Merges      int64 `json:"merges"`
+		Constraints []struct {
+			Name      string `json:"name"`
+			Attempts  int64  `json:"attempts"`
+			Conflicts int64  `json:"conflicts"`
+		} `json:"constraints"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/profile does not parse: %v\n%s", err, body)
+	}
+	if snap.Merges != 1 || len(snap.Constraints) != 1 ||
+		snap.Constraints[0].Attempts != 2 || snap.Constraints[0].Conflicts != 1 {
+		t.Errorf("/debug/profile snapshot = %+v", snap)
+	}
+}
+
+func TestProfileEndpointUnconfigured(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", NewRegistry(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := testGet(t, srv.Addr, "/debug/profile"); code != http.StatusNotFound {
+		t.Errorf("/debug/profile without exporter: status %d, want 404", code)
+	}
+}
+
+// profileTestMDES is a one-constraint description for endpoint tests.
+func profileTestMDES() *lowlevel.MDES {
+	o := &lowlevel.Option{Src: "A[0]", Usages: []lowlevel.Usage{{Time: 0, Res: 0}}}
+	tr := &lowlevel.Tree{Name: "A", Options: []*lowlevel.Option{o}}
+	return &lowlevel.MDES{
+		MachineName:   "toy",
+		NumResources:  1,
+		ResourceNames: []string{"r0"},
+		Options:       []*lowlevel.Option{o},
+		Trees:         []*lowlevel.Tree{tr},
+		Constraints:   []*lowlevel.Constraint{{Name: "alu", Trees: []*lowlevel.Tree{tr}}},
 	}
 }
 

@@ -1,0 +1,226 @@
+package profile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// The MDPF artifact persists one Snapshot as a self-delimiting binary
+// blob with the same framing discipline as the MDTR trace format
+// (internal/trace): magic + version, uvarint-framed body, FNV-64a trailer
+// whose hex form is the artifact's content address. The meta block pins
+// the description fingerprint and workload, so an MDPF file names exactly
+// which (description, workload) pair produced its evidence.
+
+// mdpfMagic identifies an mdes profile artifact.
+var mdpfMagic = [4]byte{'M', 'D', 'P', 'F'}
+
+// Version is the MDPF format version this package reads and writes.
+const Version = 1
+
+// Encode serializes the snapshot, returning the bytes and the content
+// address (FNV-64a of the encoded stream, the trailer checksum).
+func Encode(s *Snapshot) ([]byte, string, error) {
+	var e encoder
+	e.write(mdpfMagic[:])
+	e.uvarint(Version)
+	e.str(s.Meta.Machine)
+	e.str(s.Meta.MachineHash)
+	e.str(s.Meta.Checker)
+	e.str(s.Meta.Workload)
+	e.varint(s.Merges)
+	e.uvarint(uint64(len(s.Constraints)))
+	for _, c := range s.Constraints {
+		e.str(c.Name)
+		e.varint(c.Attempts)
+		e.varint(c.Conflicts)
+		e.uvarint(uint64(len(c.Trees)))
+		for _, t := range c.Trees {
+			e.str(t.Name)
+			e.varint(t.FirstBlock)
+			e.uvarint(uint64(len(t.Options)))
+			for _, o := range t.Options {
+				e.str(o.Src)
+				e.varint(o.Selected)
+				e.varint(o.Blocked)
+			}
+		}
+	}
+	e.uvarint(uint64(len(s.Resources)))
+	for _, r := range s.Resources {
+		e.str(r.Resource)
+		e.varint(r.Conflicts)
+	}
+	h := fnv.New64a()
+	h.Write(e.buf)
+	sum := h.Sum64()
+	e.buf = binary.BigEndian.AppendUint64(e.buf, sum)
+	return e.buf, fmt.Sprintf("%016x", sum), nil
+}
+
+// Decode decodes one MDPF artifact, verifying magic, version, and the
+// FNV-64a trailer, and returns the snapshot plus its content address.
+func Decode(data []byte) (*Snapshot, string, error) {
+	if len(data) < len(mdpfMagic)+1+8 {
+		return nil, "", fmt.Errorf("profile: artifact too short (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	sum := h.Sum64()
+	if got := binary.BigEndian.Uint64(trailer); got != sum {
+		return nil, "", fmt.Errorf("profile: checksum mismatch (stored %016x, computed %016x)", got, sum)
+	}
+	d := decoder{buf: body}
+	var mg [4]byte
+	d.read(mg[:])
+	if mg != mdpfMagic {
+		return nil, "", fmt.Errorf("profile: bad magic %q", mg)
+	}
+	if v := d.uvarint(); d.err == nil && v != Version {
+		return nil, "", fmt.Errorf("profile: unsupported version %d", v)
+	}
+	s := &Snapshot{}
+	s.Meta.Machine = d.str()
+	s.Meta.MachineHash = d.str()
+	s.Meta.Checker = d.str()
+	s.Meta.Workload = d.str()
+	s.Merges = d.varint()
+	nc := d.count()
+	if d.err == nil && nc > 0 {
+		s.Constraints = make([]ConstraintProfile, 0, nc)
+	}
+	for i := 0; i < nc && d.err == nil; i++ {
+		var c ConstraintProfile
+		c.Name = d.str()
+		c.Attempts = d.varint()
+		c.Conflicts = d.varint()
+		nt := d.count()
+		if d.err == nil && nt > 0 {
+			c.Trees = make([]TreeProfile, 0, nt)
+		}
+		for j := 0; j < nt && d.err == nil; j++ {
+			var t TreeProfile
+			t.Name = d.str()
+			t.FirstBlock = d.varint()
+			no := d.count()
+			if d.err == nil && no > 0 {
+				t.Options = make([]OptionProfile, 0, no)
+			}
+			for k := 0; k < no && d.err == nil; k++ {
+				var o OptionProfile
+				o.Src = d.str()
+				o.Selected = d.varint()
+				o.Blocked = d.varint()
+				t.Options = append(t.Options, o)
+			}
+			c.Trees = append(c.Trees, t)
+		}
+		s.Constraints = append(s.Constraints, c)
+	}
+	nr := d.count()
+	if d.err == nil && nr > 0 {
+		s.Resources = make([]ResourceProfile, 0, nr)
+	}
+	for i := 0; i < nr && d.err == nil; i++ {
+		var r ResourceProfile
+		r.Resource = d.str()
+		r.Conflicts = d.varint()
+		s.Resources = append(s.Resources, r)
+	}
+	if d.err != nil {
+		return nil, "", fmt.Errorf("profile: corrupt artifact: %w", d.err)
+	}
+	if d.pos != len(body) {
+		return nil, "", fmt.Errorf("profile: %d trailing bytes after artifact", len(body)-d.pos)
+	}
+	return s, fmt.Sprintf("%016x", sum), nil
+}
+
+// encoder mirrors internal/trace's append-only encoder: errors are
+// impossible, keeping call sites linear.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) write(p []byte)   { e.buf = append(e.buf, p...) }
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// decoder is the cursor-based counterpart; the first malformed field
+// sticks in err and every later read returns zero values.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s at offset %d", what, d.pos)
+	}
+}
+
+func (d *decoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if d.pos+len(p) > len(d.buf) {
+		d.fail("bytes")
+		return
+	}
+	copy(p, d.buf[d.pos:])
+	d.pos += len(p)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a collection length, bounding it by the bytes remaining so
+// corrupt input cannot force a huge allocation.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.buf)-d.pos) {
+		d.fail("collection length")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}

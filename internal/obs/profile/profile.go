@@ -1,0 +1,462 @@
+// Package profile implements the conflict-attribution profile: a
+// mergeable, serializable record of where a workload's scheduling probes
+// actually go — per constraint, per OR-tree position within the
+// constraint, and per option within each tree.
+//
+// The metrics registry (internal/obs) aggregates by phase, opcode class,
+// and blocking resource; that answers "where is time spent" but not "which
+// tree inside this constraint blocks first" or "which option usually
+// wins", which is exactly what a layout-tuning pass needs. The paper's §8
+// orderings (sort OR-trees earliest-usage-first, time-zero-first usage
+// order) are static guesses at those frequencies; this package measures
+// the ground truth so opt.ReorderFromProfile can replace the guess with
+// the observation.
+//
+// Collection follows the obs.Local discipline exactly:
+//
+//   - Each borrowed scheduling context carries a Local — plain int64
+//     slices bumped with ordinary stores, no locks, no atomics, no
+//     allocations. A nil Local disables collection at a single branch.
+//   - On pool release (resctx.Pool.Put) the Local is merged into the
+//     shared Profile's atomic counters and reset for reuse.
+//
+// The profile's shape is a Layout compiled once from the frozen
+// description: flattened (constraint → tree slot → option slot) prefix
+// arrays, so every hot-path bump is one add and one or two indexed
+// increments. Shared trees get one slot per (constraint, position)
+// referencing them — deliberately: the reorder decision is per position,
+// and the same tree may block first in one constraint and never in
+// another.
+//
+// A Snapshot serializes to JSON (the /debug/profile endpoint) and to a
+// content-addressed binary artifact (MDPF, see encode.go) keyed by
+// description fingerprint × workload, so a tuning run can prove which
+// description and which workload produced the evidence it acted on.
+package profile
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+
+	"mdes/internal/lowlevel"
+)
+
+// Layout is the flattened index space of one compiled description:
+// constraint c owns tree slots conTree[c]..conTree[c+1], tree slot t owns
+// option slots treeOpt[t]..treeOpt[t+1]. It is built once (against the
+// description the engine will schedule with, after optimization) and
+// shared read-only by every Local.
+type Layout struct {
+	conNames  []string // per constraint
+	treeNames []string // per tree slot: Tree.Name, falling back to Src
+	optSrcs   []string // per option slot: Option.Src provenance
+	resNames  []string
+	conTree   []int32 // len(conNames)+1 prefix sums
+	treeOpt   []int32 // len(treeNames)+1 prefix sums
+	// Single-option trees need no per-option hot-path accounting: the
+	// only option is chosen on every constraint success, so Snapshot
+	// reconstructs Selected = attempts - conflicts exactly. Success
+	// therefore walks only a precompiled list of each constraint's
+	// multi-option trees — conMulti[conMultiStart[c]:conMultiStart[c+1]]
+	// — instead of every chosen tree. Most trees are single-option, so
+	// the common walk is zero or one entry; this is the main lever
+	// keeping profiling inside the overhead gate.
+	conMultiStart []int32     // len(conNames)+1 prefix sums into conMulti
+	conMulti      []multiTree // multi-option tree slots, grouped by constraint
+}
+
+// multiTree locates one multi-option tree inside its constraint: ti is
+// the tree's position in the constraint's AND-list (the index into
+// check.Selection.Chosen), o0/o1 its option-slot range.
+type multiTree struct {
+	ti     int32
+	o0, o1 int32
+}
+
+// NewLayout flattens the description's constraint/tree/option structure.
+func NewLayout(m *lowlevel.MDES) *Layout {
+	l := &Layout{
+		resNames:      append([]string(nil), m.ResourceNames...),
+		conTree:       make([]int32, 1, len(m.Constraints)+1),
+		treeOpt:       make([]int32, 1, len(m.Trees)+1),
+		conMultiStart: make([]int32, 1, len(m.Constraints)+1),
+	}
+	for _, c := range m.Constraints {
+		l.conNames = append(l.conNames, c.Name)
+		for ti, t := range c.Trees {
+			name := t.Name
+			if name == "" {
+				name = t.Src
+			}
+			l.treeNames = append(l.treeNames, name)
+			o0 := int32(len(l.optSrcs))
+			for _, o := range t.Options {
+				l.optSrcs = append(l.optSrcs, o.Src)
+			}
+			l.treeOpt = append(l.treeOpt, int32(len(l.optSrcs)))
+			if len(t.Options) > 1 {
+				l.conMulti = append(l.conMulti, multiTree{
+					ti: int32(ti), o0: o0, o1: int32(len(l.optSrcs)),
+				})
+			}
+		}
+		l.conTree = append(l.conTree, int32(len(l.treeNames)))
+		l.conMultiStart = append(l.conMultiStart, int32(len(l.conMulti)))
+	}
+	return l
+}
+
+// NumConstraints returns the number of constraints in the layout.
+func (l *Layout) NumConstraints() int { return len(l.conNames) }
+
+// Local is one context's unsynchronized slice of the profile. All methods
+// use plain stores; a Local must only ever be written by the goroutine
+// that currently owns its context (the same single-writer contract as
+// obs.Local and flight.Local).
+//
+// Two layout decisions keep the per-attempt cost inside the overhead
+// gate. Counter pairs that are always read and written together —
+// (attempts, conflicts) per constraint, (selected, blocked) per option —
+// are interleaved in one struct so a bump touches one cache line instead
+// of two. And the layout has thousands of slots while one block touches
+// tens, so the Local journals which slots it touched (a slot is appended
+// exactly once, on its 0→1 transition) and Merge/Reset walk the journal
+// instead of the whole layout — per-block pool-release cost is
+// proportional to observed activity.
+type Local struct {
+	layout *Layout
+	// Per constraint: a=attempts, b=conflicts.
+	conStat []pair
+	// Per option slot: a=times the option satisfied its tree (selected),
+	// b=times it was probed busy before the tree's chosen option (blocked).
+	optStat []pair
+	// Per tree slot: times this (constraint, position) tree was the first
+	// to block a failed probe.
+	firstBlock []int64
+	// Per resource: times the resource was the attributed blocker.
+	resConflicts []int64
+	// Touched-slot journals, one entry per nonzero slot above.
+	touchedCon  []int32
+	touchedTree []int32
+	touchedOpt  []int32
+	touchedRes  []int32
+	dirty       bool
+}
+
+// pair is two counters that share a cache line because the hot path
+// always inspects both (the 0→1 journal test reads a|b).
+type pair struct{ a, b int64 }
+
+// Success records a satisfied probe of constraint con: chosen[ti] is the
+// option index picked within the constraint's ti-th tree (check.Selection
+// semantics). Every option before the chosen one was probed and found
+// busy.
+func (l *Local) Success(con int, chosen []int) {
+	conStat := l.conStat
+	if uint(con) >= uint(len(conStat)) {
+		return
+	}
+	l.dirty = true
+	cs := &conStat[con]
+	if cs.a|cs.b == 0 {
+		l.touchedCon = append(l.touchedCon, int32(con))
+	}
+	cs.a++
+	// Walk only the constraint's multi-option trees (usually zero or
+	// one); single-option trees are reconstructed at Snapshot time.
+	m0, m1 := l.layout.conMultiStart[con], l.layout.conMultiStart[con+1]
+	if m0 == m1 {
+		return
+	}
+	optStat := l.optStat
+	for _, mt := range l.layout.conMulti[m0:m1] {
+		if int(mt.ti) >= len(chosen) {
+			continue
+		}
+		oi := int32(chosen[mt.ti])
+		if uint32(oi) >= uint32(mt.o1-mt.o0) {
+			continue
+		}
+		j := mt.o0 + oi
+		os := &optStat[j]
+		if os.a|os.b == 0 {
+			l.touchedOpt = append(l.touchedOpt, j)
+		}
+		os.a++
+		for k := mt.o0; k < j; k++ {
+			os := &optStat[k]
+			if os.a|os.b == 0 {
+				l.touchedOpt = append(l.touchedOpt, k)
+			}
+			os.b++
+		}
+	}
+}
+
+// Conflict records a failed probe of constraint con: tree is the position
+// (within the constraint) of the first unsatisfiable tree, res the
+// attributed blocking resource. Either may be -1 when the backend cannot
+// attribute (the conflict itself is still counted).
+func (l *Local) Conflict(con, tree, res int) {
+	conStat := l.conStat
+	if uint(con) >= uint(len(conStat)) {
+		return
+	}
+	l.dirty = true
+	cs := &conStat[con]
+	if cs.a|cs.b == 0 {
+		l.touchedCon = append(l.touchedCon, int32(con))
+	}
+	cs.a++
+	cs.b++
+	if t0 := l.layout.conTree[con]; tree >= 0 && t0+int32(tree) < l.layout.conTree[con+1] {
+		t := t0 + int32(tree)
+		if l.firstBlock[t] == 0 {
+			l.touchedTree = append(l.touchedTree, t)
+		}
+		l.firstBlock[t]++
+	}
+	if uint(res) < uint(len(l.resConflicts)) {
+		if l.resConflicts[res] == 0 {
+			l.touchedRes = append(l.touchedRes, int32(res))
+		}
+		l.resConflicts[res]++
+	}
+}
+
+// Reset zeroes the local for reuse by the next context borrow, walking
+// only the journaled slots.
+func (l *Local) Reset() {
+	if l == nil || !l.dirty {
+		return
+	}
+	for _, ci := range l.touchedCon {
+		l.conStat[ci] = pair{}
+	}
+	for _, t := range l.touchedTree {
+		l.firstBlock[t] = 0
+	}
+	for _, o := range l.touchedOpt {
+		l.optStat[o] = pair{}
+	}
+	for _, r := range l.touchedRes {
+		l.resConflicts[r] = 0
+	}
+	l.touchedCon = l.touchedCon[:0]
+	l.touchedTree = l.touchedTree[:0]
+	l.touchedOpt = l.touchedOpt[:0]
+	l.touchedRes = l.touchedRes[:0]
+	l.dirty = false
+}
+
+// Meta identifies what a profile is evidence about: which description
+// (fingerprint), scheduled with which checker backend, over which
+// workload. Machine and fingerprint are stamped by the engine at
+// construction; the workload tag is stamped by whichever tool drives the
+// run (e.g. "seeded:ops=20000,seed=1996").
+type Meta struct {
+	Machine     string `json:"machine"`
+	MachineHash string `json:"machine_hash"`
+	Checker     string `json:"checker,omitempty"`
+	Workload    string `json:"workload,omitempty"`
+}
+
+// Profile is the shared, concurrency-safe accumulation point: atomic
+// mirrors of the Local slices, merged on context release.
+type Profile struct {
+	layout       *Layout
+	meta         atomic.Pointer[Meta]
+	attempts     []atomic.Int64
+	conflicts    []atomic.Int64
+	firstBlock   []atomic.Int64
+	selected     []atomic.Int64
+	blocked      []atomic.Int64
+	resConflicts []atomic.Int64
+	merges       atomic.Int64
+}
+
+// New builds an empty profile shaped like the given description. The
+// description must be the one the engine schedules with (same constraint,
+// tree, and option order) or attribution indices will not line up.
+func New(m *lowlevel.MDES) *Profile {
+	l := NewLayout(m)
+	p := &Profile{
+		layout:       l,
+		attempts:     make([]atomic.Int64, len(l.conNames)),
+		conflicts:    make([]atomic.Int64, len(l.conNames)),
+		firstBlock:   make([]atomic.Int64, len(l.treeNames)),
+		selected:     make([]atomic.Int64, len(l.optSrcs)),
+		blocked:      make([]atomic.Int64, len(l.optSrcs)),
+		resConflicts: make([]atomic.Int64, len(l.resNames)),
+	}
+	p.meta.Store(&Meta{Machine: m.MachineName})
+	return p
+}
+
+// Layout returns the profile's index space.
+func (p *Profile) Layout() *Layout { return p.layout }
+
+// SetMeta stamps the description identity (mirrors flight.Recorder.SetMeta;
+// called by the engine before scheduling starts).
+func (p *Profile) SetMeta(machine, machineHash, checker string) {
+	m := *p.meta.Load()
+	m.Machine, m.MachineHash, m.Checker = machine, machineHash, checker
+	p.meta.Store(&m)
+}
+
+// SetWorkload stamps the workload tag (called by the driving tool).
+func (p *Profile) SetWorkload(workload string) {
+	m := *p.meta.Load()
+	m.Workload = workload
+	p.meta.Store(&m)
+}
+
+// Meta returns the current identity stamp.
+func (p *Profile) Meta() Meta { return *p.meta.Load() }
+
+// NewLocal returns a fresh Local shaped like the profile, for embedding in
+// a pooled scheduling context.
+func (p *Profile) NewLocal() *Local {
+	l := p.layout
+	return &Local{
+		layout:       l,
+		conStat:      make([]pair, len(l.conNames)),
+		optStat:      make([]pair, len(l.optSrcs)),
+		firstBlock:   make([]int64, len(l.treeNames)),
+		resConflicts: make([]int64, len(l.resNames)),
+	}
+}
+
+// Merge folds a local into the shared counters, walking only the slots
+// the local journaled. Cheap to call with a clean local (single branch).
+// The local must be shaped by this profile's layout (Profile.NewLocal).
+func (p *Profile) Merge(l *Local) {
+	if l == nil || !l.dirty || l.layout != p.layout {
+		return
+	}
+	for _, ci := range l.touchedCon {
+		if v := l.conStat[ci].a; v != 0 {
+			p.attempts[ci].Add(v)
+		}
+		if v := l.conStat[ci].b; v != 0 {
+			p.conflicts[ci].Add(v)
+		}
+	}
+	for _, t := range l.touchedTree {
+		p.firstBlock[t].Add(l.firstBlock[t])
+	}
+	for _, o := range l.touchedOpt {
+		if v := l.optStat[o].a; v != 0 {
+			p.selected[o].Add(v)
+		}
+		if v := l.optStat[o].b; v != 0 {
+			p.blocked[o].Add(v)
+		}
+	}
+	for _, r := range l.touchedRes {
+		p.resConflicts[r].Add(l.resConflicts[r])
+	}
+	p.merges.Add(1)
+}
+
+// OptionProfile is one option slot's observed behaviour.
+type OptionProfile struct {
+	Src string `json:"src,omitempty"`
+	// Selected counts successful probes that picked this option.
+	Selected int64 `json:"selected"`
+	// Blocked counts probes (successful at the tree level) that found
+	// this option busy and moved on to a later one.
+	Blocked int64 `json:"blocked"`
+}
+
+// TreeProfile is one (constraint, position) tree slot.
+type TreeProfile struct {
+	Name string `json:"name,omitempty"`
+	// FirstBlock counts failed constraint probes where this tree was the
+	// first with no free option (the tree that short-circuited the scan).
+	FirstBlock int64           `json:"first_block"`
+	Options    []OptionProfile `json:"options"`
+}
+
+// ConstraintProfile is one constraint's observed probe traffic.
+type ConstraintProfile struct {
+	Name      string        `json:"name"`
+	Attempts  int64         `json:"attempts"`
+	Conflicts int64         `json:"conflicts"`
+	Trees     []TreeProfile `json:"trees"`
+}
+
+// ResourceProfile is one resource's attributed conflict count.
+type ResourceProfile struct {
+	Resource  string `json:"resource"`
+	Conflicts int64  `json:"conflicts"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of the profile
+// (counters are read individually; per-slot sums may straddle a concurrent
+// merge, exactly like obs.Registry.Snapshot).
+type Snapshot struct {
+	Meta        Meta                `json:"meta"`
+	Merges      int64               `json:"merges"`
+	Constraints []ConstraintProfile `json:"constraints"`
+	Resources   []ResourceProfile   `json:"resources"`
+}
+
+// Snapshot captures the current counters.
+func (p *Profile) Snapshot() Snapshot {
+	l := p.layout
+	s := Snapshot{
+		Meta:        p.Meta(),
+		Merges:      p.merges.Load(),
+		Constraints: make([]ConstraintProfile, len(l.conNames)),
+		Resources:   make([]ResourceProfile, len(l.resNames)),
+	}
+	for ci := range l.conNames {
+		cp := &s.Constraints[ci]
+		cp.Name = l.conNames[ci]
+		cp.Attempts = p.attempts[ci].Load()
+		cp.Conflicts = p.conflicts[ci].Load()
+		t0, t1 := l.conTree[ci], l.conTree[ci+1]
+		cp.Trees = make([]TreeProfile, t1-t0)
+		for t := t0; t < t1; t++ {
+			tp := &cp.Trees[t-t0]
+			tp.Name = l.treeNames[t]
+			tp.FirstBlock = p.firstBlock[t].Load()
+			o0, o1 := l.treeOpt[t], l.treeOpt[t+1]
+			tp.Options = make([]OptionProfile, o1-o0)
+			if o1-o0 == 1 {
+				// Single-option trees skip hot-path accounting; the only
+				// option is chosen on every success of the constraint.
+				tp.Options[0] = OptionProfile{
+					Src:      l.optSrcs[o0],
+					Selected: cp.Attempts - cp.Conflicts,
+				}
+				continue
+			}
+			for o := o0; o < o1; o++ {
+				tp.Options[o-o0] = OptionProfile{
+					Src:      l.optSrcs[o],
+					Selected: p.selected[o].Load(),
+					Blocked:  p.blocked[o].Load(),
+				}
+			}
+		}
+	}
+	for ri := range l.resNames {
+		s.Resources[ri] = ResourceProfile{
+			Resource:  l.resNames[ri],
+			Conflicts: p.resConflicts[ri].Load(),
+		}
+	}
+	return s
+}
+
+// WriteSnapshot writes the current snapshot as indented JSON. It
+// structurally satisfies the obs exporter's ProfileExporter interface
+// (the /debug/profile endpoint).
+func (p *Profile) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}

@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdes/internal/textutil"
+)
+
+// TopResources returns the n hottest conflict-attributed resources,
+// descending, ties broken by name for determinism.
+func TopResources(s *Snapshot, n int) []ResourceProfile {
+	hot := make([]ResourceProfile, 0, len(s.Resources))
+	for _, r := range s.Resources {
+		if r.Conflicts > 0 {
+			hot = append(hot, r)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Conflicts != hot[j].Conflicts {
+			return hot[i].Conflicts > hot[j].Conflicts
+		}
+		return hot[i].Resource < hot[j].Resource
+	})
+	if n > 0 && len(hot) > n {
+		hot = hot[:n]
+	}
+	return hot
+}
+
+// FormatSnapshot renders the profile as the aligned ASCII tables the rest
+// of the reporting stack uses: the hottest constraints with their
+// per-tree first-block counts, and the top conflicting resources. topN
+// bounds both tables (<=0 means 12).
+func FormatSnapshot(s *Snapshot, topN int) string {
+	if topN <= 0 {
+		topN = 12
+	}
+	var b strings.Builder
+
+	b.WriteString("Conflict-attribution profile")
+	if s.Meta.Machine != "" {
+		fmt.Fprintf(&b, " — %s", s.Meta.Machine)
+		if s.Meta.MachineHash != "" {
+			fmt.Fprintf(&b, " (%s)", s.Meta.MachineHash)
+		}
+	}
+	b.WriteByte('\n')
+	if s.Meta.Checker != "" || s.Meta.Workload != "" {
+		fmt.Fprintf(&b, "checker: %s, workload: %s\n", s.Meta.Checker, s.Meta.Workload)
+	}
+
+	type hotCon struct {
+		c *ConstraintProfile
+	}
+	hot := make([]hotCon, 0, len(s.Constraints))
+	for i := range s.Constraints {
+		if s.Constraints[i].Attempts > 0 {
+			hot = append(hot, hotCon{&s.Constraints[i]})
+		}
+	}
+	sort.SliceStable(hot, func(i, j int) bool {
+		return hot[i].c.Conflicts > hot[j].c.Conflicts
+	})
+	if len(hot) > topN {
+		hot = hot[:topN]
+	}
+	if len(hot) == 0 {
+		b.WriteString("(no profiled activity recorded)\n")
+		return b.String()
+	}
+
+	ct := textutil.NewTable("Constraint", "Attempts", "Conflicts", "FirstBlock trees (pos:count)")
+	for _, h := range hot {
+		var fb []string
+		for ti := range h.c.Trees {
+			if n := h.c.Trees[ti].FirstBlock; n > 0 {
+				fb = append(fb, fmt.Sprintf("%d:%d", ti, n))
+			}
+		}
+		ct.Row(h.c.Name, h.c.Attempts, h.c.Conflicts, strings.Join(fb, " "))
+	}
+	b.WriteString("\nHottest constraints (by attributed conflicts)\n")
+	b.WriteString(ct.String())
+
+	if top := TopResources(s, topN); len(top) > 0 {
+		max := float64(top[0].Conflicts)
+		rt := textutil.NewTable("Resource", "Conflicts", "")
+		for _, r := range top {
+			rt.Row(r.Resource, r.Conflicts, textutil.Bar(float64(r.Conflicts), max, 24))
+		}
+		b.WriteString("\nTop conflicting resources\n")
+		b.WriteString(rt.String())
+	}
+
+	fmt.Fprintf(&b, "\nprofile merges: %d\n", s.Merges)
+	return b.String()
+}

@@ -44,6 +44,10 @@ const (
 	// PassFactorORTrees is the extension pass (not part of Apply's
 	// pipeline); it runs before redundancy elimination when requested.
 	PassFactorORTrees = "factor/or-trees"
+	// PassReorderFromProfile is the profile-guided pass (not part of
+	// Apply's pipeline); it replaces the §8 static ordering heuristics
+	// with frequencies observed by a conflict-attribution profile.
+	PassReorderFromProfile = "profile/reorder"
 )
 
 // passNameWidth pads Report.String's pass column so consecutive reports
@@ -63,6 +67,7 @@ type Report struct {
 	TreesReordered  int
 	UsagesHoisted   int
 	TreesFactored   int
+	ChecksReordered int
 }
 
 // Changes returns the report's nonzero counts keyed by metric name, the
@@ -82,6 +87,7 @@ func (r Report) Changes() map[string]int {
 		{"treesReordered", r.TreesReordered},
 		{"usagesHoisted", r.UsagesHoisted},
 		{"treesFactored", r.TreesFactored},
+		{"checksReordered", r.ChecksReordered},
 	} {
 		if c.v != 0 {
 			out[c.name] = c.v
@@ -112,6 +118,7 @@ func (r Report) String() string {
 	add("treesReordered", r.TreesReordered)
 	add("usagesHoisted", r.UsagesHoisted)
 	add("treesFactored", r.TreesFactored)
+	add("checksReordered", r.ChecksReordered)
 	if len(parts) == 0 {
 		parts = append(parts, "no-op")
 	}
@@ -136,6 +143,7 @@ func FormatReports(reports []Report) string {
 		{"treeSorted", func(r Report) int { return r.TreesReordered }},
 		{"hoisted", func(r Report) int { return r.UsagesHoisted }},
 		{"factored", func(r Report) int { return r.TreesFactored }},
+		{"chkSorted", func(r Report) int { return r.ChecksReordered }},
 	}
 	used := make([]bool, len(cols))
 	for _, r := range reports {

@@ -1,0 +1,169 @@
+package opt
+
+import (
+	"sort"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/obs/profile"
+)
+
+// ReorderFromProfile replaces the §8 static ordering heuristics with
+// frequencies observed by a conflict-attribution profile
+// (internal/obs/profile): instead of guessing which tree or usage is most
+// likely to expose a conflict, it sorts by how often each one actually
+// did on a measured workload.
+//
+// Two reorderings are applied, both schedule-preserving by construction:
+//
+//   - OR-trees within each constraint are stably re-sorted by descending
+//     observed first-block frequency. Each tree of an AND-list is scanned
+//     independently for its first free option and the probe
+//     short-circuits at the first unsatisfiable tree, so permuting tree
+//     order permutes only which tree short-circuits a failing probe —
+//     the satisfiable/unsatisfiable verdict, the (tree → option) picks,
+//     and hence every reservation are unchanged. Checking the
+//     most-frequently-blocking tree first makes failing probes fail
+//     sooner (fewer OptionsChecked and ResourceChecks).
+//   - Usage checks within each option (Masks when packed, Usages
+//     otherwise) are stably re-sorted by descending attributed resource
+//     conflicts, so a busy option is discovered at its first check. The
+//     check set is unchanged, only its scan order; options are pooled, so
+//     the in-place sort consistently affects every tree sharing the
+//     option.
+//
+// Option order within a tree is priority order — semantic — and is never
+// touched. Provenance (Tree.Src, Option.Src) survives untouched, and
+// Constraint.Index is refreshed (it is positional and other consumers
+// trust it).
+//
+// Snapshot constraints are matched to m's by name, and skipped on a
+// tree-count mismatch, so a profile taken on a differently-optimized
+// description degrades to a partial (or no-op) reorder instead of
+// misattributing counts. Resource scores are matched by resource name.
+func ReorderFromProfile(m *lowlevel.MDES, s *profile.Snapshot) Report {
+	rep := Report{Pass: PassReorderFromProfile}
+	if m.Frozen() {
+		panic("opt: cannot transform a frozen MDES; run ReorderFromProfile before Freeze/NewEngine")
+	}
+	if s == nil {
+		return rep
+	}
+
+	// Per-constraint OR-tree reorder by observed first-block frequency.
+	byName := make(map[string]*profile.ConstraintProfile, len(s.Constraints))
+	for i := range s.Constraints {
+		byName[s.Constraints[i].Name] = &s.Constraints[i]
+	}
+	for _, c := range m.Constraints {
+		cp := byName[c.Name]
+		if cp == nil || len(cp.Trees) != len(c.Trees) || len(c.Trees) < 2 {
+			continue
+		}
+		type slot struct {
+			tree  *lowlevel.Tree
+			count int64
+		}
+		slots := make([]slot, len(c.Trees))
+		for i, t := range c.Trees {
+			slots[i] = slot{tree: t, count: cp.Trees[i].FirstBlock}
+		}
+		sort.SliceStable(slots, func(i, j int) bool {
+			return slots[i].count > slots[j].count
+		})
+		changed := false
+		for i := range slots {
+			if c.Trees[i] != slots[i].tree {
+				changed = true
+			}
+			c.Trees[i] = slots[i].tree
+		}
+		if changed {
+			rep.TreesReordered++
+		}
+	}
+
+	// Per-option check reorder by attributed resource-conflict frequency.
+	resScore := make([]int64, m.NumResources)
+	nameToRes := make(map[string]int, len(m.ResourceNames))
+	for i, n := range m.ResourceNames {
+		nameToRes[n] = i
+	}
+	any := false
+	for _, r := range s.Resources {
+		if ri, ok := nameToRes[r.Resource]; ok && r.Conflicts > 0 {
+			resScore[ri] = r.Conflicts
+			any = true
+		}
+	}
+	if !any {
+		refreshIndices(m)
+		return rep
+	}
+	maskScore := func(mk lowlevel.CycleMask) int64 {
+		var sum int64
+		mask := mk.Mask
+		for bit := int32(0); mask != 0; bit++ {
+			if mask&1 != 0 {
+				if r := mk.Word*64 + bit; int(r) < len(resScore) {
+					sum += resScore[r]
+				}
+			}
+			mask >>= 1
+		}
+		return sum
+	}
+	for _, o := range m.Options {
+		if o.Masks != nil {
+			if len(o.Masks) < 2 {
+				continue
+			}
+			before := append([]lowlevel.CycleMask(nil), o.Masks...)
+			sort.SliceStable(o.Masks, func(i, j int) bool {
+				return maskScore(o.Masks[i]) > maskScore(o.Masks[j])
+			})
+			if !masksEqual(before, o.Masks) {
+				rep.ChecksReordered++
+			}
+			continue
+		}
+		if len(o.Usages) < 2 {
+			continue
+		}
+		before := append([]lowlevel.Usage(nil), o.Usages...)
+		sort.SliceStable(o.Usages, func(i, j int) bool {
+			return resScore[o.Usages[i].Res] > resScore[o.Usages[j].Res]
+		})
+		if !usagesEqual(before, o.Usages) {
+			rep.ChecksReordered++
+		}
+	}
+
+	refreshIndices(m)
+	return rep
+}
+
+// refreshIndices restores the Constraint.Index positional invariant the
+// probe-plan compiler depends on (same refresh as EliminateRedundant).
+func refreshIndices(m *lowlevel.MDES) {
+	for i, c := range m.Constraints {
+		c.Index = i
+	}
+}
+
+func masksEqual(a, b []lowlevel.CycleMask) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func usagesEqual(a, b []lowlevel.Usage) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

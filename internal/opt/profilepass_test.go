@@ -1,0 +1,249 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdes/internal/hmdes"
+	"mdes/internal/lowlevel"
+	"mdes/internal/obs/profile"
+)
+
+// zeroSnapshot builds a correctly-shaped all-zero snapshot for m, so tests
+// can dial in specific observed frequencies without hand-matching names.
+func zeroSnapshot(m *lowlevel.MDES) profile.Snapshot {
+	return profile.New(m).Snapshot()
+}
+
+// findMultiTreeConstraint returns the index of a constraint with at least
+// two OR-trees, which the tree reorder needs to have any effect.
+func findMultiTreeConstraint(t *testing.T, m *lowlevel.MDES) int {
+	t.Helper()
+	for i, c := range m.Constraints {
+		if len(c.Trees) >= 2 {
+			return i
+		}
+	}
+	t.Fatal("fixture has no multi-tree constraint")
+	return -1
+}
+
+func TestReorderFromProfileSortsTreesByFirstBlock(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	ci := findMultiTreeConstraint(t, m)
+	c := m.Constraints[ci]
+	before := append([]*lowlevel.Tree(nil), c.Trees...)
+	last := c.Trees[len(c.Trees)-1]
+
+	s := zeroSnapshot(m)
+	// The last tree blocks overwhelmingly often; it must move to front.
+	s.Constraints[ci].Trees[len(c.Trees)-1].FirstBlock = 1000
+	for i, c := range m.Constraints {
+		c.Index = i + 100 // stale on purpose; the pass must refresh
+	}
+
+	rep := ReorderFromProfile(m, &s)
+	if rep.Pass != PassReorderFromProfile {
+		t.Fatalf("report pass = %q", rep.Pass)
+	}
+	if rep.TreesReordered < 1 {
+		t.Fatalf("TreesReordered = %d, want >= 1", rep.TreesReordered)
+	}
+	if c.Trees[0] != last {
+		t.Fatalf("hot tree not moved to front: %q at front instead", c.Trees[0].Name)
+	}
+	// Same tree set, permuted: nothing dropped, provenance untouched.
+	seen := map[*lowlevel.Tree]bool{}
+	for _, tr := range c.Trees {
+		seen[tr] = true
+	}
+	for _, tr := range before {
+		if !seen[tr] {
+			t.Fatalf("tree %q lost in reorder", tr.Name)
+		}
+	}
+	for i, con := range m.Constraints {
+		if con.Index != i {
+			t.Fatalf("Constraint.Index not refreshed: [%d].Index = %d", i, con.Index)
+		}
+	}
+}
+
+func TestReorderFromProfileSortsChecksByResourceConflicts(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	var target *lowlevel.Option
+	for _, o := range m.Options {
+		if len(o.Usages) >= 2 && o.Usages[0].Res != o.Usages[len(o.Usages)-1].Res {
+			target = o
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("fixture has no multi-resource option")
+	}
+	hot := target.Usages[len(target.Usages)-1].Res
+	before := append([]lowlevel.Usage(nil), target.Usages...)
+
+	s := zeroSnapshot(m)
+	for i := range s.Resources {
+		if s.Resources[i].Resource == m.ResourceNames[hot] {
+			s.Resources[i].Conflicts = 1000
+		}
+	}
+	rep := ReorderFromProfile(m, &s)
+	if rep.ChecksReordered < 1 {
+		t.Fatalf("ChecksReordered = %d, want >= 1", rep.ChecksReordered)
+	}
+	if target.Usages[0].Res != hot {
+		t.Fatalf("hot resource %d not checked first: usages %+v", hot, target.Usages)
+	}
+	// Same multiset of checks, different scan order.
+	count := func(us []lowlevel.Usage) map[lowlevel.Usage]int {
+		mm := map[lowlevel.Usage]int{}
+		for _, u := range us {
+			mm[u]++
+		}
+		return mm
+	}
+	b, a := count(before), count(target.Usages)
+	for u, n := range b {
+		if a[u] != n {
+			t.Fatalf("check set changed: %+v vs %+v", before, target.Usages)
+		}
+	}
+}
+
+func TestReorderFromProfilePackedMasks(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	PackBitVectors(m)
+	// Find an option whose last mask holds a resource bit absent from all
+	// earlier masks — otherwise scores tie and the stable sort is a no-op.
+	var target *lowlevel.Option
+	var hotMask lowlevel.CycleMask
+	var hotBits []int32
+	for _, o := range m.Options {
+		if len(o.Masks) < 2 {
+			continue
+		}
+		last := o.Masks[len(o.Masks)-1]
+		unique := last.Mask
+		for _, mk := range o.Masks[:len(o.Masks)-1] {
+			if mk.Word == last.Word {
+				unique &^= mk.Mask
+			}
+		}
+		if unique != 0 {
+			target, hotMask = o, last
+			for bit := int32(0); unique != 0; bit++ {
+				if unique&1 != 0 {
+					hotBits = append(hotBits, last.Word*64+bit)
+				}
+				unique >>= 1
+			}
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("fixture has no option with a distinguishing last mask")
+	}
+	s := zeroSnapshot(m)
+	for _, r := range hotBits {
+		s.Resources[r].Conflicts = 500
+	}
+	rep := ReorderFromProfile(m, &s)
+	if rep.ChecksReordered < 1 {
+		t.Fatalf("ChecksReordered = %d, want >= 1 on packed masks", rep.ChecksReordered)
+	}
+	if target.Masks[0] != hotMask {
+		t.Fatalf("hot mask not first: %+v", target.Masks)
+	}
+}
+
+func TestReorderFromProfileDegradesSafely(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	ci := findMultiTreeConstraint(t, m)
+	before := append([]*lowlevel.Tree(nil), m.Constraints[ci].Trees...)
+
+	// Nil snapshot: explicit no-op.
+	if rep := ReorderFromProfile(m, nil); rep.TreesReordered != 0 || rep.ChecksReordered != 0 {
+		t.Fatalf("nil snapshot reordered something: %+v", rep)
+	}
+
+	// Mismatched shape (tree counts differ): the constraint is skipped.
+	s := zeroSnapshot(m)
+	s.Constraints[ci].Trees = s.Constraints[ci].Trees[:1]
+	s.Constraints[ci].Trees[0].FirstBlock = 1000
+	if rep := ReorderFromProfile(m, &s); rep.TreesReordered != 0 {
+		t.Fatalf("mismatched snapshot reordered trees: %+v", rep)
+	}
+	for i, tr := range m.Constraints[ci].Trees {
+		if tr != before[i] {
+			t.Fatal("tree order changed despite shape mismatch")
+		}
+	}
+
+	// All-zero profile: stable sort keeps the existing order everywhere.
+	z := zeroSnapshot(m)
+	if rep := ReorderFromProfile(m, &z); rep.TreesReordered != 0 || rep.ChecksReordered != 0 {
+		t.Fatalf("zero profile reordered something: %+v", rep)
+	}
+}
+
+func TestReorderFromProfilePanicsOnFrozen(t *testing.T) {
+	m := compileFixture(t, lowlevel.FormAndOr)
+	if err := m.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on frozen MDES")
+		}
+	}()
+	s := zeroSnapshot(m)
+	ReorderFromProfile(m, &s)
+}
+
+// TestReorderFromProfilePreservesSchedules is the pass's acceptance
+// contract: whatever frequencies the profile claims, greedy schedules are
+// byte-for-byte identical before and after the reorder.
+func TestReorderFromProfilePreservesSchedules(t *testing.T) {
+	mach, err := hmdes.Load("fixture", fixtureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1996))
+	for trial := 0; trial < 20; trial++ {
+		base := lowlevel.Compile(mach, lowlevel.FormAndOr)
+		tuned := lowlevel.Compile(mach, lowlevel.FormAndOr)
+
+		// Adversarial random profile: arbitrary frequencies everywhere.
+		s := zeroSnapshot(tuned)
+		for i := range s.Constraints {
+			for j := range s.Constraints[i].Trees {
+				s.Constraints[i].Trees[j].FirstBlock = int64(r.Intn(1000))
+			}
+		}
+		for i := range s.Resources {
+			s.Resources[i].Conflicts = int64(r.Intn(1000))
+		}
+		ReorderFromProfile(tuned, &s)
+
+		n := 40
+		stream := make([]int, n)
+		arrivals := make([]int, n)
+		cycle := 0
+		for i := range stream {
+			stream[i] = r.Intn(len(base.Operations))
+			cycle += r.Intn(2)
+			arrivals[i] = cycle
+		}
+		got := greedySchedule(tuned, stream, arrivals)
+		want := greedySchedule(base, stream, arrivals)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: schedules diverge at op %d: %d vs %d",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}

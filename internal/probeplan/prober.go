@@ -279,6 +279,47 @@ func (p *Prober) BlockerRes(con *lowlevel.Constraint, issue int) int {
 	return -1
 }
 
+// BlockerTreeRes returns the position (within the constraint) of the tree
+// the most recent failed Check died on and the resource that blocked it:
+// the conflict-profile slice of Explain, attributing tree + resource with
+// no provenance strings. The stash makes the common case one FirstBlocked;
+// res is -1 when the blocking slot cannot be pinned to a single resource
+// (e.g. the blocking probe fell outside the stashed word's row).
+func (p *Prober) BlockerTreeRes(con *lowlevel.Constraint, issue int) (int, int) {
+	if p.lastValid && p.lastCon == con && p.lastIssue == issue {
+		ti := int(p.lastTi - p.lastTlo)
+		if p.lastWi >= 0 {
+			w := p.plan.words[p.lastWi]
+			r := issue + int(w.Time) - p.base
+			if uint(r) < uint(p.nrows) {
+				row := p.rows[r*p.plan.RowWords : (r+1)*p.plan.RowWords]
+				if b := bitset.FirstBlocked(row, int(w.Widx), w.Mask); b >= 0 {
+					return ti, b
+				}
+			}
+		}
+		return ti, -1
+	}
+	tlo, thi := p.plan.spanFor(con)
+	for ti := tlo; ti < thi; ti++ {
+		satisfiable := false
+		for oi := p.plan.treeStart[ti]; oi < p.plan.treeStart[ti+1]; oi++ {
+			if p.optionFree(oi, issue) {
+				satisfiable = true
+				break
+			}
+		}
+		if !satisfiable {
+			res, _, ok := p.optionBlocker(p.plan.treeStart[ti], issue)
+			if !ok {
+				return int(ti - tlo), -1
+			}
+			return int(ti - tlo), res
+		}
+	}
+	return -1, -1
+}
+
 // optionFree is optionProbe without instrumentation (Explain slow path).
 func (p *Prober) optionFree(opt int32, issue int) bool {
 	for wi := p.plan.optStart[opt]; wi < p.plan.optStart[opt+1]; wi++ {

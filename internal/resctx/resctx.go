@@ -31,6 +31,7 @@ import (
 	"mdes/internal/lowlevel"
 	"mdes/internal/obs"
 	"mdes/internal/obs/flight"
+	"mdes/internal/obs/profile"
 	"mdes/internal/probeplan"
 	"mdes/internal/rumap"
 	"mdes/internal/stats"
@@ -75,6 +76,11 @@ type Context struct {
 	// the pool's flight.Recorder on release. Nil when the pool has no
 	// recorder and on standalone contexts.
 	Flight *flight.Local
+	// Prof, when non-nil, is the per-context conflict-attribution profile
+	// buffer (per-constraint / per-tree / per-option probe frequencies);
+	// it is merged into the pool's profile.Profile on release. Nil when
+	// the pool has no profile and on standalone contexts.
+	Prof *profile.Local
 	// Slots is a reusable (resource, cycle) buffer for reservation
 	// snapshots (rumap.Map.AppendReservedSlots).
 	Slots [][2]int
@@ -205,6 +211,24 @@ func (c *Context) BlockingRes(con *lowlevel.Constraint, issue int) int {
 	return -1
 }
 
+// BlockingTreeRes attributes a failed Check to the position (within the
+// constraint) of the first unsatisfiable tree and its blocking resource:
+// the profile-grade slice of Explain (tree + resource, no provenance).
+// Returns (-1, -1) on backends that cannot attribute, and (-1, res) when
+// only resource attribution is available.
+func (c *Context) BlockingTreeRes(con *lowlevel.Constraint, issue int) (int, int) {
+	if c.PP != nil {
+		return c.PP.BlockerTreeRes(con, issue)
+	}
+	if c.RU != nil {
+		return c.RU.BlockerTreeRes(con, issue)
+	}
+	if conf, ok := c.Explain(con, issue); ok {
+		return -1, conf.Res
+	}
+	return -1, -1
+}
+
 // Reset clears the checker's reservations, counters, and observability
 // buffer, retaining all storage.
 func (c *Context) Reset() {
@@ -213,6 +237,7 @@ func (c *Context) Reset() {
 	if c.Obs != nil {
 		c.Obs.Reset()
 	}
+	c.Prof.Reset()
 	c.Slots = c.Slots[:0]
 	c.Sels = c.Sels[:0]
 	c.Arena.Reset()
@@ -240,8 +265,9 @@ type Pool struct {
 	conflicts  atomic.Int64
 	backtracks atomic.Int64
 
-	reg *obs.Registry
-	fr  *flight.Recorder
+	reg  *obs.Registry
+	fr   *flight.Recorder
+	prof *profile.Profile
 }
 
 // NewPool returns a Context pool with the default RU-map checker for a
@@ -286,6 +312,15 @@ func (p *Pool) SetFlight(rec *flight.Recorder) { p.fr = rec }
 // Flight returns the attached flight recorder, or nil.
 func (p *Pool) Flight() *flight.Recorder { return p.fr }
 
+// SetProfile attaches a conflict-attribution profile: every Context
+// borrowed after this call carries a profile.Local merged into prof on
+// release. Must be called before the first Get (mdes.NewEngine configures
+// it at construction).
+func (p *Pool) SetProfile(prof *profile.Profile) { p.prof = prof }
+
+// Profile returns the attached profile, or nil.
+func (p *Pool) Profile() *profile.Profile { return p.prof }
+
 // Get borrows a clean Context. The caller must return it with Put (or
 // Context.Release) when done.
 func (p *Pool) Get() *Context {
@@ -299,6 +334,9 @@ func (p *Pool) Get() *Context {
 	}
 	if p.fr != nil && c.Flight == nil {
 		c.Flight = p.fr.NewLocal()
+	}
+	if p.prof != nil && c.Prof == nil {
+		c.Prof = p.prof.NewLocal()
 	}
 	return c
 }
@@ -325,6 +363,9 @@ func (p *Pool) Put(c *Context) {
 	}
 	if p.fr != nil {
 		p.fr.Merge(c.Flight)
+	}
+	if p.prof != nil {
+		p.prof.Merge(c.Prof)
 	}
 	c.Reset()
 	p.p.Put(c)

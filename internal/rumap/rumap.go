@@ -297,6 +297,31 @@ func (m *Map) ExplainConflict(con *lowlevel.Constraint, issue int) (c Conflict, 
 	return Conflict{}, false
 }
 
+// BlockerTreeRes returns the position (within the constraint) of the
+// first unsatisfiable tree at issue and the resource blocking its
+// highest-priority option: the conflict-profile slice of ExplainConflict,
+// attributing tree + resource with no provenance strings. Returns (-1, -1)
+// when the constraint is satisfiable, and (ti, -1) when the tree is
+// unsatisfiable but its preferred option has no materialized blocking slot.
+func (m *Map) BlockerTreeRes(con *lowlevel.Constraint, issue int) (int, int) {
+	for ti, tree := range con.Trees {
+		satisfiable := false
+		for _, o := range tree.Options {
+			if m.optionFree(o, issue) {
+				satisfiable = true
+				break
+			}
+		}
+		if !satisfiable {
+			if res, _, ok := m.optionBlocker(tree.Options[0], issue); ok {
+				return ti, res
+			}
+			return ti, -1
+		}
+	}
+	return -1, -1
+}
+
 // ReservedSlots returns every (resource, cycle) currently reserved, for
 // tests that compare reservations across representations. Hot paths should
 // use AppendReservedSlots, which reuses the caller's buffer.

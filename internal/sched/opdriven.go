@@ -65,7 +65,7 @@ func (s *Scheduler) ScheduleBlockOpDriven(b *ir.Block) (*Result, error) {
 		con := s.mdes.ConstraintFor(opIdx, op.Cascaded)
 
 		cycle := estart[i]
-		if s.cx.Batch != nil && s.cx.Obs == nil && bt == nil && s.OptionsHist == nil && s.OnAttempt == nil {
+		if s.cx.Batch != nil && s.cx.Obs == nil && s.cx.Prof == nil && bt == nil && s.OptionsHist == nil && s.OnAttempt == nil {
 			// Batch fast path: probe 64-cycle windows in one CheckWindow
 			// pass per window instead of re-entering Check per cycle. The
 			// backend's contract makes this accounting-equivalent to the

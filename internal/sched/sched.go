@@ -104,13 +104,15 @@ func (s *Scheduler) Latency(opcode string) int {
 
 // attempt performs one instrumented Check: the paper's counters always
 // (into c), per-phase/per-class observability metrics when the borrowed
-// context carries an obs.Local, and a trace event when bt is non-nil. It
+// context carries an obs.Local, conflict-attribution profiling when it
+// carries a profile.Local, and a trace event when bt is non-nil. It
 // returns the selection, whether the attempt succeeded, and the number of
 // options checked during the attempt (the per-attempt quantity of
-// Figure 2). With observability disabled (nil Local, nil bt) the extra
-// cost is a few nil comparisons and no allocations.
+// Figure 2). With observability disabled (nil Local, nil Prof, nil bt) the
+// extra cost is a few nil comparisons and no allocations.
 func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, op *ir.Operation, con *lowlevel.Constraint, cycle int, c *stats.Counters) (check.Selection, bool, int64) {
 	local := s.cx.Obs
+	prof := s.cx.Prof
 	var t0 time.Time
 	timed := false
 	if local != nil {
@@ -124,7 +126,7 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 	beforeChecks := c.ResourceChecks
 	sel, ok := s.cx.Check(con, cycle, c)
 	opts := c.OptionsChecked - beforeOpts
-	if local == nil && bt == nil {
+	if local == nil && bt == nil && prof == nil {
 		return sel, ok, opts
 	}
 	if local != nil {
@@ -138,11 +140,22 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 			opts, c.ResourceChecks-beforeChecks, ns, ok)
 	}
 	if !ok {
-		if bt == nil {
-			// Metrics-only attribution needs just the blocking resource, not
-			// the provenance a trace record carries.
-			if res := s.cx.BlockingRes(con, cycle); res >= 0 {
+		if prof != nil {
+			// One attribution walk serves both the profile (tree + resource)
+			// and, when no trace wants provenance too, the metrics registry.
+			ti, res := s.cx.BlockingTreeRes(con, cycle)
+			prof.Conflict(con.Index, ti, res)
+			if local != nil && bt == nil && res >= 0 {
 				local.ConflictAt(res)
+			}
+		}
+		if bt == nil {
+			if local != nil && prof == nil {
+				// Metrics-only attribution needs just the blocking resource,
+				// not the provenance a trace record carries.
+				if res := s.cx.BlockingRes(con, cycle); res >= 0 {
+					local.ConflictAt(res)
+				}
 			}
 		} else if conf, found := s.cx.Explain(con, cycle); found {
 			if local != nil {
@@ -150,6 +163,8 @@ func (s *Scheduler) attempt(phase obs.Phase, bt *obs.BlockTrace, opInBlock int, 
 			}
 			bt.Conflict(opInBlock, op.Opcode, cycle, s.mdes.ResourceNames[conf.Res], conf.Time, conf.Src)
 		}
+	} else if prof != nil {
+		prof.Success(con.Index, sel.Chosen)
 	}
 	if bt != nil {
 		choice := 0

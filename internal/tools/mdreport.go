@@ -33,9 +33,57 @@ func RunMDReport(args []string, stdout io.Writer) error {
 		headroom    = fs.Float64("headroom", 0.05, "fractional headroom for -seed-budgets (0.05 = 5%)")
 		opsFlag     = fs.Int("ops", 20000, "workload size for the scheduling tables (builtin machines)")
 		seedFlag    = fs.Int64("seed", 1996, "workload seed")
+
+		tuneFlag    = fs.Bool("tune", false, "profile-guided tuning loop: record/replay a trace, reorder checks from the observed conflict profile, accept only byte-identical schedules with fewer checks")
+		traceFlag   = fs.String("trace", "", "with -tune: tune against this mdtrace recording instead of recording one")
+		formFlag    = fs.String("form", "andor", "with -tune: representation form when recording (or | andor)")
+		levelFlag   = fs.String("level", "full", "with -tune: optimization level when recording (none | redundancy | bit-vector | time-shift | full)")
+		checkerFlag = fs.String("checker", "", "with -tune: conflict-checker backend (default rumap, or the recording's with -trace)")
+		shardsFlag  = fs.Int("shards", 4, "with -tune: workload generator shards when recording")
+		workersFlag = fs.Int("workers", 8, "with -tune: scheduling goroutines")
+		tuneOut     = fs.String("tune-out", "", "with -tune: directory for TUNED_*.mdes and PROFILE_*.mdpf artifacts")
+		tuneMinGain = fs.Float64("tune-min-gain", 0, "with -tune: reject unless OptionsChecked+ResourceChecks drop at least this many percent")
+
+		benchCompare   = fs.Bool("bench-compare", false, "compare BENCH trajectories: args are <old> <new>, old a bench_budgets.json or BENCH file/dir, new a BENCH file/dir; non-zero exit on regression")
+		benchTol       = fs.Float64("bench-tol", 0.40, "with -bench-compare: fractional blocks/s regression tolerance against an old trajectory (wall clock is noisy)")
+		benchChecksTol = fs.Float64("bench-checks-tol", 0.02, "with -bench-compare: fractional checks/attempt tolerance (the counter is deterministic)")
+		seedBenchOut   = fs.String("seed-bench-budgets", "", "write a bench_budgets.json derived from a BENCH file/dir (first arg) to this path")
+		benchHeadroom  = fs.Float64("bench-headroom", 0.60, "with -seed-bench-budgets: fractional blocks/s headroom (CI runners are slower than the seeding machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *tuneFlag {
+		machine := *machineFlag
+		if machine == "" {
+			machine = string(machines.K5)
+		}
+		return runTune(stdout, tuneConfig{
+			machine: machine,
+			trace:   *traceFlag,
+			form:    *formFlag,
+			level:   *levelFlag,
+			checker: *checkerFlag,
+			ops:     *opsFlag,
+			seed:    *seedFlag,
+			shards:  *shardsFlag,
+			workers: *workersFlag,
+			out:     *tuneOut,
+			minGain: *tuneMinGain,
+		})
+	}
+	if *benchCompare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("mdreport -bench-compare: want <old> <new>, got %d args", fs.NArg())
+		}
+		return runBenchCompare(stdout, fs.Arg(0), fs.Arg(1), *benchTol, *benchChecksTol)
+	}
+	if *seedBenchOut != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("mdreport -seed-bench-budgets: want one BENCH file/dir arg, got %d", fs.NArg())
+		}
+		return runSeedBenchBudgets(stdout, fs.Arg(0), *seedBenchOut, *benchHeadroom, *benchChecksTol)
 	}
 
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}

@@ -50,10 +50,10 @@ func RunMdtrace(args []string, stdout io.Writer) error {
 	return fmt.Errorf("unknown command %q", args[0])
 }
 
-// mdtraceEngine builds the engine a trace's meta describes and returns
-// it with the meta (machine hash filled in from the compiled
-// description's fingerprint).
-func mdtraceEngine(machineName, form, level, checker string) (*mdes.Engine, trace.Meta, error) {
+// mdtraceCompile builds the unfrozen compiled description a trace's meta
+// describes, with the meta's machine hash filled in from its fingerprint
+// (Checker is left empty until an engine picks a backend).
+func mdtraceCompile(machineName, form, level string) (*mdes.Compiled, trace.Meta, error) {
 	var meta trace.Meta
 	m, err := machines.Load(machines.Name(machineName))
 	if err != nil {
@@ -67,16 +67,8 @@ func mdtraceEngine(machineName, form, level, checker string) (*mdes.Engine, trac
 	if err != nil {
 		return nil, meta, err
 	}
-	kind, err := mdes.ParseCheckerKind(checker)
-	if err != nil {
-		return nil, meta, fmt.Errorf("%w\n%s", err, cli.FormatCheckerKinds())
-	}
 	compiled := mdes.Compile(m, f)
 	mdes.Optimize(compiled, lvl)
-	eng, err := mdes.NewEngine(compiled, mdes.WithChecker(kind))
-	if err != nil {
-		return nil, meta, err
-	}
 	fp, err := compiled.Fingerprint()
 	if err != nil {
 		return nil, meta, err
@@ -86,8 +78,27 @@ func mdtraceEngine(machineName, form, level, checker string) (*mdes.Engine, trac
 		MachineHash: fp,
 		Form:        f.String(),
 		Level:       lvl.String(),
-		Checker:     kind.String(),
 	}
+	return compiled, meta, nil
+}
+
+// mdtraceEngine builds the engine a trace's meta describes and returns
+// it with the complete meta. Extra engine options (e.g. WithProfile for
+// the tuning loop) are appended after the checker selection.
+func mdtraceEngine(machineName, form, level, checker string, extra ...mdes.EngineOption) (*mdes.Engine, trace.Meta, error) {
+	compiled, meta, err := mdtraceCompile(machineName, form, level)
+	if err != nil {
+		return nil, meta, err
+	}
+	kind, err := mdes.ParseCheckerKind(checker)
+	if err != nil {
+		return nil, meta, fmt.Errorf("%w\n%s", err, cli.FormatCheckerKinds())
+	}
+	eng, err := mdes.NewEngine(compiled, append([]mdes.EngineOption{mdes.WithChecker(kind)}, extra...)...)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Checker = kind.String()
 	return eng, meta, nil
 }
 

@@ -39,6 +39,7 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		traceFlag      = fs.String("trace", "", "write one JSON trace line per scheduled block to this file")
 		sampleFlag     = fs.Int("tracesample", 1, "trace 1 in N blocks")
 		reportFlag     = fs.Bool("report", false, "print the metrics registry as tables after the run")
+		profileFlag    = fs.Bool("profile", false, "attach the conflict-attribution profiler (served at /debug/profile with -metrics, printed with -report)")
 		checkerFlag    = fs.String("checker", "rumap", "conflict-checker backend for the observability run: rumap, automaton or probeplan")
 		repeatFlag     = fs.Int("repeat", 1, "schedule the workload N times (gives -metrics something to watch)")
 		workersFlag    = fs.Int("workers", 8, "scheduling goroutines for the observability run")
@@ -65,7 +66,7 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		return runBenchJSON(stdout, p, *benchjsonFlag)
 	}
 
-	if *metricsFlag != "" || *traceFlag != "" || *reportFlag || *flightFlag || *flightdumpFlag != "" {
+	if *metricsFlag != "" || *traceFlag != "" || *reportFlag || *flightFlag || *flightdumpFlag != "" || *profileFlag {
 		kind, err := mdes.ParseCheckerKind(*checkerFlag)
 		if err != nil {
 			fmt.Fprintf(stdout, "unknown checker %q\n%s", *checkerFlag, cli.FormatCheckerKinds())
@@ -78,6 +79,7 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 			trace:      *traceFlag,
 			sample:     *sampleFlag,
 			report:     *reportFlag,
+			profile:    *profileFlag,
 			repeat:     *repeatFlag,
 			workers:    *workersFlag,
 			flight:     *flightFlag || *flightdumpFlag != "",
@@ -118,6 +120,7 @@ type observeConfig struct {
 	trace      string
 	sample     int
 	report     bool
+	profile    bool
 	repeat     int
 	workers    int
 	flight     bool
@@ -155,6 +158,11 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		flight = mdes.NewFlightRecorder(mdes.FlightConfig{})
 		opts = append(opts, mdes.WithFlight(flight))
 	}
+	var prof *mdes.ConflictProfile
+	if cfg.profile {
+		prof = mdes.NewConflictProfile(compiled)
+		opts = append(opts, mdes.WithProfile(prof))
+	}
 	eng, err := mdes.NewEngine(compiled, opts...)
 	if err != nil {
 		return err
@@ -163,6 +171,9 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 		var srvOpts []mdes.ServerOption
 		if flight != nil {
 			srvOpts = append(srvOpts, mdes.WithFlightExporter(flight))
+		}
+		if prof != nil {
+			srvOpts = append(srvOpts, mdes.WithProfileExporter(prof))
 		}
 		srv, err := mdes.ServeMetrics(cfg.metrics, metrics, srvOpts...)
 		if err != nil {
@@ -175,6 +186,9 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 	prog, err := workload.GenerateParallel(workload.Config{Machine: cfg.machine, NumOps: p.NumOps, Seed: p.Seed}, 4)
 	if err != nil {
 		return err
+	}
+	if prof != nil {
+		prof.SetWorkload(fmt.Sprintf("%s ops=%d seed=%d", cfg.machine, p.NumOps, p.Seed))
 	}
 	if cfg.repeat < 1 {
 		cfg.repeat = 1
@@ -212,6 +226,9 @@ func runObserve(stdout io.Writer, p experiments.Params, cfg observeConfig) error
 	}
 	if cfg.report {
 		fmt.Fprintln(stdout, mdes.FormatMetrics(metrics))
+	}
+	if prof != nil && cfg.report {
+		fmt.Fprintln(stdout, mdes.FormatProfile(prof.Snapshot(), 0))
 	}
 	return nil
 }
@@ -266,37 +283,12 @@ func runParallel(stdout io.Writer, p experiments.Params, maxPar int) error {
 	return nil
 }
 
-// benchArtifact is the machine-readable perf record one -benchjson run
-// writes per (machine, checker): the CI bench-smoke job uploads these so
-// the perf trajectory is diffable across commits instead of living only in
-// EXPERIMENTS.md prose.
-type benchArtifact struct {
-	Schema string `json:"schema"`
-	// MachineHash, Commit, and GeneratedAt stamp the artifact with what
-	// produced it: the compiled description's content fingerprint, the
-	// source revision (GITHUB_SHA in CI, git locally, else "unknown"),
-	// and the UTC generation time — so two BENCH files are comparable
-	// only when their provenance says they measured the same thing.
-	MachineHash string `json:"machine_hash"`
-	Commit      string `json:"commit"`
-	GeneratedAt string `json:"generated_at"`
-	Machine     string `json:"machine"`
-	Checker     string `json:"checker"`
-	NumOps      int    `json:"num_ops"`
-	Seed        int64  `json:"seed"`
-	Blocks      int    `json:"blocks"`
-	Rounds      int    `json:"rounds"`
-	// BlocksPerSec and MsPerOp are wall-clock rates from the best (minimum)
-	// of Rounds serial runs; ChecksPerAttempt is exact accounting.
-	BlocksPerSec     float64 `json:"blocks_per_sec"`
-	MsPerOp          float64 `json:"ms_per_op"`
-	ChecksPerAttempt float64 `json:"checks_per_attempt"`
-}
-
 // runBenchJSON schedules every built-in machine's workload once per
 // checker backend and writes one BENCH_<machine>_<checker>.json artifact
-// per eligible pair to dir. Backends a machine is ineligible for (e.g. the
-// automaton's resource-count limit) are reported and skipped, not errors.
+// per eligible pair to dir (the experiments.BenchRecord format that
+// `mdreport -bench-compare` gates on). Backends a machine is ineligible
+// for (e.g. the automaton's resource-count limit) are reported and
+// skipped, not errors.
 func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return err
@@ -336,8 +328,8 @@ func runBenchJSON(stdout io.Writer, p experiments.Params, dir string) error {
 					best = d
 				}
 			}
-			art := benchArtifact{
-				Schema:           "mdes-bench/v2",
+			art := experiments.BenchRecord{
+				Schema:           experiments.BenchSchema,
 				MachineHash:      fingerprint,
 				Commit:           commit,
 				GeneratedAt:      generatedAt,

@@ -183,6 +183,51 @@ func Replay(ctx context.Context, eng BlockScheduler, rec *Recording, parallelism
 	return rep, nil
 }
 
+// ReplaySchedules re-runs a recording's workload and compares only the
+// schedules — block length and per-op issue cycles — against the
+// recorded outcomes, returning the replayed totals alongside. This is
+// the comparison a description-tuning pass needs: a legitimate layout
+// change (e.g. opt.ReorderFromProfile) must preserve every schedule
+// byte-for-byte while deliberately changing OptionsChecked and
+// ResourceChecks, so Replay's counter equality would reject exactly the
+// improvement being verified. The caller compares the returned totals
+// against the recording's summed counters itself (tuning accepts only
+// when they drop).
+func ReplaySchedules(ctx context.Context, eng BlockScheduler, rec *Recording, parallelism int) (*ReplayReport, stats.Counters, error) {
+	blocks, err := rec.Blocks()
+	if err != nil {
+		return nil, stats.Counters{}, err
+	}
+	if len(blocks) != len(rec.Outcomes) {
+		return nil, stats.Counters{}, fmt.Errorf("trace: recording has %d outcomes for %d blocks", len(rec.Outcomes), len(blocks))
+	}
+	results, total, err := eng.ScheduleBlocks(ctx, blocks, parallelism)
+	if err != nil {
+		return nil, stats.Counters{}, fmt.Errorf("trace: replay: %w", err)
+	}
+	rep := &ReplayReport{Blocks: len(blocks)}
+	for i, r := range results {
+		want := &rec.Outcomes[i]
+		switch {
+		case r.Length != want.Length:
+			rep.Mismatches = append(rep.Mismatches, Mismatch{i, fmt.Sprintf("length %d, recorded %d", r.Length, want.Length)})
+		case !intsEqual(r.Issue, want.Issue):
+			rep.Mismatches = append(rep.Mismatches, Mismatch{i, "issue cycles differ"})
+		}
+	}
+	return rep, total, nil
+}
+
+// Totals sums the recorded per-block counters: the baseline a tuning run
+// compares its replayed totals against.
+func (rec *Recording) Totals() stats.Counters {
+	var total stats.Counters
+	for i := range rec.Outcomes {
+		total.Add(rec.Outcomes[i].Counters)
+	}
+	return total
+}
+
 func intsEqual(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,0 +1,82 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+	"mdes/internal/obs/profile"
+	"mdes/internal/opt"
+)
+
+func compileK5(t *testing.T, level opt.Level) *lowlevel.MDES {
+	t.Helper()
+	mach, err := machines.Load(machines.K5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lowlevel.Compile(mach, lowlevel.FormAndOr)
+	opt.Apply(m, level, opt.Forward)
+	return m
+}
+
+// A description must be equivalent to itself, and to a profile-reordered
+// copy of itself — the exact pair the tuning loop feeds through this gate.
+func TestCheckEquivalentAcceptsReorderedTwin(t *testing.T) {
+	base := compileK5(t, opt.LevelTimeShift)
+	if err := CheckEquivalent(base, compileK5(t, opt.LevelTimeShift), 1996); err != nil {
+		t.Fatalf("identical twins rejected: %v", err)
+	}
+
+	tuned := compileK5(t, opt.LevelTimeShift)
+	s := profile.New(tuned).Snapshot()
+	// Arbitrary synthetic frequencies; the reorder is schedule-preserving
+	// regardless of what the profile claims.
+	for i := range s.Constraints {
+		for j := range s.Constraints[i].Trees {
+			s.Constraints[i].Trees[j].FirstBlock = int64((i*7 + j*13) % 97)
+		}
+	}
+	for i := range s.Resources {
+		s.Resources[i].Conflicts = int64((i * 31) % 53)
+	}
+	rep := opt.ReorderFromProfile(tuned, &s)
+	if rep.TreesReordered == 0 && rep.ChecksReordered == 0 {
+		t.Fatal("synthetic profile reordered nothing; test exercises nothing")
+	}
+	if err := CheckEquivalent(base, tuned, 1996); err != nil {
+		t.Fatalf("profile-reordered description rejected: %v", err)
+	}
+}
+
+// A reorder that altered semantics — here, an option losing a usage —
+// must be caught before any artifact is written.
+func TestCheckEquivalentRejectsSemanticDrift(t *testing.T) {
+	base := compileK5(t, opt.LevelNone)
+	broken := compileK5(t, opt.LevelNone)
+	// Narrow acceptance: every multi-option tree loses its alternatives,
+	// so contended probes that base satisfies via a later option now
+	// conflict — the replay counters or issue cycles must diverge.
+	for _, tr := range broken.Trees {
+		if len(tr.Options) >= 2 {
+			tr.Options = tr.Options[:1]
+		}
+	}
+	err := CheckEquivalent(base, broken, 1996)
+	if err == nil {
+		t.Fatal("semantic drift accepted")
+	}
+	if !strings.Contains(err.Error(), "tune/equivalence") {
+		t.Fatalf("error not attributed to the equivalence stage: %v", err)
+	}
+}
+
+func TestCheckEquivalentRejectsShapeMismatch(t *testing.T) {
+	base := compileK5(t, opt.LevelNone)
+	broken := compileK5(t, opt.LevelNone)
+	broken.Operations = broken.Operations[:len(broken.Operations)-1]
+	if err := CheckEquivalent(base, broken, 1996); err == nil {
+		t.Fatal("operation-table mismatch accepted")
+	}
+}

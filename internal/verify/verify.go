@@ -171,20 +171,7 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 	orc := oracle.New(mach)
 	nOps := len(orc.MDES().Operations)
 
-	// Deterministic in-order stream: every op reachable, arrivals with
-	// both back-to-back pressure and gaps that let the window drain.
-	r := rand.New(rand.NewSource(streamSeed ^ 0x5deece66d))
-	stream := make([]int, streamLen)
-	arrivals := make([]int, streamLen)
-	cycle := 0
-	for i := range stream {
-		stream[i] = r.Intn(nOps)
-		cycle += r.Intn(3)
-		if r.Intn(6) == 0 {
-			cycle += 4
-		}
-		arrivals[i] = cycle
-	}
+	stream, arrivals := makeStream(nOps, streamSeed)
 	want, err := orc.ScheduleInOrder(stream, arrivals, maxWait)
 	if err != nil {
 		return stageErrf("oracle/schedule", "%v", err)
@@ -272,6 +259,26 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 	// Stage 6: the query layer must answer identically over the original
 	// and fully-optimized descriptions.
 	return diffQuery(orNone, and, c)
+}
+
+// makeStream builds the deterministic in-order stream for a machine with
+// nOps operations: every op reachable, arrivals with both back-to-back
+// pressure and gaps that let the window drain. A pure function of
+// (nOps, streamSeed), so a reported divergence replays exactly.
+func makeStream(nOps int, streamSeed int64) (stream, arrivals []int) {
+	r := rand.New(rand.NewSource(streamSeed ^ 0x5deece66d))
+	stream = make([]int, streamLen)
+	arrivals = make([]int, streamLen)
+	cycle := 0
+	for i := range stream {
+		stream[i] = r.Intn(nOps)
+		cycle += r.Intn(3)
+		if r.Intn(6) == 0 {
+			cycle += 4
+		}
+		arrivals[i] = cycle
+	}
+	return stream, arrivals
 }
 
 // oracleGrid evaluates the oracle's post-schedule probe answer for every

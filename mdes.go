@@ -62,6 +62,7 @@ import (
 	"mdes/internal/machines"
 	"mdes/internal/obs"
 	"mdes/internal/obs/flight"
+	"mdes/internal/obs/profile"
 	"mdes/internal/opt"
 	"mdes/internal/query"
 	"mdes/internal/resctx"
@@ -314,6 +315,42 @@ func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
 	return flight.NewRecorder(cfg)
 }
 
+// ConflictProfile is the mergeable conflict-attribution profile: observed
+// probe, first-block, and conflict frequencies per constraint, per
+// OR-tree position, and per option, plus conflicts by blocking resource.
+// Attach one to an Engine with WithProfile; read it with Snapshot,
+// FormatProfile, or serve it live with WithProfileExporter. A snapshot
+// feeds ReorderFromProfile (and `mdreport -tune`), which re-sorts the
+// description's conflict checks by the observed frequencies.
+type ConflictProfile = profile.Profile
+
+// ProfileSnapshot is a point-in-time copy of a ConflictProfile.
+type ProfileSnapshot = profile.Snapshot
+
+// NewConflictProfile returns an empty profile shaped like the compiled
+// description. The description must be the one the engine schedules with
+// (profile indices follow its constraint/tree/option order).
+func NewConflictProfile(c *Compiled) *ConflictProfile {
+	return profile.New(c)
+}
+
+// FormatProfile renders a profile snapshot as aligned tables: hottest
+// constraints with per-tree first-block counts, and the top conflicting
+// resources. topN bounds both tables (<= 0 for the default).
+func FormatProfile(s ProfileSnapshot, topN int) string {
+	return profile.FormatSnapshot(&s, topN)
+}
+
+// ReorderFromProfile re-sorts the description's conflict checks by a
+// profile's observed frequencies: OR-trees within each constraint by
+// first-block frequency, usage checks within each option by attributed
+// resource conflicts. Schedule-preserving by construction; run it on a
+// freshly compiled (unfrozen) description and verify with the tuning
+// loop (`mdreport -tune`).
+func ReorderFromProfile(c *Compiled, s *ProfileSnapshot) Report {
+	return opt.ReorderFromProfile(c, s)
+}
+
 // ServerOption configures ServeMetrics endpoints.
 type ServerOption = obs.ServerOption
 
@@ -323,6 +360,12 @@ type ServerOption = obs.ServerOption
 // anomaly counts.
 func WithFlightExporter(f *FlightRecorder) ServerOption {
 	return obs.WithFlightExporter(f)
+}
+
+// WithProfileExporter attaches a conflict profile to a ServeMetrics
+// server: its live snapshot is served as JSON at /debug/profile.
+func WithProfileExporter(p *ConflictProfile) ServerOption {
+	return obs.WithProfileExporter(p)
 }
 
 // ServeMetrics starts an HTTP server on addr exposing the registry at
@@ -403,6 +446,17 @@ func WithFlight(rec *FlightRecorder) EngineOption {
 	return func(e *Engine) { e.flight = rec }
 }
 
+// WithProfile attaches a conflict-attribution profile: every context the
+// engine borrows carries a local profile buffer (plain stores, no locks)
+// merged into p on release. NewEngine stamps p with the machine name, the
+// compiled description's content fingerprint, and the checker backend, so
+// the persisted profile artifact names exactly which description produced
+// its evidence. The profile should be shaped by the same compiled
+// description (NewConflictProfile).
+func WithProfile(p *ConflictProfile) EngineOption {
+	return func(e *Engine) { e.profile = p }
+}
+
 // Engine serves one frozen compiled machine description to any number of
 // concurrent clients — the session layer between the paper's
 // compile-once artifact and a production service's many inner loops.
@@ -423,6 +477,7 @@ type Engine struct {
 	metrics  *obs.Registry
 	tracer   obs.Tracer
 	flight   *flight.Recorder
+	profile  *profile.Profile
 	blockSeq atomic.Int64
 }
 
@@ -454,6 +509,14 @@ func NewEngine(c *Compiled, opts ...EngineOption) (*Engine, error) {
 		e.flight.SetMeta(c.MachineName, fp, e.checker.String())
 		e.pool.SetFlight(e.flight)
 	}
+	if e.profile != nil {
+		fp, err := c.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		e.profile.SetMeta(c.MachineName, fp, e.checker.String())
+		e.pool.SetProfile(e.profile)
+	}
 	return e, nil
 }
 
@@ -468,6 +531,9 @@ func (e *Engine) Metrics() *Metrics { return e.pool.Metrics() }
 
 // Flight returns the flight recorder attached with WithFlight, or nil.
 func (e *Engine) Flight() *FlightRecorder { return e.flight }
+
+// Profile returns the conflict profile attached with WithProfile, or nil.
+func (e *Engine) Profile() *ConflictProfile { return e.profile }
 
 // Totals returns the instrumentation counters aggregated across every
 // completed session (scheduling call or closed query) so far.
