@@ -1,0 +1,224 @@
+package descache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+)
+
+func testArena(t *testing.T, n machines.Name, form lowlevel.Form) []byte {
+	t.Helper()
+	m := lowlevel.Compile(machines.MustLoad(n), form)
+	arena, err := m.EncodeArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arena
+}
+
+func testKey(n machines.Name) Key {
+	return Key{SourceHash: HashSource(string(n)), Form: "andor", Level: "full"}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := testArena(t, machines.K5, lowlevel.FormAndOr)
+	key := testKey(machines.K5)
+
+	if _, err := s.Get(key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("expected miss, got %v", err)
+	}
+	if _, err := s.Put(key, arena); err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Arena.MachineName() != "K5" {
+		t.Fatalf("machine name %q", e.Arena.MachineName())
+	}
+	if got := e.Arena.Bytes(); len(got) != len(arena) {
+		t.Fatalf("entry size %d, want %d", len(got), len(arena))
+	}
+	// Distinct keys must not collide.
+	other := Key{SourceHash: key.SourceHash, Form: "or", Level: "full"}
+	if _, err := s.Get(other); !errors.Is(err, ErrMiss) {
+		t.Fatalf("form variant hit the andor entry: %v", err)
+	}
+}
+
+func TestCorruptEntryRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := testArena(t, machines.PA7100, lowlevel.FormOR)
+	key := testKey(machines.PA7100)
+	path, err := s.Put(key, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk: Get must reject, not serve garbage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err == nil || errors.Is(err, ErrMiss) {
+		t.Fatalf("corrupt entry not rejected with a validation error: %v", err)
+	}
+	// Put refuses garbage up front.
+	if _, err := s.Put(key, data); err == nil {
+		t.Fatal("Put accepted a corrupt arena")
+	}
+}
+
+func TestTunedSlot(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(machines.SuperSPARC)
+	base := testArena(t, machines.SuperSPARC, lowlevel.FormAndOr)
+	if _, _, _, err := s.GetTuned(key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("expected tuned miss, got %v", err)
+	}
+	if _, err := s.PutTuned(key, "deadbeef01234567", "cafe000011112222", base); err != nil {
+		t.Fatal(err)
+	}
+	e, fp, addr, err := s.GetTuned(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if fp != "deadbeef01234567" || addr != "cafe000011112222" {
+		t.Fatalf("parsed fingerprint/addr %q/%q", fp, addr)
+	}
+	// The untuned slot stays independent.
+	if _, err := s.Get(key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("tuned slot leaked into base slot: %v", err)
+	}
+}
+
+func TestLRUGC(t *testing.T) {
+	dir := t.TempDir()
+	arena := testArena(t, machines.Pentium, lowlevel.FormOR)
+	// Budget for two entries only.
+	s, err := Open(dir, int64(len(arena)*2+len(arena)/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{
+		{SourceHash: "0000000000000001", Form: "or", Level: "none"},
+		{SourceHash: "0000000000000002", Form: "or", Level: "none"},
+		{SourceHash: "0000000000000003", Form: "or", Level: "none"},
+	}
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys[:2] {
+		p, err := s.Put(k, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spread modification times so LRU order is unambiguous.
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 (a Get bumps recency), making key 1 the LRU victim.
+	if e, err := s.Get(keys[0]); err != nil {
+		t.Fatal(err)
+	} else {
+		e.Close()
+	}
+	if _, err := s.Put(keys[2], arena); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(keys[0]); err != nil {
+		t.Fatalf("recently used entry evicted: %v", err)
+	}
+	if _, err := s.Get(keys[1]); !errors.Is(err, ErrMiss) {
+		t.Fatalf("LRU entry survived GC: %v", err)
+	}
+	if _, err := s.Get(keys[2]); err != nil {
+		t.Fatalf("fresh entry evicted: %v", err)
+	}
+	infos, err := s.List(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("%d entries after GC, want 2", len(infos))
+	}
+}
+
+func TestListVerify(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testKey(machines.K5), testArena(t, machines.K5, lowlevel.FormAndOr)); err != nil {
+		t.Fatal(err)
+	}
+	// One corrupt file alongside.
+	bad := filepath.Join(s.Dir(), "a4-ffffffffffffffff-or-none.mdar")
+	if err := os.WriteFile(bad, []byte("MDARjunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.List(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("%d entries listed, want 2", len(infos))
+	}
+	var okSeen, badSeen bool
+	for _, in := range infos {
+		if in.Err != nil {
+			badSeen = true
+			continue
+		}
+		okSeen = true
+		if in.Machine != "K5" {
+			t.Fatalf("listed machine %q", in.Machine)
+		}
+	}
+	if !okSeen || !badSeen {
+		t.Fatalf("listing missed an entry: ok=%v bad=%v", okSeen, badSeen)
+	}
+}
+
+// TestAtomicPutLeavesNoTemp ensures a completed Put leaves only the entry.
+func TestAtomicPutLeavesNoTemp(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testKey(machines.K5), testArena(t, machines.K5, lowlevel.FormAndOr)); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want exactly one entry", names)
+	}
+}

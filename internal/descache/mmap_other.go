@@ -1,0 +1,10 @@
+//go:build !unix
+
+package descache
+
+import "os"
+
+// Non-unix platforms always take the ReadFile path.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool) { return nil, false }
+
+func unmapFile(b []byte) error { return nil }

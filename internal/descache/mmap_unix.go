@@ -1,0 +1,24 @@
+//go:build unix
+
+package descache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps a cache entry read-only. Returning a nil slice (any
+// mmap failure, or an empty file) makes the caller fall back to ReadFile;
+// the zero-copy fast path is an optimization, never a requirement.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool) {
+	if size <= 0 || size > 1<<40 {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,960 @@
+package lowlevel
+
+// Flat arena serialization (v4 / MDAR). Where the v3 stream format
+// (encode.go) minimizes bytes with varints and rebuilds the object graph
+// node by node, the arena format minimizes *load work*: the whole
+// description is one contiguous little-endian buffer of fixed-width,
+// offset-indexed records, 8-byte aligned per section, so opening it is
+//
+//	validate header + FNV-64a checksum once  →  cast section offsets.
+//
+// Nothing in the payload is varint-coded and nothing needs per-node
+// decoding: on a little-endian host every section is reinterpreted in
+// place (unsafe.Slice) and the bulk payload — usage records, cycle masks,
+// probe-plan words, the string table — is aliased, not copied. Big-endian
+// or misaligned buffers fall back to a one-time bulk decode-copy with
+// identical semantics.
+//
+// The arena also persists the compiled probe-plan span arrays
+// (internal/probeplan's words/optStart/treeStart/conStart layout), so a
+// mapped description skips plan compilation entirely: probeplan.Compile
+// adopts the aliased spans via MDES.ArenaPlan.
+//
+// Section counts are always derived from the checksummed section byte
+// lengths — never from free-standing count fields — so corrupted input
+// can reject with a positioned error but can never drive allocation
+// (the PR 5 capacity-limit discipline, structurally enforced).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"unsafe"
+
+	"mdes/internal/bitset"
+)
+
+// arenaMagic identifies the flat arena format; arenaVersion guards layout.
+var arenaMagic = [4]byte{'M', 'D', 'A', 'R'}
+
+const arenaVersion = 4
+
+// Header layout (all little-endian):
+//
+//	[0:4)   magic "MDAR"
+//	[4:8)   version u32
+//	[8:16)  totalLen u64 — must equal len(buf)
+//	[16:24) checksum u64 — FNV-64a over buf[24:totalLen]
+//	[24:28) form u32
+//	[28:32) packed u32 (0/1)
+//	[32:36) numResources u32
+//	[36:40) plan rowWords u32
+//	[40:44) plan maxTrees u32
+//	[44:48) machine-name start (byte offset into the string section)
+//	[48:52) machine-name end
+//	[52:56) reserved (zero)
+//	[56:296) section table: numArenaSections × {offset u64, byteLen u64}
+//
+// Section offsets are absolute, 8-byte aligned, and empty sections store
+// {0, 0}. Everything from byte 24 on is covered by the checksum, so a
+// single hash verification vouches for the scalars, the table, and every
+// payload byte.
+const (
+	arenaHdrFixed   = 56
+	arenaHeaderSize = arenaHdrFixed + numArenaSections*16
+)
+
+// Section identifiers, in file order.
+const (
+	secStrings   = iota // raw UTF-8 string table, addressed by [start,end) spans
+	secResSpans         // resource names: {start,end uint32} per name
+	secUsages           // Usage{Time,Res int32} pool, spanned by options
+	secMasks            // CycleMask{Time,Word int32, Mask uint64} pool
+	secOptions          // arenaOpt records, pool order (IDs implicit)
+	secTreeOpts         // uint32 option-pool indices, spanned by trees
+	secTrees            // arenaTree records, pool order
+	secConTrees         // uint32 tree-pool indices, spanned by constraints
+	secCons             // arenaCon records, positional (Constraint.Index)
+	secOps              // arenaOp records
+	secBypasses         // arenaBypass records, sorted by (From, To)
+	secPlanWords        // PlanWord probe words (probeplan layout, verbatim)
+	secPlanOpt          // int32 option→word start offsets + sentinel
+	secPlanTree         // int32 tree→option start offsets + sentinel
+	secPlanCon          // int32 constraint→tree start offsets + sentinel
+	numArenaSections
+)
+
+var arenaSectionNames = [numArenaSections]string{
+	"strings", "resource-spans", "usages", "masks", "options", "tree-options",
+	"trees", "constraint-trees", "constraints", "operations", "bypasses",
+	"plan-words", "plan-opt-starts", "plan-tree-starts", "plan-con-starts",
+}
+
+// arenaElemSizes is the on-disk record size per section; in-memory Go
+// layouts match exactly on every supported platform (fixed-width fields in
+// natural alignment order), so the only cast precondition checked at run
+// time is host endianness and base-pointer alignment.
+var arenaElemSizes = [numArenaSections]int{
+	1, 8, 8, 16, 28, 4, 28, 4, 16, 24, 12, 16, 4, 4, 4,
+}
+
+// arenaSpan is a [Start, End) byte range in the string section.
+type arenaSpan struct {
+	Start uint32
+	End   uint32
+}
+
+// arenaOpt flag bits.
+const arenaOptHasMasks = 1 // Masks is non-nil (even when empty)
+
+type arenaOpt struct {
+	UsageStart uint32
+	UsageCount uint32
+	MaskStart  uint32
+	MaskCount  uint32
+	Flags      uint32
+	SrcStart   uint32
+	SrcEnd     uint32
+}
+
+type arenaTree struct {
+	NameStart uint32
+	NameEnd   uint32
+	SrcStart  uint32
+	SrcEnd    uint32
+	SharedBy  uint32
+	OptStart  uint32 // element index into secTreeOpts
+	OptCount  uint32
+}
+
+type arenaCon struct {
+	NameStart uint32
+	NameEnd   uint32
+	TreeStart uint32 // element index into secConTrees
+	TreeCount uint32
+}
+
+type arenaOp struct {
+	NameStart  uint32
+	NameEnd    uint32
+	Constraint int32
+	Cascaded   int32
+	Latency    int32
+	SrcTime    int32
+}
+
+type arenaBypass struct {
+	From int32
+	To   int32
+	Adj  int32
+}
+
+// PlanWord is one packed probe in the persisted probe plan: test Mask
+// against word Widx of the reservation row at (issue + Time). It is the
+// canonical definition of internal/probeplan's probe word (probeplan
+// aliases it), persisted verbatim in the arena so a mapped description
+// skips plan compilation.
+type PlanWord struct {
+	Time int32
+	Widx int32
+	Mask uint64
+}
+
+// ArenaPlan is the persisted probe-plan layout: the exact span arrays
+// probeplan.Compile would emit (words/optStart/treeStart/conStart with
+// trailing sentinels), aliased into the arena buffer. probeplan adopts it
+// via MDES.ArenaPlan instead of re-walking the tree graph.
+type ArenaPlan struct {
+	RowWords  int
+	MaxTrees  int
+	Words     []PlanWord
+	OptStart  []int32
+	TreeStart []int32
+	ConStart  []int32
+}
+
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// arenaView reinterprets a validated section as a typed slice: zero-copy
+// unsafe cast on aligned little-endian hosts, one-time decode-copy
+// otherwise. len(b) is already validated to be a multiple of elemSize.
+func arenaView[T any](b []byte, elemSize int, decode func([]byte) T) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	n := len(b) / elemSize
+	var zero T
+	if hostLittleEndian && int(unsafe.Sizeof(zero)) == elemSize &&
+		uintptr(unsafe.Pointer(&b[0]))%uintptr(unsafe.Alignof(zero)) == 0 {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = decode(b[i*elemSize:])
+	}
+	return out
+}
+
+func le32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+func leI32(b []byte) int32 { return int32(binary.LittleEndian.Uint32(b)) }
+
+func decSpan(b []byte) arenaSpan { return arenaSpan{le32(b), le32(b[4:])} }
+func decUsage(b []byte) Usage    { return Usage{Time: leI32(b), Res: leI32(b[4:])} }
+func decMask(b []byte) CycleMask {
+	return CycleMask{Time: leI32(b), Word: leI32(b[4:]), Mask: le64(b[8:])}
+}
+func decOpt(b []byte) arenaOpt {
+	return arenaOpt{le32(b), le32(b[4:]), le32(b[8:]), le32(b[12:]), le32(b[16:]), le32(b[20:]), le32(b[24:])}
+}
+func decTree(b []byte) arenaTree {
+	return arenaTree{le32(b), le32(b[4:]), le32(b[8:]), le32(b[12:]), le32(b[16:]), le32(b[20:]), le32(b[24:])}
+}
+func decCon(b []byte) arenaCon {
+	return arenaCon{le32(b), le32(b[4:]), le32(b[8:]), le32(b[12:])}
+}
+func decOp(b []byte) arenaOp {
+	return arenaOp{le32(b), le32(b[4:]), leI32(b[8:]), leI32(b[12:]), leI32(b[16:]), leI32(b[20:])}
+}
+func decBypass(b []byte) arenaBypass {
+	return arenaBypass{leI32(b), leI32(b[4:]), leI32(b[8:])}
+}
+func decPlanWord(b []byte) PlanWord {
+	return PlanWord{Time: leI32(b), Widx: leI32(b[4:]), Mask: le64(b[8:])}
+}
+func decU32(b []byte) uint32 { return le32(b) }
+func decI32(b []byte) int32  { return leI32(b) }
+
+// planRowWords is the reservation-row word count probeplan derives from the
+// resource count; the arena header persists it and OpenArena re-derives it
+// as a consistency check.
+func planRowWords(numResources int) int {
+	w := (numResources + bitset.WordBits - 1) / bitset.WordBits
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// emitPlan lowers the description into probeplan's flat span layout:
+// identical emission order and word contents as probeplan.Compile (one
+// word per CycleMask when packed, one single-bit word per scalar Usage
+// otherwise; trailing sentinels), cross-checked by probeplan's
+// TestArenaPlanMatchesCompile.
+func (m *MDES) emitPlan() (words []PlanWord, optStart, treeStart, conStart []int32, maxTrees int) {
+	for _, con := range m.Constraints {
+		conStart = append(conStart, int32(len(treeStart)))
+		if len(con.Trees) > maxTrees {
+			maxTrees = len(con.Trees)
+		}
+		for _, tree := range con.Trees {
+			treeStart = append(treeStart, int32(len(optStart)))
+			for _, o := range tree.Options {
+				optStart = append(optStart, int32(len(words)))
+				if o.Masks != nil {
+					for _, cm := range o.Masks {
+						words = append(words, PlanWord{Time: cm.Time, Widx: cm.Word, Mask: cm.Mask})
+					}
+				} else {
+					for _, u := range o.Usages {
+						words = append(words, PlanWord{
+							Time: u.Time,
+							Widx: u.Res / bitset.WordBits,
+							Mask: 1 << uint(u.Res%bitset.WordBits),
+						})
+					}
+				}
+			}
+		}
+	}
+	conStart = append(conStart, int32(len(treeStart)))
+	treeStart = append(treeStart, int32(len(optStart)))
+	optStart = append(optStart, int32(len(words)))
+	return
+}
+
+// EncodeArena serializes the description into the flat arena format,
+// including the compiled probe-plan spans. The round trip is lossless with
+// respect to the v3 encoding: Decode(v3) → EncodeArena → OpenArena →
+// MDES() → Encode(v3) reproduces the original v3 bytes (and therefore the
+// original Fingerprint).
+func (m *MDES) EncodeArena() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("lowlevel: arena: encode: %w", err)
+	}
+
+	var strs []byte
+	strIdx := map[string]arenaSpan{}
+	intern := func(s string) arenaSpan {
+		if sp, ok := strIdx[s]; ok {
+			return sp
+		}
+		sp := arenaSpan{Start: uint32(len(strs)), End: uint32(len(strs) + len(s))}
+		strs = append(strs, s...)
+		strIdx[s] = sp
+		return sp
+	}
+
+	nameSpan := intern(m.MachineName)
+
+	resSpans := make([]arenaSpan, len(m.ResourceNames))
+	for i, n := range m.ResourceNames {
+		resSpans[i] = intern(n)
+	}
+
+	var usages []Usage
+	var masks []CycleMask
+	opts := make([]arenaOpt, len(m.Options))
+	optIdx := make(map[*Option]int, len(m.Options))
+	for i, o := range m.Options {
+		optIdx[o] = i
+		rec := arenaOpt{
+			UsageStart: uint32(len(usages)),
+			UsageCount: uint32(len(o.Usages)),
+			MaskStart:  uint32(len(masks)),
+		}
+		usages = append(usages, o.Usages...)
+		if o.Masks != nil {
+			rec.Flags |= arenaOptHasMasks
+			rec.MaskCount = uint32(len(o.Masks))
+			masks = append(masks, o.Masks...)
+		}
+		sp := intern(o.Src)
+		rec.SrcStart, rec.SrcEnd = sp.Start, sp.End
+		opts[i] = rec
+	}
+
+	var treeOpts []uint32
+	trees := make([]arenaTree, len(m.Trees))
+	treeIdx := make(map[*Tree]int, len(m.Trees))
+	for i, t := range m.Trees {
+		treeIdx[t] = i
+		nsp, ssp := intern(t.Name), intern(t.Src)
+		rec := arenaTree{
+			NameStart: nsp.Start, NameEnd: nsp.End,
+			SrcStart: ssp.Start, SrcEnd: ssp.End,
+			SharedBy: uint32(t.SharedBy),
+			OptStart: uint32(len(treeOpts)),
+			OptCount: uint32(len(t.Options)),
+		}
+		for _, o := range t.Options {
+			oi, ok := optIdx[o]
+			if !ok {
+				return nil, fmt.Errorf("lowlevel: arena: encode: tree %q references unpooled option", t.Name)
+			}
+			treeOpts = append(treeOpts, uint32(oi))
+		}
+		trees[i] = rec
+	}
+
+	var conTrees []uint32
+	cons := make([]arenaCon, len(m.Constraints))
+	for i, c := range m.Constraints {
+		nsp := intern(c.Name)
+		rec := arenaCon{
+			NameStart: nsp.Start, NameEnd: nsp.End,
+			TreeStart: uint32(len(conTrees)),
+			TreeCount: uint32(len(c.Trees)),
+		}
+		for _, t := range c.Trees {
+			ti, ok := treeIdx[t]
+			if !ok {
+				return nil, fmt.Errorf("lowlevel: arena: encode: constraint %q references unpooled tree", c.Name)
+			}
+			conTrees = append(conTrees, uint32(ti))
+		}
+		cons[i] = rec
+	}
+
+	ops := make([]arenaOp, len(m.Operations))
+	for i, op := range m.Operations {
+		nsp := intern(op.Name)
+		ops[i] = arenaOp{
+			NameStart: nsp.Start, NameEnd: nsp.End,
+			Constraint: int32(op.Constraint),
+			Cascaded:   int32(op.Cascaded),
+			Latency:    int32(op.Latency),
+			SrcTime:    int32(op.SrcTime),
+		}
+	}
+
+	bypKeys := make([][2]int, 0, len(m.Bypasses))
+	for k := range m.Bypasses {
+		bypKeys = append(bypKeys, k)
+	}
+	sort.Slice(bypKeys, func(i, j int) bool {
+		if bypKeys[i][0] != bypKeys[j][0] {
+			return bypKeys[i][0] < bypKeys[j][0]
+		}
+		return bypKeys[i][1] < bypKeys[j][1]
+	})
+	byps := make([]arenaBypass, len(bypKeys))
+	for i, k := range bypKeys {
+		byps[i] = arenaBypass{From: int32(k[0]), To: int32(k[1]), Adj: int32(m.Bypasses[k])}
+	}
+
+	planWords, planOpt, planTree, planCon, maxTrees := m.emitPlan()
+
+	if uint64(len(strs)) > math.MaxUint32 {
+		return nil, fmt.Errorf("lowlevel: arena: encode: string table exceeds 4 GiB")
+	}
+
+	// Assemble: serialize each section to little-endian bytes, then lay
+	// them out 8-byte aligned after the header.
+	secs := make([][]byte, numArenaSections)
+	secs[secStrings] = strs
+	secs[secResSpans] = encRecords(resSpans, 8, func(b []byte, v arenaSpan) {
+		put32(b, v.Start)
+		put32(b[4:], v.End)
+	})
+	secs[secUsages] = encRecords(usages, 8, func(b []byte, v Usage) {
+		putI32(b, v.Time)
+		putI32(b[4:], v.Res)
+	})
+	secs[secMasks] = encRecords(masks, 16, func(b []byte, v CycleMask) {
+		putI32(b, v.Time)
+		putI32(b[4:], v.Word)
+		put64(b[8:], v.Mask)
+	})
+	secs[secOptions] = encRecords(opts, 28, func(b []byte, v arenaOpt) {
+		put32(b, v.UsageStart)
+		put32(b[4:], v.UsageCount)
+		put32(b[8:], v.MaskStart)
+		put32(b[12:], v.MaskCount)
+		put32(b[16:], v.Flags)
+		put32(b[20:], v.SrcStart)
+		put32(b[24:], v.SrcEnd)
+	})
+	secs[secTreeOpts] = encRecords(treeOpts, 4, func(b []byte, v uint32) { put32(b, v) })
+	secs[secTrees] = encRecords(trees, 28, func(b []byte, v arenaTree) {
+		put32(b, v.NameStart)
+		put32(b[4:], v.NameEnd)
+		put32(b[8:], v.SrcStart)
+		put32(b[12:], v.SrcEnd)
+		put32(b[16:], v.SharedBy)
+		put32(b[20:], v.OptStart)
+		put32(b[24:], v.OptCount)
+	})
+	secs[secConTrees] = encRecords(conTrees, 4, func(b []byte, v uint32) { put32(b, v) })
+	secs[secCons] = encRecords(cons, 16, func(b []byte, v arenaCon) {
+		put32(b, v.NameStart)
+		put32(b[4:], v.NameEnd)
+		put32(b[8:], v.TreeStart)
+		put32(b[12:], v.TreeCount)
+	})
+	secs[secOps] = encRecords(ops, 24, func(b []byte, v arenaOp) {
+		put32(b, v.NameStart)
+		put32(b[4:], v.NameEnd)
+		putI32(b[8:], v.Constraint)
+		putI32(b[12:], v.Cascaded)
+		putI32(b[16:], v.Latency)
+		putI32(b[20:], v.SrcTime)
+	})
+	secs[secBypasses] = encRecords(byps, 12, func(b []byte, v arenaBypass) {
+		putI32(b, v.From)
+		putI32(b[4:], v.To)
+		putI32(b[8:], v.Adj)
+	})
+	secs[secPlanWords] = encRecords(planWords, 16, func(b []byte, v PlanWord) {
+		putI32(b, v.Time)
+		putI32(b[4:], v.Widx)
+		put64(b[8:], v.Mask)
+	})
+	secs[secPlanOpt] = encRecords(planOpt, 4, func(b []byte, v int32) { putI32(b, v) })
+	secs[secPlanTree] = encRecords(planTree, 4, func(b []byte, v int32) { putI32(b, v) })
+	secs[secPlanCon] = encRecords(planCon, 4, func(b []byte, v int32) { putI32(b, v) })
+
+	buf := make([]byte, arenaHeaderSize, arenaHeaderSize+len(strs)+1024)
+	copy(buf, arenaMagic[:])
+	put32(buf[4:], arenaVersion)
+	put32(buf[24:], uint32(m.Form))
+	packed := uint32(0)
+	if m.Packed {
+		packed = 1
+	}
+	put32(buf[28:], packed)
+	put32(buf[32:], uint32(m.NumResources))
+	put32(buf[36:], uint32(planRowWords(m.NumResources)))
+	put32(buf[40:], uint32(maxTrees))
+	put32(buf[44:], nameSpan.Start)
+	put32(buf[48:], nameSpan.End)
+
+	for i, s := range secs {
+		if len(s) == 0 {
+			continue
+		}
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		put64(buf[arenaHdrFixed+i*16:], uint64(len(buf)))
+		put64(buf[arenaHdrFixed+i*16+8:], uint64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	put64(buf[8:], uint64(len(buf)))
+	h := fnv.New64a()
+	h.Write(buf[24:])
+	put64(buf[16:], h.Sum64())
+	return buf, nil
+}
+
+func put32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putI32(b []byte, v int32) { binary.LittleEndian.PutUint32(b, uint32(v)) }
+func put64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+func encRecords[T any](recs []T, elemSize int, put func([]byte, T)) []byte {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]byte, len(recs)*elemSize)
+	for i, r := range recs {
+		put(out[i*elemSize:], r)
+	}
+	return out
+}
+
+// Arena is a validated, opened flat-arena description. All typed section
+// views alias the underlying buffer (on little-endian hosts); the Arena —
+// and any mapping backing it — must therefore outlive every MDES
+// materialized from it in zero-copy mode.
+type Arena struct {
+	buf []byte
+
+	machineName  arenaSpan
+	form         Form
+	packed       bool
+	numResources int
+	rowWords     int
+	maxTrees     int
+
+	strs     []byte
+	resSpans []arenaSpan
+	usages   []Usage
+	masks    []CycleMask
+	opts     []arenaOpt
+	treeOpts []uint32
+	trees    []arenaTree
+	conTrees []uint32
+	cons     []arenaCon
+	ops      []arenaOp
+	byps     []arenaBypass
+
+	plan *ArenaPlan
+
+	closer func() error
+}
+
+func arenaErrf(format string, args ...any) error {
+	return fmt.Errorf("lowlevel: arena: "+format, args...)
+}
+
+// OpenArena validates an arena buffer — header, checksum, then one
+// structural pass over every section — and returns the typed view. After a
+// successful open no access path can read out of bounds, so
+// materialization performs no further checks. Corrupted input is rejected
+// with an error naming the offending section and record; counts derive
+// from section byte lengths, so corruption can never cause allocation
+// proportional to anything but the actual buffer size.
+func OpenArena(buf []byte) (*Arena, error) {
+	if len(buf) < arenaHeaderSize {
+		return nil, arenaErrf("short buffer: %d bytes, header needs %d", len(buf), arenaHeaderSize)
+	}
+	if [4]byte(buf[0:4]) != arenaMagic {
+		return nil, arenaErrf("bad magic %q at offset 0", buf[0:4])
+	}
+	if v := le32(buf[4:]); v != arenaVersion {
+		return nil, arenaErrf("unsupported version %d at offset 4", v)
+	}
+	if total := le64(buf[8:]); total != uint64(len(buf)) {
+		return nil, arenaErrf("length mismatch at offset 8: header says %d bytes, have %d", total, len(buf))
+	}
+	h := fnv.New64a()
+	h.Write(buf[24:])
+	if got, want := h.Sum64(), le64(buf[16:]); got != want {
+		return nil, arenaErrf("checksum mismatch at offset 16: computed %016x, stored %016x", got, want)
+	}
+
+	a := &Arena{
+		buf:          buf,
+		form:         Form(le32(buf[24:])),
+		packed:       le32(buf[28:]) != 0,
+		numResources: int(le32(buf[32:])),
+		rowWords:     int(le32(buf[36:])),
+		maxTrees:     int(le32(buf[40:])),
+		machineName:  arenaSpan{le32(buf[44:]), le32(buf[48:])},
+	}
+	if a.form != FormOR && a.form != FormAndOr {
+		return nil, arenaErrf("unknown form %d at offset 24", a.form)
+	}
+	if a.numResources < 0 || a.numResources > 1<<24 {
+		return nil, arenaErrf("implausible resource count %d at offset 32", a.numResources)
+	}
+	if a.rowWords != planRowWords(a.numResources) {
+		return nil, arenaErrf("row-word count %d at offset 36 inconsistent with %d resources", a.rowWords, a.numResources)
+	}
+
+	var secBytes [numArenaSections][]byte
+	for i := 0; i < numArenaSections; i++ {
+		off := le64(buf[arenaHdrFixed+i*16:])
+		ln := le64(buf[arenaHdrFixed+i*16+8:])
+		if ln == 0 {
+			continue
+		}
+		if off < arenaHeaderSize || off%8 != 0 || off > uint64(len(buf)) || ln > uint64(len(buf))-off {
+			return nil, arenaErrf("section %s: offset %d length %d outside arena of %d bytes",
+				arenaSectionNames[i], off, ln, len(buf))
+		}
+		if ln%uint64(arenaElemSizes[i]) != 0 {
+			return nil, arenaErrf("section %s: length %d not a multiple of record size %d",
+				arenaSectionNames[i], ln, arenaElemSizes[i])
+		}
+		secBytes[i] = buf[off : off+ln]
+	}
+
+	a.strs = secBytes[secStrings]
+	a.resSpans = arenaView(secBytes[secResSpans], 8, decSpan)
+	a.usages = arenaView(secBytes[secUsages], 8, decUsage)
+	a.masks = arenaView(secBytes[secMasks], 16, decMask)
+	a.opts = arenaView(secBytes[secOptions], 28, decOpt)
+	a.treeOpts = arenaView(secBytes[secTreeOpts], 4, decU32)
+	a.trees = arenaView(secBytes[secTrees], 28, decTree)
+	a.conTrees = arenaView(secBytes[secConTrees], 4, decU32)
+	a.cons = arenaView(secBytes[secCons], 16, decCon)
+	a.ops = arenaView(secBytes[secOps], 24, decOp)
+	a.byps = arenaView(secBytes[secBypasses], 12, decBypass)
+	planWords := arenaView(secBytes[secPlanWords], 16, decPlanWord)
+	planOpt := arenaView(secBytes[secPlanOpt], 4, decI32)
+	planTree := arenaView(secBytes[secPlanTree], 4, decI32)
+	planCon := arenaView(secBytes[secPlanCon], 4, decI32)
+
+	if err := a.validate(planWords, planOpt, planTree, planCon); err != nil {
+		return nil, err
+	}
+	if len(planCon) > 0 {
+		a.plan = &ArenaPlan{
+			RowWords:  a.rowWords,
+			MaxTrees:  a.maxTrees,
+			Words:     planWords,
+			OptStart:  planOpt,
+			TreeStart: planTree,
+			ConStart:  planCon,
+		}
+	}
+	return a, nil
+}
+
+func (a *Arena) checkSpan(what string, i int, sp arenaSpan) error {
+	if sp.Start > sp.End || uint64(sp.End) > uint64(len(a.strs)) {
+		return arenaErrf("%s %d: string span [%d,%d) outside %d-byte string section",
+			what, i, sp.Start, sp.End, len(a.strs))
+	}
+	return nil
+}
+
+// validate runs the one-time structural pass: every span, pool index, and
+// plan offset is bounds-checked against the section it addresses, and the
+// invariants MDES.Validate would enforce (non-empty trees and constraints,
+// OR-form single tree, packed options carry masks) hold structurally —
+// FrozenMDES skips Validate entirely on the strength of this pass.
+func (a *Arena) validate(planWords []PlanWord, planOpt, planTree, planCon []int32) error {
+	if err := a.checkSpan("machine-name", 0, a.machineName); err != nil {
+		return err
+	}
+	for i, sp := range a.resSpans {
+		if err := a.checkSpan("resource-name", i, sp); err != nil {
+			return err
+		}
+	}
+	for i, o := range a.opts {
+		if uint64(o.UsageStart)+uint64(o.UsageCount) > uint64(len(a.usages)) {
+			return arenaErrf("option %d: usage span [%d,+%d) outside %d-record usage section",
+				i, o.UsageStart, o.UsageCount, len(a.usages))
+		}
+		if uint64(o.MaskStart)+uint64(o.MaskCount) > uint64(len(a.masks)) {
+			return arenaErrf("option %d: mask span [%d,+%d) outside %d-record mask section",
+				i, o.MaskStart, o.MaskCount, len(a.masks))
+		}
+		if o.Flags&arenaOptHasMasks == 0 && o.MaskCount != 0 {
+			return arenaErrf("option %d: %d masks but mask flag clear", i, o.MaskCount)
+		}
+		if a.packed && o.Flags&arenaOptHasMasks == 0 && o.UsageCount > 0 {
+			return arenaErrf("option %d: unpacked in packed description", i)
+		}
+		if err := a.checkSpan("option-src", i, arenaSpan{o.SrcStart, o.SrcEnd}); err != nil {
+			return err
+		}
+	}
+	for i, v := range a.treeOpts {
+		if uint64(v) >= uint64(len(a.opts)) {
+			return arenaErrf("tree-option %d: option index %d outside %d-option pool", i, v, len(a.opts))
+		}
+	}
+	for i, t := range a.trees {
+		if err := a.checkSpan("tree-name", i, arenaSpan{t.NameStart, t.NameEnd}); err != nil {
+			return err
+		}
+		if err := a.checkSpan("tree-src", i, arenaSpan{t.SrcStart, t.SrcEnd}); err != nil {
+			return err
+		}
+		if uint64(t.OptStart)+uint64(t.OptCount) > uint64(len(a.treeOpts)) {
+			return arenaErrf("tree %d: option span [%d,+%d) outside %d-record tree-option section",
+				i, t.OptStart, t.OptCount, len(a.treeOpts))
+		}
+		if t.OptCount == 0 {
+			return arenaErrf("tree %d: no options", i)
+		}
+	}
+	for i, v := range a.conTrees {
+		if uint64(v) >= uint64(len(a.trees)) {
+			return arenaErrf("constraint-tree %d: tree index %d outside %d-tree pool", i, v, len(a.trees))
+		}
+	}
+	maxTrees := 0
+	for i, c := range a.cons {
+		if err := a.checkSpan("constraint-name", i, arenaSpan{c.NameStart, c.NameEnd}); err != nil {
+			return err
+		}
+		if uint64(c.TreeStart)+uint64(c.TreeCount) > uint64(len(a.conTrees)) {
+			return arenaErrf("constraint %d: tree span [%d,+%d) outside %d-record constraint-tree section",
+				i, c.TreeStart, c.TreeCount, len(a.conTrees))
+		}
+		if c.TreeCount == 0 {
+			return arenaErrf("constraint %d: no trees", i)
+		}
+		if a.form == FormOR && c.TreeCount != 1 {
+			return arenaErrf("constraint %d: %d trees in OR-form description", i, c.TreeCount)
+		}
+		if int(c.TreeCount) > maxTrees {
+			maxTrees = int(c.TreeCount)
+		}
+	}
+	if maxTrees != a.maxTrees {
+		return arenaErrf("max-trees %d at offset 40 inconsistent with constraints (widest is %d)", a.maxTrees, maxTrees)
+	}
+	for i, op := range a.ops {
+		if err := a.checkSpan("operation-name", i, arenaSpan{op.NameStart, op.NameEnd}); err != nil {
+			return err
+		}
+		if op.Constraint < 0 || int(op.Constraint) >= len(a.cons) {
+			return arenaErrf("operation %d: constraint %d outside %d-constraint pool", i, op.Constraint, len(a.cons))
+		}
+		if op.Cascaded < -1 || int(op.Cascaded) >= len(a.cons) {
+			return arenaErrf("operation %d: cascaded constraint %d out of range", i, op.Cascaded)
+		}
+	}
+	for i, bp := range a.byps {
+		if bp.From < 0 || int(bp.From) >= len(a.ops) || bp.To < 0 || int(bp.To) >= len(a.ops) {
+			return arenaErrf("bypass %d: operation pair (%d,%d) outside %d-operation pool", i, bp.From, bp.To, len(a.ops))
+		}
+	}
+
+	// Probe-plan spans: either absent entirely or structurally sound —
+	// monotonic offset arrays anchored at 0 whose sentinels chain
+	// constraint→tree→option→word exactly.
+	if len(planCon) == 0 && len(planTree) == 0 && len(planOpt) == 0 && len(planWords) == 0 {
+		return nil
+	}
+	checkStarts := func(name string, s []int32, wantLen int, limit int) error {
+		if len(s) != wantLen {
+			return arenaErrf("section %s: %d records, want %d", name, len(s), wantLen)
+		}
+		if s[0] != 0 {
+			return arenaErrf("section %s: first offset %d, want 0", name, s[0])
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				return arenaErrf("section %s: offset %d at record %d below predecessor %d", name, s[i], i, s[i-1])
+			}
+		}
+		if int(s[len(s)-1]) != limit {
+			return arenaErrf("section %s: final sentinel %d, want %d", name, s[len(s)-1], limit)
+		}
+		return nil
+	}
+	if err := checkStarts("plan-con-starts", planCon, len(a.cons)+1, len(planTree)-1); err != nil {
+		return err
+	}
+	if err := checkStarts("plan-tree-starts", planTree, len(a.conTrees)+1, len(planOpt)-1); err != nil {
+		return err
+	}
+	totalOpts := 0
+	for _, t := range a.conTrees {
+		totalOpts += int(a.trees[t].OptCount)
+	}
+	if err := checkStarts("plan-opt-starts", planOpt, totalOpts+1, len(planWords)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Bytes returns the raw arena buffer.
+func (a *Arena) Bytes() []byte { return a.buf }
+
+// MachineName returns the described machine's name without materializing.
+func (a *Arena) MachineName() string { return string(a.strs[a.machineName.Start:a.machineName.End]) }
+
+// Form returns the constraint representation the arena was encoded at.
+func (a *Arena) Form() Form { return a.form }
+
+// Packed reports whether the description's options carry cycle masks.
+func (a *Arena) Packed() bool { return a.packed }
+
+// NumResources returns the machine's resource count.
+func (a *Arena) NumResources() int { return a.numResources }
+
+// Plan returns the persisted probe-plan spans (nil when the arena carries
+// none).
+func (a *Arena) Plan() *ArenaPlan { return a.plan }
+
+// SetCloser attaches a release function (an mmap unmapper, typically) that
+// Close invokes; the cache layer uses it to tie mapping lifetime to the
+// arena.
+func (a *Arena) SetCloser(f func() error) { a.closer = f }
+
+// Close releases any backing resource attached via SetCloser. The arena
+// and every zero-copy MDES view of it are invalid afterwards.
+func (a *Arena) Close() error {
+	if a.closer == nil {
+		return nil
+	}
+	f := a.closer
+	a.closer = nil
+	return f()
+}
+
+// MDES materializes a deep, mutable copy of the description: nothing
+// aliases the arena buffer, so the result is a normal unfrozen MDES — the
+// lossless side of the v3↔arena converter, safe to hand to the opt
+// pipeline or tools that outlive the buffer.
+func (a *Arena) MDES() *MDES {
+	return a.build(true)
+}
+
+// FrozenMDES materializes the zero-copy view: usage, mask, and string data
+// alias the arena buffer, the persisted probe plan is attached for
+// probeplan.Compile to adopt, and the description is marked frozen on the
+// strength of OpenArena's validation pass (Validate is not re-run). The
+// frozen contract is what makes aliasing safe: the opt pipeline refuses
+// frozen descriptions, so nothing can ever write through to a read-only
+// mapping.
+func (a *Arena) FrozenMDES() *MDES {
+	m := a.build(false)
+	m.arenaPlan = a.plan
+	m.freezeTrusted()
+	return m
+}
+
+func (a *Arena) build(copyData bool) *MDES {
+	str := func(sp arenaSpan) string {
+		if sp.Start == sp.End {
+			return ""
+		}
+		b := a.strs[sp.Start:sp.End]
+		if copyData {
+			return string(b)
+		}
+		return unsafe.String(&b[0], len(b))
+	}
+	baseUsages, baseMasks := a.usages, a.masks
+	if copyData {
+		baseUsages = append([]Usage(nil), a.usages...)
+		baseMasks = append([]CycleMask(nil), a.masks...)
+	}
+
+	m := &MDES{
+		MachineName:  str(a.machineName),
+		Form:         a.form,
+		Packed:       a.packed,
+		NumResources: a.numResources,
+		ClassIndex:   make(map[string]int, len(a.cons)),
+		OpIndex:      make(map[string]int, len(a.ops)),
+		Bypasses:     make(map[[2]int]int, len(a.byps)),
+	}
+	if len(a.resSpans) > 0 {
+		m.ResourceNames = make([]string, len(a.resSpans))
+		for i, sp := range a.resSpans {
+			m.ResourceNames[i] = str(sp)
+		}
+	}
+
+	// Bulk-allocate each pool once; per-node work is field assignment only.
+	optPool := make([]Option, len(a.opts))
+	if len(a.opts) > 0 {
+		m.Options = make([]*Option, len(a.opts))
+	}
+	for i, rec := range a.opts {
+		o := &optPool[i]
+		o.ID = i
+		o.Src = str(arenaSpan{rec.SrcStart, rec.SrcEnd})
+		if rec.UsageCount > 0 {
+			o.Usages = baseUsages[rec.UsageStart : rec.UsageStart+rec.UsageCount]
+		}
+		if rec.Flags&arenaOptHasMasks != 0 {
+			o.Masks = baseMasks[rec.MaskStart : rec.MaskStart+rec.MaskCount]
+			if o.Masks == nil {
+				o.Masks = []CycleMask{}
+			}
+		}
+		m.Options[i] = o
+	}
+
+	treeOptPtrs := make([]*Option, len(a.treeOpts))
+	for i, oi := range a.treeOpts {
+		treeOptPtrs[i] = &optPool[oi]
+	}
+	treePool := make([]Tree, len(a.trees))
+	if len(a.trees) > 0 {
+		m.Trees = make([]*Tree, len(a.trees))
+	}
+	for i, rec := range a.trees {
+		t := &treePool[i]
+		t.ID = i
+		t.Name = str(arenaSpan{rec.NameStart, rec.NameEnd})
+		t.Src = str(arenaSpan{rec.SrcStart, rec.SrcEnd})
+		t.SharedBy = int(rec.SharedBy)
+		t.Options = treeOptPtrs[rec.OptStart : rec.OptStart+rec.OptCount]
+		m.Trees[i] = t
+	}
+
+	conTreePtrs := make([]*Tree, len(a.conTrees))
+	for i, ti := range a.conTrees {
+		conTreePtrs[i] = &treePool[ti]
+	}
+	conPool := make([]Constraint, len(a.cons))
+	if len(a.cons) > 0 {
+		m.Constraints = make([]*Constraint, len(a.cons))
+	}
+	for i, rec := range a.cons {
+		c := &conPool[i]
+		c.Name = str(arenaSpan{rec.NameStart, rec.NameEnd})
+		c.Trees = conTreePtrs[rec.TreeStart : rec.TreeStart+rec.TreeCount]
+		c.Index = i
+		m.ClassIndex[c.Name] = i
+		m.Constraints[i] = c
+	}
+
+	opPool := make([]Operation, len(a.ops))
+	if len(a.ops) > 0 {
+		m.Operations = make([]*Operation, len(a.ops))
+	}
+	for i, rec := range a.ops {
+		op := &opPool[i]
+		op.Name = str(arenaSpan{rec.NameStart, rec.NameEnd})
+		op.Constraint = int(rec.Constraint)
+		op.Cascaded = int(rec.Cascaded)
+		op.Latency = int(rec.Latency)
+		op.SrcTime = int(rec.SrcTime)
+		m.OpIndex[op.Name] = i
+		m.Operations[i] = op
+	}
+
+	for _, bp := range a.byps {
+		m.Bypasses[[2]int{int(bp.From), int(bp.To)}] = int(bp.Adj)
+	}
+	return m
+}

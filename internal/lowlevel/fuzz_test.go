@@ -51,5 +51,78 @@ func FuzzEncodeDecode(f *testing.F) {
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatal("encode is not a fixpoint across decode")
 		}
+		// Anything v3 accepts must survive the arena round trip losslessly:
+		// encode to MDAR, reopen, materialize, and land on the same v3
+		// bytes. This welds the two formats' semantics together under
+		// arbitrary (decodable) inputs, not just the hand-written machines.
+		arena, err := m.EncodeArena()
+		if err != nil {
+			t.Fatalf("decoded description does not arena-encode: %v", err)
+		}
+		a, err := OpenArena(arena)
+		if err != nil {
+			t.Fatalf("self-produced arena rejected: %v", err)
+		}
+		var third bytes.Buffer
+		if err := a.MDES().Encode(&third); err != nil {
+			t.Fatalf("arena round trip does not re-encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), third.Bytes()) {
+			t.Fatal("arena round trip is lossy against the v3 encoding")
+		}
+	})
+}
+
+// FuzzArenaOpen asserts the arena format's corruption contract on
+// arbitrary bytes: OpenArena never panics, never over-allocates (every
+// count is derived from checked section byte lengths), and rejects any
+// buffer whose checksum or structure is wrong with a positioned error.
+// Anything it accepts must behave like a real description: reopen
+// identically (the buffer is the canonical form) and materialize into a
+// Validate-clean MDES whose frozen view carries a usable probe plan.
+func FuzzArenaOpen(f *testing.F) {
+	for _, n := range machines.All {
+		mach := machines.MustLoad(n)
+		for _, form := range []Form{FormOR, FormAndOr} {
+			arena, err := Compile(mach, form).EncodeArena()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(arena)
+			// A corrupted seed too, so mutation explores the reject paths.
+			bad := append([]byte(nil), arena...)
+			bad[len(bad)/3] ^= 0x10
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte("MDAR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		a, err := OpenArena(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the buffer must be self-consistent end to end.
+		m := a.MDES()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("OpenArena accepted an arena Validate rejects: %v", err)
+		}
+		view := a.FrozenMDES()
+		if !view.Frozen() {
+			t.Fatal("FrozenMDES returned an unfrozen view")
+		}
+		if view.ArenaPlan() == nil {
+			t.Fatal("accepted arena lost its probe plan")
+		}
+		again, err := OpenArena(a.Bytes())
+		if err != nil {
+			t.Fatalf("accepted arena does not reopen: %v", err)
+		}
+		if again.MachineName() != a.MachineName() {
+			t.Fatal("reopen changed the machine name")
+		}
 	})
 }

@@ -217,7 +217,18 @@ type MDES struct {
 	freezeOnce sync.Once
 	freezeErr  error
 	frozen     atomic.Bool
+
+	// arenaPlan is the persisted probe-plan layout attached by
+	// Arena.FrozenMDES; probeplan.Compile adopts it instead of re-walking
+	// the tree graph. Unexported on purpose: only checksum-verified arena
+	// views carry one, and descriptions assembled or copied any other way
+	// (sub-MDES views, tools) never inherit a stale plan.
+	arenaPlan *ArenaPlan
 }
+
+// ArenaPlan returns the persisted probe-plan spans attached by
+// Arena.FrozenMDES, or nil for descriptions not backed by an arena.
+func (m *MDES) ArenaPlan() *ArenaPlan { return m.arenaPlan }
 
 // Freeze validates the description once and marks it immutable: after a
 // successful Freeze the MDES is compile-once, validate-once data that any
@@ -240,6 +251,15 @@ func (m *MDES) Freeze() error {
 // Frozen reports whether Freeze has successfully marked the description
 // immutable.
 func (m *MDES) Frozen() bool { return m.frozen.Load() }
+
+// freezeTrusted marks the description frozen without re-running Validate.
+// Only Arena.FrozenMDES calls it: OpenArena's checksum plus structural
+// validation pass already guarantees every invariant Validate checks, and
+// skipping the map-based re-validation is what keeps a cache hit in the
+// microsecond range.
+func (m *MDES) freezeTrusted() {
+	m.freezeOnce.Do(func() { m.frozen.Store(true) })
+}
 
 // FlowDistance returns the flow-dependence distance from producer to
 // consumer operation indices: producer latency, minus consumer source

@@ -25,12 +25,11 @@ import (
 
 // Word is one packed probe: test Mask against word Widx of the reservation
 // row at (issue + Time). For scalar (unpacked) options Mask has exactly one
-// bit set; for packed options it is the option's CycleMask verbatim.
-type Word struct {
-	Time int32
-	Widx int32
-	Mask uint64
-}
+// bit set; for packed options it is the option's CycleMask verbatim. It is
+// an alias of lowlevel.PlanWord — the same probe words are persisted
+// verbatim inside the flat arena format (lowlevel.ArenaPlan), so an
+// arena-backed description's spans are adopted without conversion.
+type Word = lowlevel.PlanWord
 
 // Plan is the compiled probe program for one frozen MDES. It is immutable
 // after Compile and shared read-only by any number of Probers.
@@ -75,6 +74,28 @@ func Compile(m *lowlevel.MDES) (*Plan, error) {
 	}
 	if p.RowWords == 0 {
 		p.RowWords = 1
+	}
+	// Arena-backed descriptions carry their probe plan precompiled
+	// (lowlevel.ArenaPlan, persisted in the MDAR buffer and aliased at
+	// open): adopt the spans verbatim and skip emission entirely. The
+	// constraint-index verification below still runs — the plan's spans
+	// are positional, so the same stale-Index contract applies.
+	if ap := m.ArenaPlan(); ap != nil && ap.RowWords == p.RowWords {
+		for ci, con := range m.Constraints {
+			if con.Index != ci {
+				return nil, fmt.Errorf("probeplan: constraint %d (%s) carries index %d: description was assembled outside Compile/Decode and cannot be planned",
+					ci, con.Name, con.Index)
+			}
+			p.cons[ci] = con
+			if len(con.Trees) > p.maxTrees {
+				p.maxTrees = len(con.Trees)
+			}
+		}
+		p.words = ap.Words
+		p.optStart = ap.OptStart
+		p.treeStart = ap.TreeStart
+		p.conStart = ap.ConStart
+		return p, nil
 	}
 	for ci, con := range m.Constraints {
 		if con.Index != ci {

@@ -4,6 +4,7 @@
 package tools
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ func RunMDC(args []string, stdout io.Writer) error {
 		dumpFlag    = fs.Bool("dump", false, "dump the compiled constraint structure")
 		emitFlag    = fs.Bool("emit", false, "emit the canonicalized high-level source and exit")
 		outFlag     = fs.String("o", "", "write the optimized low-level MDES to this file (binary fast-load format)")
+		arenaFlag   = fs.String("emit-arena", "", "write the optimized description as a flat arena (MDAR, zero-copy load format) to this file")
 		factorFlag  = fs.Bool("factor", false, "discover AND/OR structure in flat OR-trees before optimizing")
 		verifyFlag  = fs.Bool("verify", false, "differentially verify the machine: every pass and checker backend against the reference interpreter")
 		vseedFlag   = fs.Int64("verifyseed", 1996, "instruction-stream seed for -verify")
@@ -122,6 +124,38 @@ func RunMDC(args []string, stdout io.Writer) error {
 		}
 		st, _ := os.Stat(*outFlag)
 		fmt.Fprintf(stdout, "wrote %s (%d bytes on disk, verified)\n", *outFlag, st.Size())
+	}
+
+	if *arenaFlag != "" {
+		arena, err := ll.EncodeArena()
+		if err != nil {
+			return fmt.Errorf("arena encode: %w", err)
+		}
+		if err := os.WriteFile(*arenaFlag, arena, 0o644); err != nil {
+			return err
+		}
+		// Verify by reopening the written file and checking losslessness
+		// against the in-memory description.
+		data, err := os.ReadFile(*arenaFlag)
+		if err != nil {
+			return err
+		}
+		a, err := lowlevel.OpenArena(data)
+		if err != nil {
+			return fmt.Errorf("arena reload verification failed: %w", err)
+		}
+		var wantV3, gotV3 bytes.Buffer
+		if err := ll.Encode(&wantV3); err != nil {
+			return err
+		}
+		if err := a.MDES().Encode(&gotV3); err != nil {
+			return fmt.Errorf("arena reload verification: %w", err)
+		}
+		if !bytes.Equal(wantV3.Bytes(), gotV3.Bytes()) {
+			return fmt.Errorf("arena reload verification: round trip is lossy")
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d bytes, machine %s, reopened and verified lossless)\n",
+			*arenaFlag, len(arena), a.MachineName())
 	}
 
 	if *dumpFlag {

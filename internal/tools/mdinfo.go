@@ -7,9 +7,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"mdes"
 	"mdes/internal/cli"
+	"mdes/internal/descache"
 	"mdes/internal/experiments"
 	"mdes/internal/machines"
 	"mdes/internal/textutil"
@@ -32,9 +34,17 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 		opsFlag     = fs.Int("ops", 20000, "workload size for -sched/-stats")
 		seedFlag    = fs.Int64("seed", 1996, "workload seed for -sched/-stats")
 		checkerFlag = fs.String("checker", "rumap", "conflict-checker backend for -stats: rumap, automaton or probeplan")
+		cacheFlag   = fs.String("cache", "", "list and checksum-verify a compiled-description cache directory instead of inspecting a machine")
+		cacheGCFlag = fs.Bool("cache-gc", false, "with -cache: evict least-recently-used entries until the directory fits -cache-max")
+		cacheMaxFlg = fs.Int64("cache-max", 0, "with -cache-gc: LRU byte budget for the cache directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Cache mode stands alone: it inspects a cache directory, not a machine.
+	if *cacheFlag != "" {
+		return runCacheInfo(stdout, *cacheFlag, *cacheGCFlag, *cacheMaxFlg)
 	}
 
 	m, err := cli.LoadMachine(*machineFlag, *inFlag)
@@ -138,6 +148,10 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 
 	// Static breakdown without scheduling.
 	bd := machines.OptionBreakdown(m)
+	return staticBreakdown(stdout, bd)
+}
+
+func staticBreakdown(stdout io.Writer, bd map[int][]string) error {
 	var counts []int
 	for n := range bd {
 		counts = append(counts, n)
@@ -149,4 +163,104 @@ func RunMDInfo(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, bt.String())
 	return nil
+}
+
+// runCacheInfo is mdinfo's cache mode: list a compiled-description cache
+// directory with every entry checksum-verified, optionally enforcing an
+// LRU byte budget first. Corrupt entries are listed (status "CORRUPT")
+// and make the run fail, so `mdinfo -cache dir` doubles as the CI cache
+// health check.
+func runCacheInfo(stdout io.Writer, dir string, gc bool, maxBytes int64) error {
+	store, err := descache.Open(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	if gc {
+		if maxBytes <= 0 {
+			return fmt.Errorf("-cache-gc requires a positive -cache-max budget")
+		}
+		evicted, freed, err := store.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "gc: evicted %d entries, freed %d bytes (budget %d)\n\n",
+			len(evicted), freed, maxBytes)
+		for _, name := range evicted {
+			fmt.Fprintf(stdout, "  evicted %s\n", name)
+		}
+		if len(evicted) > 0 {
+			fmt.Fprintln(stdout)
+		}
+	}
+	infos, err := store.List(true)
+	if err != nil {
+		return err
+	}
+	var total int64
+	corrupt := 0
+	t := textutil.NewTable("Key", "Machine", "Form", "Level", "Size", "Age", "Tuned", "Status")
+	for _, in := range infos {
+		total += in.Size
+		status := "ok"
+		if in.Err != nil {
+			status = "CORRUPT"
+			corrupt++
+		}
+		tuned := "-"
+		if in.Tuned {
+			tuned = "yes"
+		}
+		t.Row(cacheEntryKey(in.Name), in.Machine, in.Form, cacheEntryLevel(in.Name),
+			in.Size, cacheAge(in.ModTime), tuned, status)
+	}
+	fmt.Fprintln(stdout, t.String())
+	fmt.Fprintf(stdout, "%d entries, %d bytes total\n", len(infos), total)
+	if corrupt > 0 {
+		return fmt.Errorf("%d corrupt cache entries (checksum or structural validation failed)", corrupt)
+	}
+	return nil
+}
+
+// cacheEntryKey renders an entry filename as its short key: the hash plus
+// a tuned marker, without the redundant form/level (they get columns).
+func cacheEntryKey(name string) string {
+	name = strings.TrimSuffix(name, ".mdar")
+	if i := strings.Index(name, ".tuned-"); i >= 0 {
+		name = name[:i]
+	}
+	parts := strings.SplitN(name, "-", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "-" + parts[1]
+	}
+	return name
+}
+
+// cacheEntryLevel extracts the optimization-level component of an entry
+// name ("a4-<hash>-<form>-<level>[-flags][.tuned-...].mdar").
+func cacheEntryLevel(name string) string {
+	name = strings.TrimSuffix(name, ".mdar")
+	if i := strings.Index(name, ".tuned-"); i >= 0 {
+		name = name[:i]
+	}
+	parts := strings.Split(name, "-")
+	if len(parts) < 4 {
+		return "?"
+	}
+	return strings.Join(parts[3:], "-")
+}
+
+// cacheAge renders an entry's age coarsely — listings care about LRU
+// order, not precision.
+func cacheAge(mod time.Time) string {
+	d := time.Since(mod)
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 48*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
 }

@@ -43,6 +43,7 @@ func RunMDReport(args []string, stdout io.Writer) error {
 		workersFlag = fs.Int("workers", 8, "with -tune: scheduling goroutines")
 		tuneOut     = fs.String("tune-out", "", "with -tune: directory for TUNED_*.mdes and PROFILE_*.mdpf artifacts")
 		tuneMinGain = fs.Float64("tune-min-gain", 0, "with -tune: reject unless OptionsChecked+ResourceChecks drop at least this many percent")
+		tuneCache   = fs.String("cache-dir", "", "with -tune: publish the accepted tuned layout as an arena into this compiled-description cache (LoadCached WithTuned slot)")
 
 		benchCompare   = fs.Bool("bench-compare", false, "compare BENCH trajectories: args are <old> <new>, old a bench_budgets.json or BENCH file/dir, new a BENCH file/dir; non-zero exit on regression")
 		benchTol       = fs.Float64("bench-tol", 0.40, "with -bench-compare: fractional blocks/s regression tolerance against an old trajectory (wall clock is noisy)")
@@ -60,17 +61,18 @@ func RunMDReport(args []string, stdout io.Writer) error {
 			machine = string(machines.K5)
 		}
 		return runTune(stdout, tuneConfig{
-			machine: machine,
-			trace:   *traceFlag,
-			form:    *formFlag,
-			level:   *levelFlag,
-			checker: *checkerFlag,
-			ops:     *opsFlag,
-			seed:    *seedFlag,
-			shards:  *shardsFlag,
-			workers: *workersFlag,
-			out:     *tuneOut,
-			minGain: *tuneMinGain,
+			machine:  machine,
+			trace:    *traceFlag,
+			form:     *formFlag,
+			level:    *levelFlag,
+			checker:  *checkerFlag,
+			ops:      *opsFlag,
+			seed:     *seedFlag,
+			shards:   *shardsFlag,
+			workers:  *workersFlag,
+			out:      *tuneOut,
+			minGain:  *tuneMinGain,
+			cacheDir: *tuneCache,
 		})
 	}
 	if *benchCompare {

@@ -10,7 +10,10 @@ import (
 	"time"
 
 	"mdes"
+	"mdes/internal/cli"
+	"mdes/internal/descache"
 	"mdes/internal/experiments"
+	"mdes/internal/machines"
 	"mdes/internal/obs/profile"
 	"mdes/internal/trace"
 	"mdes/internal/verify"
@@ -19,17 +22,18 @@ import (
 // tuneConfig parameterizes the profile-guided tuning loop
 // (`mdreport -tune`).
 type tuneConfig struct {
-	machine string // machine to record for when no trace is given
-	trace   string // existing mdtrace recording; "" = record one
-	form    string
-	level   string
-	checker string // override; "" = the recording's backend
-	ops     int
-	seed    int64
-	shards  int
-	workers int
-	out     string  // artifact directory; "" = don't persist
-	minGain float64 // reject below this percent probe-work reduction
+	machine  string // machine to record for when no trace is given
+	trace    string // existing mdtrace recording; "" = record one
+	form     string
+	level    string
+	checker  string // override; "" = the recording's backend
+	ops      int
+	seed     int64
+	shards   int
+	workers  int
+	out      string  // artifact directory; "" = don't persist
+	minGain  float64 // reject below this percent probe-work reduction
+	cacheDir string  // compiled-description cache; "" = don't publish the tuned arena
 }
 
 // runTune is the optimize-measure-iterate loop closing ROADMAP item 5:
@@ -179,6 +183,10 @@ func runTune(stdout io.Writer, cfg tuneConfig) error {
 	}
 
 	// 5. Accepted: persist the tuned layout and its profile evidence.
+	profData, profAddr, err := profile.Encode(&snap)
+	if err != nil {
+		return err
+	}
 	if cfg.out != "" {
 		if err := os.MkdirAll(cfg.out, 0o777); err != nil {
 			return err
@@ -199,19 +207,57 @@ func runTune(stdout io.Writer, cfg tuneConfig) error {
 		if err != nil {
 			return err
 		}
-		data, addr, err := profile.Encode(&snap)
-		if err != nil {
-			return err
-		}
 		profPath := filepath.Join(cfg.out, fmt.Sprintf("PROFILE_%s_%s.mdpf", rec.Meta.Machine, baseMeta.MachineHash))
-		if err := os.WriteFile(profPath, data, 0o666); err != nil {
+		if err := os.WriteFile(profPath, profData, 0o666); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s (tuned layout, fingerprint %s)\n", tunedPath, tunedFP)
-		fmt.Fprintf(stdout, "wrote %s (profile artifact %s)\n", profPath, addr)
+		fmt.Fprintf(stdout, "wrote %s (profile artifact %s)\n", profPath, profAddr)
+	}
+	if cfg.cacheDir != "" {
+		path, err := publishTuned(cfg.cacheDir, rec.Meta.Machine, rec.Meta.Form, rec.Meta.Level,
+			baseMeta.MachineHash, profAddr, tuned)
+		if err != nil {
+			return fmt.Errorf("mdreport -tune: cache publish: %w", err)
+		}
+		fmt.Fprintf(stdout, "published %s (tuned arena; LoadCached(WithTuned) now prefers it)\n", path)
 	}
 	fmt.Fprintf(stdout, "ACCEPTED: schedules byte-identical, probe work reduced %.1f%%\n", gain)
 	return nil
+}
+
+// publishTuned stores an accepted tuned layout in the compiled-description
+// cache under the tuned slot of the base description's key — the same key
+// LoadCached derives, so a scheduler opting in with WithTuned picks the
+// layout up on its next cold start. The slot is addressed by the base
+// description's fingerprint × the driving profile's content address,
+// making the evidence chain auditable from the cache listing alone.
+func publishTuned(cacheDir, machineName, formName, levelName, baseFP, profAddr string, tuned *mdes.Compiled) (string, error) {
+	source, err := machines.Source(machines.Name(machineName))
+	if err != nil {
+		return "", err
+	}
+	form, err := cli.ParseForm(formName)
+	if err != nil {
+		return "", err
+	}
+	key := descache.Key{
+		SourceHash: descache.HashSource(source),
+		Level:      levelName,
+		Form:       "andor",
+	}
+	if form == mdes.FormOR {
+		key.Form = "or"
+	}
+	arena, err := tuned.EncodeArena()
+	if err != nil {
+		return "", err
+	}
+	store, err := descache.Open(cacheDir, 0)
+	if err != nil {
+		return "", err
+	}
+	return store.PutTuned(key, baseFP, profAddr, arena)
 }
 
 // workloadKey names the workload a profile was measured on — the other

@@ -202,6 +202,9 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 	if err := diffProbePlan("or/probeplan", orNone, stream, arrivals, want, grid, w, c); err != nil {
 		return err
 	}
+	if err := diffArena("or/arena", orNone, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
 
 	// Stage 2: AND/OR form, then each optimization pass applied one at a
 	// time. Probing after every pass attributes a semantics break to the
@@ -235,6 +238,9 @@ func checkMachine(mach *hmdes.Machine, streamSeed int64, c *stats.Counters) erro
 		return err
 	}
 	if err := diffAutomaton(and, stream, arrivals, want, c); err != nil {
+		return err
+	}
+	if err := diffArena("andor/arena", and, stream, arrivals, want, grid, w, c); err != nil {
 		return err
 	}
 	if err := diffModulo(and, stream, arrivals, want, grid, w, c); err != nil {
@@ -421,6 +427,44 @@ func diffProbePlan(stage string, m *lowlevel.MDES, stream, arrivals, want []int,
 		}
 	}
 	return nil
+}
+
+// diffArena round-trips m through the flat arena format and requires the
+// persisted description to be indistinguishable from the original: the v3
+// encoding of the deep-copy materialization must match m's byte for byte
+// (losslessness), and the zero-copy frozen view — probe plan adopted from
+// the arena, not recompiled — must drive both the rumap and the
+// probe-plan backend to the oracle's schedules and probe answers. This is
+// the differential gate behind the compiled-description cache: a cache
+// hit serves exactly this view.
+func diffArena(stage string, m *lowlevel.MDES, stream, arrivals, want []int, grid [][]bool, w window, c *stats.Counters) error {
+	buf, err := m.EncodeArena()
+	if err != nil {
+		return stageErrf(stage, "encode: %v", err)
+	}
+	a, err := lowlevel.OpenArena(buf)
+	if err != nil {
+		return stageErrf(stage, "open: %v", err)
+	}
+	var wantV3, gotV3 strings.Builder
+	if err := m.Encode(&wantV3); err != nil {
+		return stageErrf(stage, "v3 encode: %v", err)
+	}
+	if err := a.MDES().Encode(&gotV3); err != nil {
+		return stageErrf(stage, "round-trip v3 encode: %v", err)
+	}
+	if gotV3.String() != wantV3.String() {
+		return stageErrf(stage, "arena round trip is lossy: v3 encodings differ (%d vs %d bytes)",
+			gotV3.Len(), wantV3.Len())
+	}
+	view := a.FrozenMDES()
+	if view.ArenaPlan() == nil {
+		return stageErrf(stage, "frozen view lost the persisted probe plan")
+	}
+	if err := diffRUMap(stage, view, stream, arrivals, want, grid, w, c); err != nil {
+		return err
+	}
+	return diffProbePlan(stage, view, stream, arrivals, want, grid, w, c)
 }
 
 // diffAutomaton replays the stream through the §10 DFA backend. The
