@@ -1,0 +1,37 @@
+// Command mdesd is the multi-tenant machine-description scheduling
+// daemon: clients upload HMDES sources (or reference already-cached
+// compiled arenas by content address) into per-tenant versioned
+// registries, then schedule instruction blocks over HTTP against frozen
+// engines with per-tenant admission control and observability.
+//
+// Usage:
+//
+//	mdesd -addr 127.0.0.1:7077 -cachedir /var/cache/mdes
+//	mdesd -addr :0 -checker automaton -max-inflight 64 -timeout 5s
+//
+// Endpoints:
+//
+//	POST /v1/tenants/{tenant}/descriptions   upload / activate a description
+//	GET  /v1/tenants/{tenant}/descriptions   list registered versions
+//	POST /v1/tenants/{tenant}/schedule       schedule a batch of blocks
+//	GET  /v1/tenants/{tenant}/stats          aggregated counters
+//	     /v1/tenants/{tenant}/obs/...        engine metrics, flight, profile
+//	GET  /healthz, GET /metrics              daemon health and counters
+//
+// SIGINT/SIGTERM drain gracefully: new requests are shed with 503,
+// in-flight requests complete, every description version drains.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mdes/internal/tools"
+)
+
+func main() {
+	if err := tools.RunMDesd(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdesd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+package descache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mdes/internal/lowlevel"
+	"mdes/internal/machines"
+)
+
+// TestConcurrentSharedStore hammers one bounded store from many
+// goroutines doing Put, Get, and explicit GC at once — the daemon's
+// usage pattern, where every tenant upload races every other against a
+// shared cache directory. The invariants under the race detector:
+//
+//   - Put never corrupts the store: every error is a real error, and the
+//     atomic temp+rename discipline means Get can never observe a
+//     half-written entry (it either hits a valid arena or misses);
+//   - Get returns either a valid, checksum-verified entry or ErrMiss —
+//     never a validation failure — even while GC is evicting underneath
+//     it and writers are renaming over the same keys (the same-key
+//     rename collision path);
+//   - concurrent GCs tolerate losing eviction races to each other.
+func TestConcurrentSharedStore(t *testing.T) {
+	s, err := Open(t.TempDir(), 64<<10) // tight budget so GC constantly evicts
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A few distinct entries plus repeated writes to the SAME keys from
+	// multiple goroutines, forcing rename collisions.
+	names := []machines.Name{machines.K5, machines.PA7100, machines.Pentium, machines.SuperSPARC}
+	arenas := make(map[machines.Name][]byte, len(names))
+	for _, n := range names {
+		arenas[n] = testArena(t, n, lowlevel.FormAndOr)
+	}
+
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := names[(w+r)%len(names)]
+				key := testKey(n)
+				switch r % 3 {
+				case 0: // same-key rename collision path
+					if _, err := s.Put(key, arenas[n]); err != nil {
+						errs <- fmt.Errorf("worker %d put %s: %w", w, n, err)
+						return
+					}
+				case 1:
+					e, err := s.Get(key)
+					if err != nil {
+						if !errors.Is(err, ErrMiss) {
+							errs <- fmt.Errorf("worker %d get %s: non-miss failure: %w", w, n, err)
+							return
+						}
+						continue
+					}
+					if got := e.Arena.MachineName(); got == "" {
+						errs <- fmt.Errorf("worker %d get %s: entry with empty machine name", w, n)
+					}
+					if err := e.Close(); err != nil {
+						errs <- fmt.Errorf("worker %d close %s: %w", w, n, err)
+						return
+					}
+				case 2:
+					if _, _, err := s.GC(); err != nil {
+						errs <- fmt.Errorf("worker %d gc: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The store must end consistent: every surviving entry verifies.
+	infos, err := s.List(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range infos {
+		if in.Err != nil {
+			t.Errorf("surviving entry %s fails verification: %v", in.Name, in.Err)
+		}
+	}
+}
+
+// TestConcurrentGCRace drives many simultaneous GCs over an over-budget
+// store: they race to evict the same files and must all succeed, with
+// the union of their evictions bringing the store under budget.
+func TestConcurrentGCRace(t *testing.T) {
+	s, err := Open(t.TempDir(), 1) // evict everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill without triggering Put's built-in GC first: use an unbounded
+	// alias of the same directory.
+	u, err := Open(s.Dir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []machines.Name{machines.K5, machines.PA7100, machines.Pentium, machines.SuperSPARC} {
+		if _, err := u.Put(testKey(n), testArena(t, n, lowlevel.FormAndOr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.GC(); err != nil {
+				t.Errorf("concurrent gc: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	infos, err := s.List(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("%d entries survived a full eviction", len(infos))
+	}
+}

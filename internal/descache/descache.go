@@ -339,9 +339,11 @@ func (s *Store) GC() (evicted []string, freed int64, err error) {
 	for _, in := range infos {
 		total += in.Size
 	}
-	// infos is newest-first; evict from the tail.
+	// infos is newest-first; evict from the tail. A concurrent GC (or
+	// writer re-publishing an entry) may remove a file first; losing that
+	// race still frees the bytes, so it is not an error.
 	for i := len(infos) - 1; i >= 0 && total > s.maxBytes; i-- {
-		if err := os.Remove(infos[i].Path); err != nil {
+		if err := os.Remove(infos[i].Path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return evicted, freed, fmt.Errorf("descache: gc: %w", err)
 		}
 		evicted = append(evicted, infos[i].Name)

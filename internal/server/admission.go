@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// gate is one tenant's admission control: a hard cap on concurrently
+// served schedule requests (slots) plus a bounded wait queue. Requests
+// beyond both bounds are shed immediately with 429; requests that queue
+// but cannot reach a slot within the admission timeout (or whose client
+// disconnects) are shed with 503. Shedding is the contract that keeps
+// the daemon's latency bounded under overload: work the daemon cannot
+// serve soon is refused cheaply instead of piling up.
+type gate struct {
+	slots      chan struct{}
+	queued     atomic.Int64
+	queueDepth int64
+	timeout    time.Duration
+}
+
+func newGate(maxInFlight, queueDepth int, timeout time.Duration) *gate {
+	return &gate{
+		slots:      make(chan struct{}, maxInFlight),
+		queueDepth: int64(queueDepth),
+		timeout:    timeout,
+	}
+}
+
+// admission outcomes.
+type admitResult int
+
+const (
+	admitOK admitResult = iota
+	// admitQueueFull: both the in-flight cap and the queue are full —
+	// shed with 429 (the client should back off and retry).
+	admitQueueFull
+	// admitTimeout: queued but no slot freed within the admission
+	// timeout, or the client went away — shed with 503.
+	admitTimeout
+)
+
+// acquire admits one request. On admitOK the caller must invoke the
+// returned release exactly once when the request completes.
+func (g *gate) acquire(ctx context.Context) (release func(), res admitResult) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, admitOK
+	default:
+	}
+	if g.queued.Add(1) > g.queueDepth {
+		g.queued.Add(-1)
+		return nil, admitQueueFull
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, admitOK
+	case <-timer.C:
+		return nil, admitTimeout
+	case <-ctx.Done():
+		return nil, admitTimeout
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// inFlight reports the currently admitted request count.
+func (g *gate) inFlight() int { return len(g.slots) }

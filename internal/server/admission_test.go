@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCap(t *testing.T) {
+	g := newGate(3, 2, 50*time.Millisecond)
+	ctx := context.Background()
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, res := g.acquire(ctx)
+		if res != admitOK {
+			t.Fatalf("request %d: %v, want admitOK", i, res)
+		}
+		releases = append(releases, rel)
+	}
+	if g.inFlight() != 3 {
+		t.Fatalf("inFlight = %d, want 3", g.inFlight())
+	}
+	// Cap reached: the next request queues and times out.
+	if _, res := g.acquire(ctx); res != admitTimeout {
+		t.Fatalf("over-cap request: %v, want admitTimeout", res)
+	}
+	// Releasing a slot lets a new request in immediately.
+	releases[0]()
+	rel, res := g.acquire(ctx)
+	if res != admitOK {
+		t.Fatalf("after release: %v, want admitOK", res)
+	}
+	rel()
+	for _, r := range releases[1:] {
+		r()
+	}
+	if g.inFlight() != 0 {
+		t.Fatalf("inFlight = %d after all releases, want 0", g.inFlight())
+	}
+}
+
+func TestGateShedsQueueOverflow(t *testing.T) {
+	g := newGate(1, 2, time.Second)
+	ctx := context.Background()
+	rel, res := g.acquire(ctx)
+	if res != admitOK {
+		t.Fatalf("first: %v", res)
+	}
+	// Fill the queue with two blocked waiters.
+	var wg sync.WaitGroup
+	results := make(chan admitResult, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, res := g.acquire(ctx)
+			if res == admitOK {
+				r()
+			}
+			results <- res
+		}()
+	}
+	// Wait for both to be queued.
+	waitUntil(t, time.Second, func() bool { return g.queued.Load() == 2 })
+	// The third waiter overflows the queue: immediate 429.
+	if _, res := g.acquire(ctx); res != admitQueueFull {
+		t.Fatalf("overflow: %v, want admitQueueFull", res)
+	}
+	// Release the slot; both queued waiters must eventually be admitted.
+	rel()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if res := <-results; res != admitOK {
+			t.Fatalf("queued waiter %d: %v, want admitOK", i, res)
+		}
+	}
+}
+
+func TestGateHonorsContextCancellation(t *testing.T) {
+	g := newGate(1, 4, time.Minute)
+	rel, res := g.acquire(context.Background())
+	if res != admitOK {
+		t.Fatalf("first: %v", res)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan admitResult, 1)
+	go func() {
+		_, res := g.acquire(ctx)
+		done <- res
+	}()
+	waitUntil(t, time.Second, func() bool { return g.queued.Load() == 1 })
+	cancel()
+	select {
+	case res := <-done:
+		if res != admitTimeout {
+			t.Fatalf("cancelled waiter: %v, want admitTimeout", res)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("cancelled waiter still queued")
+	}
+	if g.queued.Load() != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", g.queued.Load())
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mdes"
+	"mdes/internal/machines"
+	"mdes/sdk/mdesclient"
+)
+
+// TestHotSwapNeverMixesEngines hammers a tenant with concurrent schedule
+// requests while the description is hot-swapped underneath them, and
+// proves the swap contract through the fingerprint stamped in every
+// response:
+//
+//   - every response carries exactly the old or the new fingerprint,
+//     never anything else (one request, one engine — no mixing);
+//   - every request issued after the swap completes carries the new
+//     fingerprint (the swap is atomic and immediate for new work);
+//   - schedules never diverge from the local reference at either level
+//     (the optimization pipeline's semantics-preservation invariant,
+//     which is what makes a hot-swap to a different level safe at all);
+//   - the outgoing version drains: retired, zero in-flight, drained.
+func TestHotSwapNeverMixesEngines(t *testing.T) {
+	_, _, c := newTestDaemon(t, Config{MaxInFlight: 16, QueueDepth: 64, RequestTimeout: 30 * time.Second})
+	ctx := context.Background()
+	source := testSource(t, machines.PA7100)
+
+	// v1 at full optimization, v2 at none: different compiled artifacts
+	// (different fingerprints) with byte-identical schedules.
+	up1, err := c.Upload(ctx, "swap", mdesclient.UploadRequest{Source: source, Level: "full", Activate: true})
+	if err != nil {
+		t.Fatalf("upload v1: %v", err)
+	}
+	blocks := testBlocks(t, machines.PA7100, 150, 11)
+	wire := FromIR(blocks)
+	_, wantIssues := localReference(t, source, mdes.LevelFull, blocks)
+
+	// Each worker records what it saw; validation happens after the load
+	// stops, against both published fingerprints.
+	type obs struct {
+		fingerprint string
+		postSwap    bool // issued after the swap was known complete
+	}
+	const workers = 8
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		swapped = make(chan struct{}) // closed once the swap response arrived
+		mu      sync.Mutex
+		seen    []obs
+		errs    []string
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Record whether the swap had completed BEFORE issuing, so
+				// the post-swap assertion is sound.
+				postSwap := false
+				select {
+				case <-swapped:
+					postSwap = true
+				default:
+				}
+				resp, err := c.Schedule(ctx, "swap", wire)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Sprintf("schedule: %v", err))
+					mu.Unlock()
+					return
+				}
+				diverged := ""
+				for i, r := range resp.Results {
+					if fmt.Sprint(r.Issue) != fmt.Sprint(wantIssues[i]) {
+						diverged = fmt.Sprintf("block %d diverged under fp %s", i, resp.Fingerprint)
+						break
+					}
+				}
+				mu.Lock()
+				seen = append(seen, obs{resp.Fingerprint, postSwap})
+				if diverged != "" {
+					errs = append(errs, diverged)
+				}
+				mu.Unlock()
+				if diverged != "" {
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the load establish itself, then swap.
+	time.Sleep(50 * time.Millisecond)
+	up2, err := c.Upload(ctx, "swap", mdesclient.UploadRequest{Source: source, Level: "none", Activate: true})
+	if err != nil {
+		t.Fatalf("upload v2: %v", err)
+	}
+	if up2.Fingerprint == up1.Fingerprint {
+		t.Fatalf("levels full and none share fingerprint %s; swap test is vacuous", up2.Fingerprint)
+	}
+	close(swapped)
+
+	// Keep load running across the drain window, then stop.
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	for _, e := range errs {
+		t.Error(e)
+	}
+	var sawOld, sawNew, postSwapNew int
+	for _, o := range seen {
+		switch o.fingerprint {
+		case up1.Fingerprint:
+			sawOld++
+			if o.postSwap {
+				t.Errorf("request issued after swap served by old engine %s", o.fingerprint)
+			}
+		case up2.Fingerprint:
+			sawNew++
+			if o.postSwap {
+				postSwapNew++
+			}
+		default:
+			t.Errorf("mixed-engine fingerprint %s (old %s new %s)", o.fingerprint, up1.Fingerprint, up2.Fingerprint)
+		}
+	}
+	if sawNew == 0 {
+		t.Fatalf("no request observed the new engine (old=%d)", sawOld)
+	}
+	if postSwapNew == 0 {
+		t.Fatalf("no post-swap request completed (old=%d new=%d)", sawOld, sawNew)
+	}
+
+	// The outgoing version must drain to zero in-flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		vs, err := c.Versions(ctx, "swap")
+		if err != nil {
+			t.Fatalf("versions: %v", err)
+		}
+		var old *mdesclient.VersionInfo
+		for i := range vs.Versions {
+			if vs.Versions[i].Fingerprint == up1.Fingerprint {
+				old = &vs.Versions[i]
+			}
+		}
+		if old == nil {
+			t.Fatalf("old version vanished from the listing")
+		}
+		if old.Active {
+			t.Fatalf("old version still active after swap")
+		}
+		if old.Retired && old.Drained && old.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("old version never drained: %+v", *old)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSwapBackRebuildsRetiredVersion proves a tenant can swap back to a
+// previously retired key: the registry rebuilds it instead of reviving
+// the drained version.
+func TestSwapBackRebuildsRetiredVersion(t *testing.T) {
+	_, _, c := newTestDaemon(t, Config{})
+	ctx := context.Background()
+	source := testSource(t, machines.K5)
+
+	up1, err := c.Upload(ctx, "flip", mdesclient.UploadRequest{Source: source, Level: "full", Activate: true})
+	if err != nil {
+		t.Fatalf("upload v1: %v", err)
+	}
+	if _, err := c.Upload(ctx, "flip", mdesclient.UploadRequest{Source: source, Level: "none", Activate: true}); err != nil {
+		t.Fatalf("upload v2: %v", err)
+	}
+	up3, err := c.Upload(ctx, "flip", mdesclient.UploadRequest{Source: source, Level: "full", Activate: true})
+	if err != nil {
+		t.Fatalf("upload v3 (swap back): %v", err)
+	}
+	if up3.Fingerprint != up1.Fingerprint {
+		t.Fatalf("swap-back fingerprint %s != original %s", up3.Fingerprint, up1.Fingerprint)
+	}
+	if _, err := c.Schedule(ctx, "flip", FromIR(testBlocks(t, machines.K5, 40, 9))); err != nil {
+		t.Fatalf("schedule on swapped-back version: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServerRequest fuzzes the daemon's two request decoders with
+// arbitrary bytes. The contract under fuzz is total: decoders never
+// panic, every rejection is a *wireError with a stable code, and every
+// accepted schedule request converts to scheduler IR without panicking
+// (ToBlocks is panic-free by construction on validated input).
+func FuzzServerRequest(f *testing.F) {
+	f.Add([]byte(`{"source":"machine M { resource R; }","form":"andor","level":"full","activate":true}`))
+	f.Add([]byte(`{"source_hash":"0123456789abcdef"}`))
+	f.Add([]byte(`{"blocks":[{"ops":[{"opcode":"IALU","dests":[1],"srcs":[2,3],"mem":"load"}]}]}`))
+	f.Add([]byte(`{"blocks":[{"ops":[{"opcode":"BR","branch":true,"cascaded":true}]}]}`))
+	f.Add([]byte(`{"blocks":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"source":"x","source_hash":"0123456789abcdef"}`))
+	f.Add([]byte(`{"blocks":[{"ops":[{"opcode":"` + strings.Repeat("A", 100) + `"}]}]}`))
+	f.Add([]byte(`{"blocks":[{"ops":[{"opcode":"X","srcs":[-1]}]}]}`))
+	f.Add([]byte(`{"blocks":[{"ops":[{"opcode":"X","mem":"flush"}]}]}`))
+	f.Add([]byte(`{"source":"m"} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if up, err := ParseUploadRequest(data); err == nil {
+			// Accepted uploads satisfy the documented invariants.
+			if (up.Source == "") == (up.SourceHash == "") {
+				t.Fatalf("accepted upload violates source xor source_hash: %+v", up)
+			}
+			if up.Form == "" || up.Level == "" {
+				t.Fatalf("accepted upload without defaulted form/level: %+v", up)
+			}
+		} else if _, ok := err.(*wireError); !ok {
+			t.Fatalf("upload rejection is not a wireError: %T %v", err, err)
+		}
+
+		if req, err := ParseScheduleRequest(data); err == nil {
+			blocks := ToBlocks(req)
+			if len(blocks) != len(req.Blocks) {
+				t.Fatalf("ToBlocks dropped blocks: %d != %d", len(blocks), len(req.Blocks))
+			}
+			total := 0
+			for _, b := range blocks {
+				total += len(b.Ops)
+			}
+			if total > MaxOpsPerRequest {
+				t.Fatalf("accepted request with %d ops over the cap", total)
+			}
+			// The wire round trip is lossless for validated requests.
+			back := FromIR(blocks)
+			for bi := range back {
+				for oi := range back[bi].Ops {
+					if back[bi].Ops[oi].Opcode != req.Blocks[bi].Ops[oi].Opcode {
+						t.Fatalf("round trip changed opcode at block %d op %d", bi, oi)
+					}
+				}
+			}
+		} else if _, ok := err.(*wireError); !ok {
+			t.Fatalf("schedule rejection is not a wireError: %T %v", err, err)
+		}
+	})
+}
+
+// FuzzServerRequestSeedCorpusIsValid pins the seed corpus expectations so
+// regressions in the decoders fail fast without the fuzzer.
+func TestServerRequestDecoderBasics(t *testing.T) {
+	if _, err := ParseUploadRequest([]byte(`{"source":"m"}`)); err != nil {
+		t.Fatalf("minimal upload rejected: %v", err)
+	}
+	up, err := ParseUploadRequest([]byte(`{"source_hash":"00ff00ff00ff00ff"}`))
+	if err != nil {
+		t.Fatalf("by-hash upload rejected: %v", err)
+	}
+	if up.Form != "andor" || up.Level != "full" {
+		t.Fatalf("defaults not applied: %+v", up)
+	}
+	for _, bad := range []string{
+		`{"source_hash":"XYZ"}`,
+		`{"source_hash":"0123456789ABCDEF"}`, // upper case is not canonical
+		`{"source":"m","unknown_field":1}`,
+		`{"blocks":[{"ops":[]}]}`,
+	} {
+		if _, err := ParseUploadRequest([]byte(bad)); err == nil {
+			if _, err := ParseScheduleRequest([]byte(bad)); err == nil {
+				t.Fatalf("decoders accepted %s", bad)
+			}
+		}
+	}
+	if _, err := ParseScheduleRequest([]byte(`{"blocks":[{"ops":[{"opcode":"IALU"}]}]}`)); err != nil {
+		t.Fatalf("minimal schedule rejected: %v", err)
+	}
+}

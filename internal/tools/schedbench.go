@@ -52,12 +52,37 @@ func RunSchedbench(args []string, stdout io.Writer) error {
 		selftestFlag = fs.Bool("selftest", false, "run the differential correctness harness (hand-written + generated machines); -seed sets the first generator seed")
 		countFlag    = fs.Int("n", 200, "generated machines to verify with -selftest")
 		failoutFlag  = fs.String("failout", "", "write failing-seed reproducers (.txt report + minimized .mdes) to this directory with -selftest")
+
+		serveFlag     = fs.String("serve", "", "soak a live mdesd daemon at this base URL (e.g. http://127.0.0.1:7077), or 'self' to start an in-process daemon for the run")
+		soakDurFlag   = fs.Duration("soak-duration", 30*time.Second, "soak duration with -serve")
+		soakTenFlag   = fs.Int("soak-tenants", 2, "tenants to soak with -serve (machines assigned round-robin)")
+		soakCliFlag   = fs.Int("soak-clients", 8, "concurrent clients per tenant with -serve")
+		soakOpsFlag   = fs.Int("soak-ops", 400, "static operations per scheduled batch with -serve")
+		soakFloorFlag = fs.Float64("soak-floor", 0, "fail the soak if sustained blocks/s falls below this floor (0 disables the gate)")
+		soakSwapFlag  = fs.Bool("soak-swap", false, "hot-swap every tenant's description mid-soak and assert drain + fingerprint discipline")
+		soakFaultFlag = fs.Bool("soak-faults", false, "inject protocol/content faults mid-soak and assert structured degradation")
+		soakOutFlag   = fs.String("soak-out", "", "write the soak's JSON report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	p := experiments.Params{NumOps: *opsFlag, Seed: *seedFlag}
+
+	if *serveFlag != "" {
+		return runSoak(stdout, soakConfig{
+			target:   *serveFlag,
+			duration: *soakDurFlag,
+			tenants:  *soakTenFlag,
+			clients:  *soakCliFlag,
+			numOps:   *soakOpsFlag,
+			floor:    *soakFloorFlag,
+			swap:     *soakSwapFlag,
+			faults:   *soakFaultFlag,
+			out:      *soakOutFlag,
+			seed:     *seedFlag,
+		})
+	}
 
 	if *selftestFlag {
 		return runSelftest(stdout, *seedFlag, *countFlag, *failoutFlag)

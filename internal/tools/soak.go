@@ -1,0 +1,555 @@
+package tools
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdes"
+	"mdes/internal/machines"
+	"mdes/internal/server"
+	"mdes/internal/workload"
+	"mdes/sdk/mdesclient"
+)
+
+// soakConfig parameterizes the schedbench -serve soak mode.
+type soakConfig struct {
+	// target is the daemon base URL, or "self" to start an in-process
+	// daemon for the soak's lifetime.
+	target   string
+	duration time.Duration
+	tenants  int
+	clients  int // concurrent clients per tenant
+	numOps   int // static ops per scheduled batch
+	floor    float64
+	swap     bool // hot-swap every tenant's description mid-soak
+	faults   bool // inject protocol/content faults during the soak
+	out      string
+	seed     int64
+}
+
+// SoakFault is one injected fault's outcome in the report.
+type SoakFault struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	// Detail explains what was observed (the structured error code, or
+	// why the fault failed the gate).
+	Detail string `json:"detail"`
+}
+
+// SoakReport is the JSON artifact of one soak run — what the CI
+// serve-smoke job uploads and gates on.
+type SoakReport struct {
+	Target      string  `json:"target"`
+	DurationSec float64 `json:"duration_sec"`
+	Tenants     int     `json:"tenants"`
+	Clients     int     `json:"clients_per_tenant"`
+
+	Requests     int64   `json:"requests"`
+	Blocks       int64   `json:"blocks"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	Floor        float64 `json:"floor"`
+
+	Divergences      int64 `json:"divergences"`
+	FingerprintViols int64 `json:"fingerprint_violations"`
+	Swaps            int64 `json:"swaps"`
+	ClientErrors     int64 `json:"client_errors"`
+
+	Faults []SoakFault `json:"faults"`
+	Pass   bool        `json:"pass"`
+	// Reasons lists every gate the run failed.
+	Reasons []string `json:"fail_reasons,omitempty"`
+}
+
+// soakTenant is one tenant's soak state: its workload, its local replay
+// reference, and the fingerprints the daemon may legitimately answer
+// with.
+type soakTenant struct {
+	name   string
+	mach   machines.Name
+	source string
+	wire   []mdesclient.Block
+	// issues is the local replay reference: the schedule every response
+	// must reproduce, regardless of which description version served it.
+	issues [][]int
+
+	mu      sync.Mutex
+	seen    map[string]int64 // fingerprint -> responses carrying it
+	swapped bool             // the hot-swap completed; old fp no longer allowed for new requests
+	oldFP   string
+	newFP   string
+}
+
+// fingerprintViolations classifies the tenant's observed fingerprints
+// after the load stops, when both legitimate fingerprints are known: any
+// response carrying something other than the old or new description's
+// fingerprint proves engine mixing. (Validating post-hoc avoids the
+// benign race where a response carries the new fingerprint an instant
+// before the swap controller publishes it.)
+func (st *soakTenant) fingerprintViolations() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var n int64
+	for fp, count := range st.seen {
+		if fp != st.oldFP && fp != st.newFP {
+			n += count
+		}
+	}
+	return n
+}
+
+// runSoak is schedbench -serve: a multi-tenant soak against a live
+// daemon, gated on a sustained blocks/s floor, zero schedule divergence
+// versus local replay, zero fingerprint violations, and — with faults
+// enabled — every injected fault degrading to a structured error with
+// the daemon still serving afterwards.
+func runSoak(stdout io.Writer, cfg soakConfig) error {
+	target := cfg.target
+	var daemon *server.Daemon
+	if target == "self" {
+		cacheDir, err := os.MkdirTemp("", "mdesd-soak-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(cacheDir)
+		daemon, err = server.Start("127.0.0.1:0", server.Config{CacheDir: cacheDir})
+		if err != nil {
+			return err
+		}
+		defer daemon.Close()
+		target = "http://" + daemon.Addr
+		fmt.Fprintf(stdout, "soak: started in-process daemon at %s\n", target)
+	}
+	target = strings.TrimRight(target, "/")
+
+	report := &SoakReport{
+		Target:  target,
+		Tenants: cfg.tenants,
+		Clients: cfg.clients,
+		Floor:   cfg.floor,
+	}
+	c := mdesclient.New(target)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("soak: daemon at %s unhealthy: %w", target, err)
+	}
+
+	// Prepare every tenant: upload, build the local replay reference.
+	tenants := make([]*soakTenant, cfg.tenants)
+	for i := range tenants {
+		st, err := prepareSoakTenant(ctx, c, i, cfg)
+		if err != nil {
+			return fmt.Errorf("soak: tenant %d: %w", i, err)
+		}
+		tenants[i] = st
+		fmt.Fprintf(stdout, "soak: tenant %s ready (%s, %d blocks/batch, fp %s)\n",
+			st.name, st.mach, len(st.wire), st.oldFP)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		requests atomic.Int64
+		blocks   atomic.Int64
+		diverged atomic.Int64
+		fpViols  atomic.Int64
+		cliErrs  atomic.Int64
+	)
+	worker := func(st *soakTenant) {
+		defer wg.Done()
+		wc := mdesclient.New(target)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Snapshot swap visibility BEFORE issuing, so the "new
+			// requests carry the new fingerprint" assertion is sound.
+			st.mu.Lock()
+			postSwap := st.swapped
+			st.mu.Unlock()
+			resp, err := wc.Schedule(ctx, st.name, st.wire)
+			if err != nil {
+				cliErrs.Add(1)
+				continue
+			}
+			requests.Add(1)
+			blocks.Add(int64(len(resp.Results)))
+			st.mu.Lock()
+			st.seen[resp.Fingerprint]++
+			oldFP := st.oldFP
+			st.mu.Unlock()
+			// A request issued after the swap completed must never be
+			// served by the outgoing engine. (Whether the fingerprint is
+			// legitimate at all is validated after the load stops, when
+			// both fingerprints are known.)
+			if postSwap && resp.Fingerprint == oldFP {
+				fpViols.Add(1)
+				continue
+			}
+			for i, r := range resp.Results {
+				if i >= len(st.issues) || !equalInts(r.Issue, st.issues[i]) {
+					diverged.Add(1)
+					break
+				}
+			}
+		}
+	}
+	start := time.Now()
+	for _, st := range tenants {
+		for w := 0; w < cfg.clients; w++ {
+			wg.Add(1)
+			go worker(st)
+		}
+	}
+
+	// Mid-soak chaos: hot-swaps and fault injection run while the load
+	// is live — that is the point of the harness.
+	var swapErr, faultErr error
+	if cfg.swap {
+		time.Sleep(cfg.duration / 3)
+		for _, st := range tenants {
+			if err := hotSwapTenant(ctx, c, st); err != nil {
+				swapErr = fmt.Errorf("soak: swap %s: %w", st.name, err)
+				break
+			}
+			report.Swaps++
+		}
+	}
+	if cfg.faults && swapErr == nil {
+		report.Faults, faultErr = injectFaults(ctx, stdout, target, c)
+	}
+
+	remaining := cfg.duration - time.Since(start)
+	if remaining > 0 {
+		time.Sleep(remaining)
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if swapErr != nil {
+		return swapErr
+	}
+	if faultErr != nil {
+		return faultErr
+	}
+
+	// After the load stops, swapped-out versions must drain.
+	if cfg.swap {
+		for _, st := range tenants {
+			if err := awaitDrain(ctx, c, st, 5*time.Second); err != nil {
+				report.Reasons = append(report.Reasons, err.Error())
+			}
+		}
+	}
+
+	for _, st := range tenants {
+		fpViols.Add(st.fingerprintViolations())
+	}
+
+	report.DurationSec = elapsed.Seconds()
+	report.Requests = requests.Load()
+	report.Blocks = blocks.Load()
+	report.BlocksPerSec = float64(report.Blocks) / elapsed.Seconds()
+	report.Divergences = diverged.Load()
+	report.FingerprintViols = fpViols.Load()
+	report.ClientErrors = cliErrs.Load()
+
+	if report.Divergences > 0 {
+		report.Reasons = append(report.Reasons, fmt.Sprintf("%d schedule divergences vs local replay", report.Divergences))
+	}
+	if report.FingerprintViols > 0 {
+		report.Reasons = append(report.Reasons, fmt.Sprintf("%d fingerprint violations", report.FingerprintViols))
+	}
+	if cfg.floor > 0 && report.BlocksPerSec < cfg.floor {
+		report.Reasons = append(report.Reasons, fmt.Sprintf("throughput %.1f blocks/s below floor %.1f", report.BlocksPerSec, cfg.floor))
+	}
+	if report.Requests == 0 {
+		report.Reasons = append(report.Reasons, "no request completed")
+	}
+	for _, f := range report.Faults {
+		if !f.OK {
+			report.Reasons = append(report.Reasons, fmt.Sprintf("fault %s: %s", f.Name, f.Detail))
+		}
+	}
+	report.Pass = len(report.Reasons) == 0
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "soak: report written to %s\n", cfg.out)
+	}
+
+	fmt.Fprintf(stdout, "soak: %d requests, %d blocks in %.1fs = %.1f blocks/s (floor %.1f)\n",
+		report.Requests, report.Blocks, report.DurationSec, report.BlocksPerSec, report.Floor)
+	fmt.Fprintf(stdout, "soak: divergences=%d fingerprint_violations=%d client_errors=%d swaps=%d faults=%d\n",
+		report.Divergences, report.FingerprintViols, report.ClientErrors, report.Swaps, len(report.Faults))
+	if !report.Pass {
+		return fmt.Errorf("soak: FAILED: %s", strings.Join(report.Reasons, "; "))
+	}
+	fmt.Fprintln(stdout, "soak: PASS")
+	return nil
+}
+
+// prepareSoakTenant uploads tenant i's description and builds its local
+// replay reference.
+func prepareSoakTenant(ctx context.Context, c *mdesclient.Client, i int, cfg soakConfig) (*soakTenant, error) {
+	mach := machines.All[i%len(machines.All)]
+	source, err := machines.Source(mach)
+	if err != nil {
+		return nil, err
+	}
+	st := &soakTenant{
+		name:   fmt.Sprintf("soak-%d", i),
+		mach:   mach,
+		source: source,
+		seen:   make(map[string]int64),
+	}
+	up, err := c.Upload(ctx, st.name, mdesclient.UploadRequest{Source: source, Level: "full", Activate: true})
+	if err != nil {
+		return nil, fmt.Errorf("upload: %w", err)
+	}
+	st.oldFP = up.Fingerprint
+
+	// Local replay: the same description, compiled in-process, schedules
+	// the same workload; the daemon must agree byte for byte.
+	prog, err := workload.Generate(workload.Config{Machine: mach, NumOps: cfg.numOps, Seed: cfg.seed + int64(i)})
+	if err != nil {
+		return nil, err
+	}
+	m, err := mdes.Load("soak.mdes", source)
+	if err != nil {
+		return nil, err
+	}
+	compiled := mdes.Compile(m, mdes.FormAndOr)
+	mdes.Optimize(compiled, mdes.LevelFull)
+	fp, err := compiled.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if fp != up.Fingerprint {
+		return nil, fmt.Errorf("daemon fingerprint %s != local %s: not the same description", up.Fingerprint, fp)
+	}
+	eng, err := mdes.NewEngine(compiled, mdes.WithChecker(mdes.CheckerProbePlan))
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := eng.ScheduleBlocks(ctx, prog.Blocks, 4)
+	if err != nil {
+		return nil, err
+	}
+	st.issues = make([][]int, len(results))
+	for j, r := range results {
+		st.issues[j] = r.Issue
+	}
+	st.wire = server.FromIR(prog.Blocks)
+	return st, nil
+}
+
+// hotSwapTenant re-uploads the tenant's source at a different
+// optimization level and activates it: a different compiled artifact
+// (new fingerprint) with provably identical schedules — the
+// level-invariance guarantee the verify harness enforces, exercised here
+// over a live swap under load.
+func hotSwapTenant(ctx context.Context, c *mdesclient.Client, st *soakTenant) error {
+	up, err := c.Upload(ctx, st.name, mdesclient.UploadRequest{Source: st.source, Level: "none", Activate: true})
+	if err != nil {
+		return err
+	}
+	if up.Fingerprint == st.oldFP {
+		return fmt.Errorf("swap produced the same fingerprint %s; nothing swapped", up.Fingerprint)
+	}
+	st.mu.Lock()
+	st.newFP = up.Fingerprint
+	st.swapped = true
+	st.mu.Unlock()
+	return nil
+}
+
+// awaitDrain waits for the tenant's swapped-out version to report
+// retired + drained with zero in-flight requests.
+func awaitDrain(ctx context.Context, c *mdesclient.Client, st *soakTenant, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		vs, err := c.Versions(ctx, st.name)
+		if err != nil {
+			return fmt.Errorf("tenant %s: versions: %w", st.name, err)
+		}
+		for _, v := range vs.Versions {
+			if v.Fingerprint == st.oldFP && v.Retired && v.Drained && v.InFlight == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tenant %s: old version %s never drained", st.name, st.oldFP)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// injectFaults runs the chaos suite against a live daemon. Every fault
+// must degrade to a structured error response (or a cut connection for
+// protocol-level abuse) and the daemon must serve a full round trip
+// afterwards.
+func injectFaults(ctx context.Context, stdout io.Writer, target string, c *mdesclient.Client) ([]SoakFault, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("soak: bad target %q: %w", target, err)
+	}
+	hostport := u.Host
+
+	var faults []SoakFault
+	record := func(name string, ok bool, detail string) {
+		faults = append(faults, SoakFault{Name: name, OK: ok, Detail: detail})
+		status := "ok"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "soak: fault %-22s %-4s %s\n", name, status, detail)
+	}
+	expectAPIError := func(name string, err error, status int, code string) {
+		if err == nil {
+			record(name, false, "accepted instead of rejected")
+			return
+		}
+		apiErr, ok := err.(*mdesclient.APIError)
+		if !ok {
+			record(name, false, fmt.Sprintf("unstructured error: %v", err))
+			return
+		}
+		if apiErr.Status != status || apiErr.Code != code {
+			record(name, false, fmt.Sprintf("got %d/%s, want %d/%s", apiErr.Status, apiErr.Code, status, code))
+			return
+		}
+		record(name, true, fmt.Sprintf("structured %d/%s", status, code))
+	}
+
+	// Oversized upload: rejected at the body cap, before parsing.
+	_, err = c.Upload(ctx, "chaos", mdesclient.UploadRequest{Source: strings.Repeat("x", 9<<20)})
+	expectAPIError("oversized-upload", err, 413, "too_large")
+
+	// Corrupt HMDES: positioned structured diagnostics.
+	src, err := machines.Source(machines.K5)
+	if err != nil {
+		return faults, err
+	}
+	_, err = c.Upload(ctx, "chaos", mdesclient.UploadRequest{Source: strings.ReplaceAll(src, "machine", "machnie")})
+	if apiErr, ok := err.(*mdesclient.APIError); ok && apiErr.Status == 400 && apiErr.Code == "bad_source" && len(apiErr.Diagnostics) > 0 {
+		record("corrupt-hmdes", true, fmt.Sprintf("structured 400/bad_source at line %d", apiErr.Diagnostics[0].Line))
+	} else {
+		record("corrupt-hmdes", false, fmt.Sprintf("no positioned rejection: %v", err))
+	}
+
+	// Mid-stream disconnect: announce a large body, send half, vanish.
+	// The daemon must release the admission slot and keep serving.
+	if conn, derr := net.DialTimeout("tcp", hostport, 2*time.Second); derr == nil {
+		body := `{"blocks":[{"ops":[{"opcode":"IALU"}]}]}`
+		fmt.Fprintf(conn, "POST /v1/tenants/chaos/schedule HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", hostport, len(body)*100)
+		_, _ = io.WriteString(conn, body[:len(body)/2])
+		_ = conn.Close()
+		record("midstream-disconnect", true, "connection dropped mid-body")
+	} else {
+		record("midstream-disconnect", false, fmt.Sprintf("dial: %v", derr))
+	}
+
+	// Slow-loris body: dribble bytes until the daemon cuts us off (its
+	// read deadline), bounded so the soak never hangs on a lenient server.
+	if conn, derr := net.DialTimeout("tcp", hostport, 2*time.Second); derr == nil {
+		fmt.Fprintf(conn, "POST /v1/tenants/chaos/descriptions HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 100000\r\n\r\n", hostport)
+		cut := false
+		for i := 0; i < 100; i++ {
+			_ = conn.SetWriteDeadline(time.Now().Add(500 * time.Millisecond))
+			if _, werr := conn.Write([]byte("{")); werr != nil {
+				cut = true
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		_ = conn.Close()
+		if cut {
+			record("slow-loris", true, "server cut the dribbling connection")
+		} else {
+			record("slow-loris", true, "dribble bounded; daemon health verified below")
+		}
+	} else {
+		record("slow-loris", false, fmt.Sprintf("dial: %v", derr))
+	}
+
+	// Malformed JSON body (raw POST, since the SDK always sends valid
+	// JSON).
+	func() {
+		conn, derr := net.DialTimeout("tcp", hostport, 2*time.Second)
+		if derr != nil {
+			record("malformed-json", false, fmt.Sprintf("dial: %v", derr))
+			return
+		}
+		defer conn.Close()
+		body := "{nope"
+		fmt.Fprintf(conn, "POST /v1/tenants/chaos/descriptions HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", hostport, len(body), body)
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		resp, rerr := io.ReadAll(conn)
+		if rerr != nil && len(resp) == 0 {
+			record("malformed-json", false, fmt.Sprintf("no response: %v", rerr))
+			return
+		}
+		text := string(resp)
+		if strings.Contains(text, "400") && strings.Contains(text, "bad_request") {
+			record("malformed-json", true, "structured 400/bad_request")
+		} else {
+			record("malformed-json", false, fmt.Sprintf("unexpected response: %.120s", text))
+		}
+	}()
+
+	// After every fault: the daemon must still serve a full round trip.
+	if err := c.Health(ctx); err != nil {
+		record("post-fault-health", false, fmt.Sprintf("daemon unhealthy: %v", err))
+		return faults, nil
+	}
+	up, err := c.Upload(ctx, "chaos", mdesclient.UploadRequest{Source: src, Activate: true})
+	if err != nil {
+		record("post-fault-roundtrip", false, fmt.Sprintf("upload: %v", err))
+		return faults, nil
+	}
+	prog, err := workload.Generate(workload.Config{Machine: machines.K5, NumOps: 60, Seed: 42})
+	if err != nil {
+		return faults, err
+	}
+	resp, err := c.Schedule(ctx, "chaos", server.FromIR(prog.Blocks))
+	if err != nil {
+		record("post-fault-roundtrip", false, fmt.Sprintf("schedule: %v", err))
+		return faults, nil
+	}
+	if resp.Fingerprint != up.Fingerprint {
+		record("post-fault-roundtrip", false, "fingerprint mismatch after faults")
+		return faults, nil
+	}
+	record("post-fault-roundtrip", true, "upload+schedule served after all faults")
+	return faults, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package mdesclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a structured error response from the daemon.
+type APIError struct {
+	Status      int
+	Code        string
+	Message     string
+	Diagnostics []Diagnostic
+	// retryAfter is the server-provided Retry-After floor, when present.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if len(e.Diagnostics) > 0 {
+		d := e.Diagnostics[0]
+		return fmt.Sprintf("mdesd: %s (%d %s): %s:%d:%d: %s",
+			e.Code, e.Status, http.StatusText(e.Status), d.File, d.Line, d.Col, d.Msg)
+	}
+	return fmt.Sprintf("mdesd: %s (%d %s): %s", e.Code, e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Retryable reports whether the request that produced this error may be
+// retried: the daemon shed it (429 queue overflow, 503 draining or
+// admission timeout), not rejected it.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry configures the retry policy: up to maxRetries re-sends of a
+// shed (429/503) or transport-failed request, exponential backoff
+// starting at base with full jitter. maxRetries 0 disables retry.
+func WithRetry(maxRetries int, base time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.backoffBase = maxRetries, base }
+}
+
+// Client is a thin client for one mdesd daemon.
+//
+// All methods are safe for concurrent use. Requests shed by the daemon's
+// admission control (429) or hit during a drain (503) are retried with
+// exponential backoff and full jitter, honoring Retry-After when the
+// daemon provides one; context cancellation always wins.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	backoffBase time.Duration
+	rnd         func(time.Duration) time.Duration
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7077"). The default policy retries shed requests up
+// to 5 times starting at 50ms backoff.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(base, "/"),
+		hc:          &http.Client{Timeout: 60 * time.Second},
+		maxRetries:  5,
+		backoffBase: 50 * time.Millisecond,
+	}
+	c.rnd = func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return 0
+		}
+		return time.Duration(rand.Int63n(int64(d)))
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Upload registers a description version with the tenant's registry.
+func (c *Client) Upload(ctx context.Context, tenant string, req UploadRequest) (*UploadResponse, error) {
+	var resp UploadResponse
+	if err := c.do(ctx, http.MethodPost, c.tenantPath(tenant, "descriptions"), &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Schedule schedules a batch of blocks against the tenant's active
+// description version.
+func (c *Client) Schedule(ctx context.Context, tenant string, blocks []Block) (*ScheduleResponse, error) {
+	var resp ScheduleResponse
+	req := ScheduleRequest{Blocks: blocks}
+	if err := c.do(ctx, http.MethodPost, c.tenantPath(tenant, "schedule"), &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Versions lists the tenant's registered description versions.
+func (c *Client) Versions(ctx context.Context, tenant string) (*ListResponse, error) {
+	var resp ListResponse
+	if err := c.do(ctx, http.MethodGet, c.tenantPath(tenant, "descriptions"), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats reports the tenant's aggregated scheduling counters.
+func (c *Client) Stats(ctx context.Context, tenant string) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(ctx, http.MethodGet, c.tenantPath(tenant, "stats"), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, c.base+"/healthz", nil, nil)
+}
+
+func (c *Client) tenantPath(tenant, leaf string) string {
+	return c.base + "/v1/tenants/" + tenant + "/" + leaf
+}
+
+// do sends one request with the retry policy. body and out may be nil.
+func (c *Client) do(ctx context.Context, method, url string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("mdesclient: encode: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, url, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		retryable := !errors.As(err, &apiErr) || apiErr.Retryable()
+		if !retryable || attempt >= c.maxRetries || ctx.Err() != nil {
+			return lastErr
+		}
+		delay := c.backoffBase << uint(attempt)
+		if apiErr != nil && apiErr.Status == http.StatusTooManyRequests {
+			// Honor a server-provided Retry-After floor when present.
+			if apiErr.retryAfter > delay {
+				delay = apiErr.retryAfter
+			}
+		}
+		select {
+		case <-time.After(delay/2 + c.rnd(delay/2)):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, url string, payload []byte, out any) error {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return fmt.Errorf("mdesclient: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("mdesclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("mdesclient: decode response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError parses the daemon's structured error body, falling back
+// to the raw text for non-daemon intermediaries.
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	var body ErrorBody
+	if err := json.Unmarshal(data, &body); err == nil && body.Code != "" {
+		apiErr.Code, apiErr.Message, apiErr.Diagnostics = body.Code, body.Error, body.Diagnostics
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}

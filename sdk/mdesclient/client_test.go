@@ -1,0 +1,136 @@
+package mdesclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func shedTwiceThenServe(t *testing.T, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(ErrorBody{Code: "overloaded", Error: "busy"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(StatsResponse{Tenant: "t", Blocks: 7})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestClientRetriesShedRequests(t *testing.T) {
+	ts, hits := shedTwiceThenServe(t, http.StatusTooManyRequests, "")
+	c := New(ts.URL, WithRetry(5, time.Millisecond))
+	st, err := c.Stats(context.Background(), "t")
+	if err != nil {
+		t.Fatalf("stats after retries: %v", err)
+	}
+	if st.Blocks != 7 {
+		t.Fatalf("blocks = %d, want 7", st.Blocks)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two shed + one served)", hits.Load())
+	}
+}
+
+func TestClientRetries503(t *testing.T) {
+	ts, hits := shedTwiceThenServe(t, http.StatusServiceUnavailable, "")
+	c := New(ts.URL, WithRetry(5, time.Millisecond))
+	if _, err := c.Stats(context.Background(), "t"); err != nil {
+		t.Fatalf("stats after 503 retries: %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+}
+
+func TestClientDoesNotRetryRejections(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(ErrorBody{Code: "bad_request", Error: "nope", Diagnostics: []Diagnostic{{File: "f", Line: 3, Col: 9, Msg: "boom"}}})
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, WithRetry(5, time.Millisecond))
+	_, err := c.Stats(context.Background(), "t")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %T: %v", err, err)
+	}
+	if apiErr.Retryable() {
+		t.Fatalf("400 reported retryable")
+	}
+	if apiErr.Code != "bad_request" || len(apiErr.Diagnostics) != 1 || apiErr.Diagnostics[0].Line != 3 {
+		t.Fatalf("structured error lost: %+v", apiErr)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", hits.Load())
+	}
+}
+
+func TestClientContextCancelsRetryLoop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ErrorBody{Code: "overloaded", Error: "busy"})
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, WithRetry(1000, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(ctx, "t")
+	if err == nil {
+		t.Fatalf("want error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("retry loop ignored context for %s", time.Since(start))
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ts, _ := shedTwiceThenServe(t, http.StatusTooManyRequests, "1")
+	c := New(ts.URL, WithRetry(5, time.Millisecond))
+	start := time.Now()
+	if _, err := c.Stats(context.Background(), "t"); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	// Two shed responses, each with Retry-After: 1 — the backoff floor is
+	// at least 500ms per retry (delay/2 fixed + jitter).
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("Retry-After ignored: completed in %s", elapsed)
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// Point at a closed port: every attempt fails at the transport layer
+	// and must be retried until the budget runs out.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	c := New(url, WithRetry(2, time.Millisecond))
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatalf("health against closed port succeeded")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("transport retries took %s", time.Since(start))
+	}
+}

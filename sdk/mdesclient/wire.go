@@ -1,0 +1,165 @@
+// Package mdesclient is the thin Go client SDK for the mdesd scheduling
+// daemon (cmd/mdesd): upload HMDES machine descriptions into a tenant's
+// versioned registry, then issue schedule and query requests against the
+// tenant's active description version.
+//
+// The package also defines the daemon's JSON wire format. The server side
+// (internal/server) imports these types rather than the other way around,
+// so the SDK stays importable from outside the module while the request
+// decoder — with its hard capacity limits — remains internal.
+package mdesclient
+
+// Wire format versioning: the daemon serves its API under /v1/; breaking
+// wire changes bump the path prefix, not these structs.
+
+// UploadRequest registers (and optionally activates) one compiled
+// description version in a tenant's registry. Exactly one of Source or
+// SourceHash must be set: Source carries the HMDES text through the full
+// parse → compile → optimize pipeline (consulting the daemon's
+// content-addressed cache), while SourceHash references an
+// already-cached arena by its content address and never compiles.
+type UploadRequest struct {
+	// Source is the high-level HMDES source text.
+	Source string `json:"source,omitempty"`
+	// SourceHash is the 16-hex-digit FNV-64a hash of a source already in
+	// the daemon's description cache (descache.HashSource).
+	SourceHash string `json:"source_hash,omitempty"`
+	// Form is the constraint representation: "or" or "andor" (default).
+	Form string `json:"form,omitempty"`
+	// Level is the optimization level: "none", "redundancy",
+	// "bit-vector", "time-shift" or "full" (default).
+	Level string `json:"level,omitempty"`
+	// Activate atomically makes this version the tenant's active one;
+	// the previously active version drains and retires.
+	Activate bool `json:"activate,omitempty"`
+}
+
+// UploadResponse describes the registered version.
+type UploadResponse struct {
+	// Key is the version's registry key: the content address
+	// hash(source) × form × level (the descache entry ID).
+	Key string `json:"key"`
+	// SourceHash is the content address of the HMDES source.
+	SourceHash string `json:"source_hash"`
+	// Fingerprint is the compiled description's content fingerprint;
+	// every ScheduleResponse echoes the fingerprint of the version that
+	// served it, so clients can pin results to exactly one description.
+	Fingerprint string `json:"fingerprint"`
+	// Machine is the description's machine name.
+	Machine string `json:"machine"`
+	// Active reports whether this version is now the tenant's active one.
+	Active bool `json:"active"`
+	// Cached reports whether the version was served from the compiled-
+	// description cache (true) or compiled by this request (false).
+	Cached bool `json:"cached"`
+}
+
+// Op is one assembly operation of a schedule request, mirroring the
+// scheduler's input IR.
+type Op struct {
+	Opcode string `json:"opcode"`
+	Dests  []int  `json:"dests,omitempty"`
+	Srcs   []int  `json:"srcs,omitempty"`
+	// Mem classifies memory behaviour: "", "load" or "store".
+	Mem      string `json:"mem,omitempty"`
+	Branch   bool   `json:"branch,omitempty"`
+	Cascaded bool   `json:"cascaded,omitempty"`
+}
+
+// Block is one basic block to schedule.
+type Block struct {
+	Ops []Op `json:"ops"`
+}
+
+// ScheduleRequest schedules a batch of independent basic blocks against
+// the tenant's active description version. All blocks of one request are
+// served by the same frozen engine (one version acquire per request), so
+// one response never mixes descriptions.
+type ScheduleRequest struct {
+	Blocks []Block `json:"blocks"`
+}
+
+// BlockResult is one block's scheduling outcome.
+type BlockResult struct {
+	// Issue[i] is the cycle operation i was issued.
+	Issue []int `json:"issue"`
+	// Length is the schedule length in cycles.
+	Length int `json:"length"`
+}
+
+// Counters are the paper's instrumentation counters summed over the
+// request's blocks.
+type Counters struct {
+	Attempts       int64 `json:"attempts"`
+	OptionsChecked int64 `json:"options_checked"`
+	ResourceChecks int64 `json:"resource_checks"`
+	Conflicts      int64 `json:"conflicts"`
+	Backtracks     int64 `json:"backtracks"`
+}
+
+// ScheduleResponse is the outcome of one schedule request.
+type ScheduleResponse struct {
+	// Fingerprint identifies the description version that scheduled this
+	// request; clients comparing against a local replay must first check
+	// it matches their local compile.
+	Fingerprint string `json:"fingerprint"`
+	// Key is the serving version's registry key.
+	Key      string        `json:"key"`
+	Results  []BlockResult `json:"results"`
+	Counters Counters      `json:"counters"`
+}
+
+// VersionInfo describes one registered version in a listing.
+type VersionInfo struct {
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+	Machine     string `json:"machine"`
+	Active      bool   `json:"active"`
+	// Retired marks a version that was active and has been hot-swapped
+	// out; Drained additionally means its last in-flight request has
+	// completed (its engine pool is quiescent).
+	Retired bool `json:"retired"`
+	Drained bool `json:"drained"`
+	// InFlight is the number of requests currently scheduled against
+	// this version.
+	InFlight int64 `json:"in_flight"`
+}
+
+// ListResponse lists a tenant's registered versions.
+type ListResponse struct {
+	Tenant   string        `json:"tenant"`
+	Versions []VersionInfo `json:"versions"`
+}
+
+// StatsResponse reports a tenant's aggregated scheduling counters.
+type StatsResponse struct {
+	Tenant      string   `json:"tenant"`
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Blocks      int64    `json:"blocks"`
+	Counters    Counters `json:"counters"`
+}
+
+// Diagnostic is one positioned language error from the HMDES analyzer,
+// serialized when an upload's source is rejected.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// ErrorBody is the daemon's structured error response. Every failure the
+// daemon can encounter — malformed requests, oversized bodies, admission
+// rejection, draining shutdown, cache faults — is reported through this
+// shape; the daemon never answers a fault with anything else.
+type ErrorBody struct {
+	// Code is a stable machine-readable error class:
+	// "bad_request", "bad_source", "bad_block", "too_large",
+	// "not_found", "no_description", "overloaded", "timeout",
+	// "draining", "internal".
+	Code string `json:"code"`
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Diagnostics carries positioned analyzer errors for "bad_source".
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
